@@ -1,0 +1,108 @@
+"""A1 — ablation of the design choices DESIGN.md calls out.
+
+Not a paper table; this benchmark quantifies the knobs of the reproduction so
+a user can see what each piece buys:
+
+* **pruning parameter k** — Claim 3.12 ties the layer out-degree bound to
+  ``(s+1)·k``; sweeping k shows the measured out-degree and assigned fraction
+  moving with it.
+* **tree-view budget B** — Lemma 3.9's hypothesis (``NumPathsIn ≤ √B``) means
+  a larger budget assigns more vertices per call of Algorithm 4.
+* **Stage-1 peeling of Lemma 3.15** — disabling the initial peeling forces the
+  exponentiation machinery to do all the work, costing more rounds for the
+  same quality (the reason the paper peels first).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import record_row
+from repro.core.full_assignment import complete_layer_assignment, iterated_partial_assignment
+from repro.core.parameters import Parameters
+from repro.core.partial_assignment import partial_layer_assignment
+from repro.graph import generators
+from repro.mpc.cluster import MPCCluster
+from repro.mpc.config import MPCConfig
+
+GRAPH = generators.chung_lu_power_law(1024, exponent=2.3, average_degree=6.0, seed=17)
+
+ABLATION_COLUMNS = ("variant", "k", "budget", "assigned_fraction", "max_out_degree", "rounds")
+
+
+@pytest.mark.parametrize("k", [2, 4, 8, 16])
+def test_a1_pruning_parameter(benchmark, k):
+    params = Parameters(k=k, budget=256, steps=3, num_layers=3)
+    cluster = MPCCluster(MPCConfig.for_graph(GRAPH))
+
+    result = benchmark.pedantic(
+        partial_layer_assignment, args=(GRAPH, params), kwargs={"cluster": cluster},
+        rounds=1, iterations=1,
+    )
+    assignment = result.assignment
+    assignment.validate()
+    record_row(
+        "A1a — ablation: pruning parameter k (Algorithm 4 on a power-law graph)",
+        ABLATION_COLUMNS,
+        {
+            "variant": "vary k",
+            "k": k,
+            "budget": params.budget,
+            "assigned_fraction": round(assignment.fraction_assigned(), 3),
+            "max_out_degree": assignment.max_observed_out_degree(),
+            "rounds": cluster.stats.num_rounds,
+        },
+    )
+
+
+@pytest.mark.parametrize("budget", [16, 64, 256, 1024])
+def test_a1_budget(benchmark, budget):
+    params = Parameters(k=6, budget=budget, steps=3, num_layers=3)
+    cluster = MPCCluster(MPCConfig.for_graph(GRAPH))
+
+    result = benchmark.pedantic(
+        partial_layer_assignment, args=(GRAPH, params), kwargs={"cluster": cluster},
+        rounds=1, iterations=1,
+    )
+    assignment = result.assignment
+    record_row(
+        "A1b — ablation: tree-view budget B (Algorithm 4 on a power-law graph)",
+        ABLATION_COLUMNS,
+        {
+            "variant": "vary B",
+            "k": params.k,
+            "budget": budget,
+            "assigned_fraction": round(assignment.fraction_assigned(), 3),
+            "max_out_degree": assignment.max_observed_out_degree(),
+            "rounds": cluster.stats.num_rounds,
+        },
+    )
+
+
+@pytest.mark.parametrize("use_peeling", [True, False], ids=["with-peeling", "without-peeling"])
+def test_a1_stage1_peeling(benchmark, use_peeling):
+    k = 8
+
+    def run():
+        cluster = MPCCluster(MPCConfig.for_graph(GRAPH))
+        if use_peeling:
+            result = complete_layer_assignment(GRAPH, k=k, cluster=cluster)
+        else:
+            result = iterated_partial_assignment(GRAPH, k=k, budget=256, cluster=cluster)
+        return result, cluster
+
+    result, cluster = benchmark.pedantic(run, rounds=1, iterations=1)
+    partition = result.to_hpartition()
+    record_row(
+        "A1c — ablation: Lemma 3.15 Stage-1 peeling on vs off",
+        ABLATION_COLUMNS,
+        {
+            "variant": "peeling on" if use_peeling else "peeling off",
+            "k": k,
+            "budget": 256,
+            "assigned_fraction": 1.0,
+            "max_out_degree": partition.max_out_degree(),
+            "rounds": cluster.stats.num_rounds,
+        },
+    )
+    assert result.is_complete()

@@ -1,0 +1,30 @@
+"""E1 — Theorem 1.1: O(λ log log n)-outdegree orientation in poly(log log n) rounds.
+
+For every workload in the E1 suite, run the full orientation pipeline, record
+the achieved maximum outdegree against the theorem's bound and the simulated
+MPC round count, and benchmark the wall-clock time of one run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import record_row
+from repro.experiments.harness import run_orientation_experiment
+from repro.experiments.registry import get_experiment
+
+SPEC = get_experiment("E1")
+
+
+@pytest.mark.parametrize("workload", SPEC.workloads, ids=lambda w: w.name)
+def test_e1_orientation(benchmark, workload):
+    row = benchmark.pedantic(
+        run_orientation_experiment, args=(workload,), rounds=1, iterations=1
+    )
+    data = row.as_dict()
+    record_row("E1 — " + SPEC.claim, SPEC.columns, data)
+    benchmark.extra_info.update(
+        {key: data[key] for key in ("max_outdegree", "rounds", "lambda_hi")}
+    )
+    assert data["outdegree_ok"] == 1.0
+    assert data["rounds_ok"] == 1.0

@@ -1,0 +1,46 @@
+"""E5 — Lemma 3.15: complete layering with bounded out-degree and geometric decay.
+
+For each workload, compute the complete layer assignment (H-partition) with
+``k = 2 · degeneracy`` and record the number of layers, the measured maximum
+out-degree against the ``(s+1)·k``-style bound, and whether the suffix sizes
+decay geometrically (ratio ≤ 0.5 with slack 2).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import record_row
+from repro.analysis.validators import validate_layer_decay
+from repro.core.full_assignment import complete_layer_assignment
+from repro.experiments.registry import get_experiment
+from repro.graph.arboricity import degeneracy
+
+SPEC = get_experiment("E5")
+
+
+@pytest.mark.parametrize("workload", SPEC.workloads, ids=lambda w: w.name)
+def test_e5_layer_decay(benchmark, workload):
+    graph = workload.materialize()
+    k = max(2, 2 * degeneracy(graph))
+
+    run = benchmark.pedantic(
+        complete_layer_assignment, args=(graph,), kwargs={"k": k}, rounds=1, iterations=1
+    )
+    partition = run.to_hpartition()
+    decay = validate_layer_decay(partition, ratio=0.5, slack=2.0)
+    record_row(
+        "E5 — " + SPEC.claim,
+        SPEC.columns,
+        {
+            "workload": workload.describe(),
+            "n": graph.num_vertices,
+            "k": k,
+            "num_layers": partition.num_layers,
+            "max_out_degree": partition.max_out_degree(),
+            "out_degree_bound": run.out_degree_bound,
+            "decay_ok": 1.0 if decay.passed else 0.0,
+        },
+    )
+    assert partition.max_out_degree() <= run.out_degree_bound
+    assert decay.passed

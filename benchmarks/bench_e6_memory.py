@@ -1,0 +1,57 @@
+"""E6 — Claims 3.5/3.11: local memory O(n^δ + B) and global memory O(nB + m).
+
+For each workload the full layering pipeline runs on a simulated cluster with
+δ = 0.5; the peak per-machine and global memory observed by the simulator are
+recorded against the paper's bounds (with explicit constants).
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from benchmarks.conftest import record_row
+from repro.analysis.validators import validate_global_memory, validate_local_memory
+from repro.core.full_assignment import complete_layer_assignment
+from repro.experiments.registry import get_experiment
+from repro.graph.arboricity import degeneracy
+from repro.mpc.cluster import MPCCluster
+from repro.mpc.config import MPCConfig
+
+SPEC = get_experiment("E6")
+DELTA = 0.5
+
+
+@pytest.mark.parametrize("workload", SPEC.workloads, ids=lambda w: w.name)
+def test_e6_memory(benchmark, workload):
+    graph = workload.materialize()
+    k = max(2, 2 * degeneracy(graph))
+
+    def run():
+        cluster = MPCCluster(MPCConfig.for_graph(graph, delta=DELTA))
+        cluster.load_graph(graph)
+        complete_layer_assignment(graph, k=k, delta=DELTA, cluster=cluster)
+        return cluster
+
+    cluster = benchmark.pedantic(run, rounds=1, iterations=1)
+    budget = max(int(math.ceil(4 * graph.num_vertices**DELTA)), 64)
+    local = validate_local_memory(cluster.stats, graph.num_vertices, budget=budget, delta=DELTA)
+    global_report = validate_global_memory(
+        cluster.stats, graph.num_vertices, graph.num_edges, budget=budget
+    )
+    record_row(
+        "E6 — " + SPEC.claim,
+        SPEC.columns,
+        {
+            "workload": workload.describe(),
+            "n": graph.num_vertices,
+            "S": cluster.words_per_machine,
+            "peak_machine_words": cluster.stats.peak_machine_memory_words,
+            "local_bound": local.allowed,
+            "peak_global_words": cluster.stats.peak_global_memory_words,
+            "global_bound": global_report.allowed,
+        },
+    )
+    assert local.passed
+    assert global_report.passed

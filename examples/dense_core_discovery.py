@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Scenario: community / dense-core discovery via the coreness decomposition.
+
+The paper's orientation machinery is stated for a single arboricity guess; the
+footnote on [GLM19] points out that running the pipeline for every ``(1+ε)^i``
+guess in parallel yields a *coreness decomposition*.  That decomposition is
+the workhorse of dense-core discovery: the deepest surviving core is a
+2-approximation of the densest subgraph, and per-vertex core estimates rank
+vertices by local density.
+
+This example plants a dense community inside a sparse background, recovers it
+with the guess-in-parallel decomposition, and compares against the exact
+(centralised) core numbers and the exact densest subgraph (computed with the
+library's own max-flow).
+
+Run with::
+
+    python examples/dense_core_discovery.py [num_vertices]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import approximate_coreness, exact_coreness
+from repro.analysis.reporting import Table
+from repro.core.coreness import densest_subgraph_from_coreness
+from repro.graph import generators
+from repro.graph.arboricity import densest_subgraph
+
+
+def main() -> None:
+    num_vertices = int(sys.argv[1]) if len(sys.argv) > 1 else 1200
+    community_size = max(num_vertices // 10, 40)
+
+    print(f"Planting a dense community of {community_size} vertices in a sparse graph "
+          f"on {num_vertices} vertices ...")
+    graph = generators.planted_dense_subgraph(
+        num_vertices,
+        community_size=community_size,
+        community_probability=0.4,
+        background_probability=3.0 / num_vertices,
+        seed=23,
+    )
+    print(f"  n = {graph.num_vertices}, m = {graph.num_edges}")
+
+    print("\nRunning the guess-in-parallel coreness decomposition (simulated MPC) ...")
+    result = approximate_coreness(graph, epsilon=0.5)
+    core, density = densest_subgraph_from_coreness(graph, result)
+
+    print("Computing the exact references (centralised) ...")
+    exact = exact_coreness(graph)
+    exact_set, exact_density = densest_subgraph(graph)
+
+    recovered = sum(1 for v in core if v < community_size)
+    precision = recovered / max(len(core), 1)
+    recall = recovered / community_size
+
+    table = Table("Dense-core discovery", ["metric", "approximate (MPC)", "exact (centralised)"])
+    table.add_row(["max core estimate / number", result.max_estimate(), max(exact.values())])
+    table.add_row(["densest-core density", round(density, 2), round(exact_density, 2)])
+    table.add_row(["community precision", round(precision, 2), "-"])
+    table.add_row(["community recall", round(recall, 2), "-"])
+    table.add_row(["simulated MPC rounds", result.rounds, "-"])
+    table.print()
+
+    print(f"Guess ladder used: {result.guesses}")
+
+
+if __name__ == "__main__":
+    main()

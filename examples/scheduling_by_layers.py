@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Scenario: dependency-free task scheduling from an H-partition.
+
+The deterministic part of Theorem 1.1 produces an H-partition: layers
+``H_1, ..., H_L`` where every task (vertex) has at most ``d = O(λ log log n)``
+conflicting tasks in its own or higher layers, and layer sizes decay
+geometrically.  Two classic schedulers fall out of it directly:
+
+* **color-as-time-slot** — the Theorem 1.2 coloring gives a conflict-free
+  schedule with O(λ log log n) slots (each color class runs in parallel);
+* **layer-as-wave** — processing layers from the top down touches each
+  conflict edge only after its higher endpoint finished, so every wave ``i``
+  can commit its results with at most ``d`` retries per task.
+
+This example builds both schedules for a conflict graph derived from a deep
+hierarchy workload and reports slot counts and wave sizes.
+
+Run with::
+
+    python examples/scheduling_by_layers.py [num_vertices]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import color
+from repro.analysis.reporting import Table
+from repro.core.full_assignment import complete_layer_assignment
+from repro.graph import generators
+from repro.graph.arboricity import degeneracy
+
+
+def main() -> None:
+    num_vertices = int(sys.argv[1]) if len(sys.argv) > 1 else 4096
+
+    print(f"Generating a deep-hierarchy conflict graph on {num_vertices} tasks ...")
+    graph = generators.deep_hierarchy(num_vertices, branching=8, extra_forests=2, seed=3)
+    lam = degeneracy(graph)
+    print(f"  n = {graph.num_vertices}, m = {graph.num_edges}, degeneracy = {lam}")
+
+    print("\nComputing the H-partition (Lemma 3.15) ...")
+    run = complete_layer_assignment(graph, k=2 * lam)
+    partition = run.to_hpartition()
+
+    print("Computing the conflict-free slot schedule (Theorem 1.2 coloring) ...")
+    coloring_run = color(graph, seed=0)
+
+    table = Table("Schedules", ["schedule", "slots/waves", "largest batch", "guarantee"])
+    sizes = partition.layer_sizes()
+    table.add_row([
+        "layer-as-wave",
+        partition.num_layers,
+        max(sizes),
+        f"≤ {partition.max_out_degree()} unfinished conflicts per task",
+    ])
+    class_sizes = coloring_run.coloring.color_class_sizes()
+    table.add_row([
+        "color-as-time-slot",
+        coloring_run.num_colors,
+        max(class_sizes.values()),
+        "zero conflicts inside a slot",
+    ])
+    table.print()
+
+    decay = [round(s / graph.num_vertices, 3) for s in partition.suffix_sizes()[:8]]
+    print(f"Layer suffix fractions (geometric decay, Lemma 3.15): {decay}")
+    assert coloring_run.coloring.is_proper()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Scenario: frequency assignment / scheduling on a social-style graph.
+
+Power-law graphs (social networks, web crawls) have a handful of huge hubs, so
+Δ+1 coloring wastes an enormous palette even though the graph is globally
+sparse (small arboricity).  This example reproduces the paper's motivation:
+the density-dependent coloring of Theorem 1.2 uses a palette proportional to
+λ·log log n instead of Δ, which matters when colors are a scarce resource
+(frequencies, time slots, shards).
+
+Run with::
+
+    python examples/social_network_coloring.py [num_vertices]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import color
+from repro.analysis.reporting import Table
+from repro.baselines.greedy import degeneracy_order_coloring, greedy_delta_coloring
+from repro.graph import generators
+from repro.graph.arboricity import degeneracy
+
+
+def main() -> None:
+    num_vertices = int(sys.argv[1]) if len(sys.argv) > 1 else 4096
+
+    print(f"Generating a Chung-Lu power-law graph on {num_vertices} vertices ...")
+    graph = generators.chung_lu_power_law(
+        num_vertices, exponent=2.3, average_degree=8.0, seed=7
+    )
+    print(f"  n = {graph.num_vertices}, m = {graph.num_edges}, "
+          f"max degree = {graph.max_degree()}, degeneracy = {degeneracy(graph)}")
+
+    print("\nColoring with Theorem 1.2 (density-dependent, simulated MPC) ...")
+    ours = color(graph, seed=0)
+    print("Coloring with the Δ-ordered greedy baseline ...")
+    delta_baseline = greedy_delta_coloring(graph)
+    print("Coloring with the degeneracy-order greedy baseline (centralised) ...")
+    degeneracy_baseline = degeneracy_order_coloring(graph)
+
+    table = Table("Palette comparison", ["algorithm", "colors", "model", "rounds"])
+    table.add_row(["Theorem 1.2 (this paper)", ours.num_colors, "scalable MPC", ours.rounds])
+    table.add_row(["greedy, vertex order", delta_baseline.num_colors(), "centralised", "-"])
+    table.add_row(["greedy, degeneracy order", degeneracy_baseline.num_colors(), "centralised", "-"])
+    table.add_row(["Δ + 1 worst case", graph.max_degree() + 1, "-", "-"])
+    table.print()
+
+    assert ours.coloring.is_proper()
+    print("The distributed palette is within a log log n factor of the centralised "
+          "degeneracy bound and far below Δ+1.")
+
+
+if __name__ == "__main__":
+    main()

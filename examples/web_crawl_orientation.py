@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Scenario: out-degree budgeting for a web-crawl-style edge store.
+
+A classic use of low-outdegree orientation: store each edge at exactly one of
+its endpoints so that every vertex owns O(λ·log log n) edges, which makes
+adjacency queries ("are u and v connected?") answerable by probing only the
+two endpoints' short owned lists.  On skewed graphs this is dramatically
+cheaper than storing adjacency at both endpoints or at the higher-degree one.
+
+The example also demonstrates the large-arboricity branch: a planted dense
+community pushes λ far above log n, so the pipeline first applies the random
+edge partitioning of Lemma 2.1.
+
+Run with::
+
+    python examples/web_crawl_orientation.py [num_vertices]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import orient
+from repro.analysis.reporting import Table
+from repro.graph import generators
+from repro.graph.arboricity import degeneracy
+
+
+def adjacency_query_cost(orientation, u: int, v: int) -> int:
+    """Number of owned-edge probes needed to answer 'is {u, v} an edge?'."""
+    return len(orientation.out_neighbors(u)) + len(orientation.out_neighbors(v))
+
+
+def main() -> None:
+    num_vertices = int(sys.argv[1]) if len(sys.argv) > 1 else 2000
+
+    print(f"Generating a crawl-like graph with a dense core on {num_vertices} vertices ...")
+    graph = generators.planted_dense_subgraph(
+        num_vertices,
+        community_size=max(num_vertices // 10, 40),
+        community_probability=0.4,
+        background_probability=4.0 / num_vertices,
+        seed=11,
+    )
+    print(f"  n = {graph.num_vertices}, m = {graph.num_edges}, "
+          f"max degree = {graph.max_degree()}, degeneracy = {degeneracy(graph)}")
+
+    print("\nOrienting with Theorem 1.1 (simulated scalable MPC) ...")
+    run = orient(graph, seed=0)
+    orientation = run.orientation
+
+    worst_query = max(
+        adjacency_query_cost(orientation, u, v) for (u, v) in list(graph.edges)[:500]
+    )
+    table = Table("Edge-store sizing", ["metric", "value"])
+    table.add_row(["used Lemma 2.1 edge partitioning", run.used_edge_partitioning])
+    table.add_row(["edge-partition parts", run.num_parts])
+    table.add_row(["max edges owned by one vertex", run.max_outdegree])
+    table.add_row(["max degree (both-endpoint storage)", graph.max_degree()])
+    table.add_row(["worst adjacency-query probes (sampled)", worst_query])
+    table.add_row(["simulated MPC rounds", run.rounds])
+    table.print()
+
+    assert set(orientation.direction.keys()) == set(graph.edges)
+    print("Every edge is owned by exactly one endpoint and no vertex owns more than "
+          f"{run.max_outdegree} edges.")
+
+
+if __name__ == "__main__":
+    main()

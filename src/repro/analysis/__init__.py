@@ -1,0 +1,41 @@
+"""Analysis layer: claim validators, statistics and report tables."""
+
+from repro.analysis.reporting import Table
+from repro.analysis.stats import Summary, geometric_mean, growth_exponent, ratio_series, summarize
+from repro.analysis.validators import (
+    ValidationError,
+    ValidationReport,
+    check_all,
+    validate_coloring_quality,
+    validate_global_memory,
+    validate_hpartition_out_degree,
+    validate_layer_decay,
+    validate_local_memory,
+    validate_orientation_quality,
+    validate_partial_assignment,
+    validate_round_complexity,
+    validate_tree_budget,
+    validate_tree_mappings,
+)
+
+__all__ = [
+    "Summary",
+    "Table",
+    "ValidationError",
+    "ValidationReport",
+    "check_all",
+    "geometric_mean",
+    "growth_exponent",
+    "ratio_series",
+    "summarize",
+    "validate_coloring_quality",
+    "validate_global_memory",
+    "validate_hpartition_out_degree",
+    "validate_layer_decay",
+    "validate_local_memory",
+    "validate_orientation_quality",
+    "validate_partial_assignment",
+    "validate_round_complexity",
+    "validate_tree_budget",
+    "validate_tree_mappings",
+]

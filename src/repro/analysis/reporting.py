@@ -1,0 +1,69 @@
+"""Rendering experiment results as ASCII / Markdown tables.
+
+The benchmark harness prints the same rows that EXPERIMENTS.md records, so the
+documented numbers can be regenerated with a single command.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Table:
+    """A simple column-ordered table of result rows."""
+
+    title: str
+    columns: list[str]
+    rows: list[list[str]] = field(default_factory=list)
+
+    def add_row(self, values: Mapping[str, object] | Sequence[object]) -> None:
+        """Append a row given as a mapping (by column name) or a sequence."""
+        if isinstance(values, Mapping):
+            row = [self._format(values.get(column, "")) for column in self.columns]
+        else:
+            if len(values) != len(self.columns):
+                raise ValueError(
+                    f"row has {len(values)} entries but the table has {len(self.columns)} columns"
+                )
+            row = [self._format(value) for value in values]
+        self.rows.append(row)
+
+    @staticmethod
+    def _format(value: object) -> str:
+        if isinstance(value, float):
+            if value == int(value) and abs(value) < 1e15:
+                return str(int(value))
+            return f"{value:.3f}"
+        return str(value)
+
+    # ------------------------------------------------------------------ #
+
+    def to_markdown(self) -> str:
+        """GitHub-flavoured Markdown rendering."""
+        lines = [f"### {self.title}", ""]
+        lines.append("| " + " | ".join(self.columns) + " |")
+        lines.append("|" + "|".join("---" for _ in self.columns) + "|")
+        for row in self.rows:
+            lines.append("| " + " | ".join(row) + " |")
+        return "\n".join(lines)
+
+    def to_ascii(self) -> str:
+        """Fixed-width plain-text rendering for terminal output."""
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+        def render_row(cells: Sequence[str]) -> str:
+            return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+        lines = [self.title, render_row(self.columns), render_row(["-" * w for w in widths])]
+        lines.extend(render_row(row) for row in self.rows)
+        return "\n".join(lines)
+
+    def print(self) -> None:
+        """Print the ASCII rendering (used by the benchmark harness)."""
+        print()
+        print(self.to_ascii())
+        print()

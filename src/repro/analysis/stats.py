@@ -1,0 +1,87 @@
+"""Small statistics helpers used by the experiment harness and reports."""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-ish summary of a sample."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+
+    def as_dict(self) -> dict[str, float]:
+        """Flat dictionary for table rows."""
+        return {
+            "count": float(self.count),
+            "mean": self.mean,
+            "std": self.std,
+            "min": self.minimum,
+            "max": self.maximum,
+        }
+
+
+def summarize(values: Iterable[float]) -> Summary:
+    """Mean / std / min / max of a sample (std 0.0 for fewer than two points)."""
+    data = [float(v) for v in values]
+    if not data:
+        return Summary(count=0, mean=0.0, std=0.0, minimum=0.0, maximum=0.0)
+    mean = sum(data) / len(data)
+    if len(data) > 1:
+        variance = sum((v - mean) ** 2 for v in data) / (len(data) - 1)
+    else:
+        variance = 0.0
+    return Summary(
+        count=len(data),
+        mean=mean,
+        std=math.sqrt(variance),
+        minimum=min(data),
+        maximum=max(data),
+    )
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values (0.0 for an empty sample)."""
+    data = [float(v) for v in values if v > 0]
+    if not data:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in data) / len(data))
+
+
+def ratio_series(numerators: Sequence[float], denominators: Sequence[float]) -> list[float]:
+    """Element-wise ratios, skipping zero denominators."""
+    ratios: list[float] = []
+    for num, den in zip(numerators, denominators):
+        if den != 0:
+            ratios.append(num / den)
+    return ratios
+
+
+def growth_exponent(sizes: Sequence[float], values: Sequence[float]) -> float:
+    """Least-squares slope of log(value) against log(size).
+
+    Used to characterise round-count growth: a LOCAL-style baseline shows an
+    exponent near the slope of ``log log n`` vs ``log n`` (≈ sub-linear but
+    clearly positive), whereas a poly(log log n) algorithm's fitted exponent
+    over the same range is close to zero.
+    """
+    points = [
+        (math.log(s), math.log(v))
+        for s, v in zip(sizes, values)
+        if s > 0 and v > 0
+    ]
+    if len(points) < 2:
+        return 0.0
+    mean_x = sum(x for x, _ in points) / len(points)
+    mean_y = sum(y for _, y in points) / len(points)
+    denom = sum((x - mean_x) ** 2 for x, _ in points)
+    if denom == 0:
+        return 0.0
+    return sum((x - mean_x) * (y - mean_y) for x, y in points) / denom

@@ -1,0 +1,18 @@
+"""Prior-work baselines used by the experiment suite."""
+
+from repro.baselines.be_mpc import BEMpcResult, barenboim_elkin_in_mpc
+from repro.baselines.forest import ForestResult, forest_orient_and_color
+from repro.baselines.glm19 import GLM19Result, glm19_orientation, phase_length_for
+from repro.baselines.greedy import degeneracy_order_coloring, greedy_delta_coloring
+
+__all__ = [
+    "BEMpcResult",
+    "ForestResult",
+    "GLM19Result",
+    "barenboim_elkin_in_mpc",
+    "degeneracy_order_coloring",
+    "forest_orient_and_color",
+    "glm19_orientation",
+    "greedy_delta_coloring",
+    "phase_length_for",
+]

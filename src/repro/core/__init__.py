@@ -1,0 +1,89 @@
+"""The paper's core algorithms (Sections 2–4)."""
+
+from repro.core.assign_tree import TreeLayerAssignment, partial_layer_assignment_tree
+from repro.core.coloring import ColoringRun, color, coloring_palette_bound
+from repro.core.coreness import (
+    CorenessResult,
+    approximate_coreness,
+    densest_subgraph_from_coreness,
+    exact_coreness,
+    geometric_guesses,
+)
+from repro.core.directed_expo import ReachabilityResult, directed_reachability
+from repro.core.exponentiate import ExponentiationResult, exponentiate_and_local_prune
+from repro.core.full_assignment import (
+    LayerAssignmentRun,
+    complete_layer_assignment,
+    iterated_partial_assignment,
+)
+from repro.core.layering import (
+    UNASSIGNED,
+    PartialLayerAssignment,
+    enumerate_strictly_increasing_paths,
+    lemma_2_4_upper_bound,
+    num_paths_in,
+    num_paths_out,
+)
+from repro.core.orientation import OrientationRun, orient, orientation_outdegree_bound
+from repro.core.parameters import Parameters, choose_parameters, loglog
+from repro.core.partial_assignment import (
+    DecayingAssignmentResult,
+    PartialAssignmentResult,
+    partial_assignment_with_decay,
+    partial_layer_assignment,
+)
+from repro.core.partitioning import (
+    EdgePartition,
+    VertexPartition,
+    number_of_parts,
+    random_edge_partition,
+    random_vertex_partition,
+)
+from repro.core.prune import PruneOutcome, local_prune, prune_and_report
+from repro.core.tree_view import TreeView, TreeViewError
+
+__all__ = [
+    "ColoringRun",
+    "CorenessResult",
+    "DecayingAssignmentResult",
+    "EdgePartition",
+    "ExponentiationResult",
+    "LayerAssignmentRun",
+    "OrientationRun",
+    "Parameters",
+    "PartialAssignmentResult",
+    "PartialLayerAssignment",
+    "PruneOutcome",
+    "ReachabilityResult",
+    "TreeLayerAssignment",
+    "TreeView",
+    "TreeViewError",
+    "UNASSIGNED",
+    "VertexPartition",
+    "approximate_coreness",
+    "choose_parameters",
+    "color",
+    "coloring_palette_bound",
+    "complete_layer_assignment",
+    "densest_subgraph_from_coreness",
+    "exact_coreness",
+    "geometric_guesses",
+    "directed_reachability",
+    "enumerate_strictly_increasing_paths",
+    "exponentiate_and_local_prune",
+    "iterated_partial_assignment",
+    "lemma_2_4_upper_bound",
+    "local_prune",
+    "loglog",
+    "num_paths_in",
+    "num_paths_out",
+    "number_of_parts",
+    "orient",
+    "orientation_outdegree_bound",
+    "partial_assignment_with_decay",
+    "partial_layer_assignment",
+    "partial_layer_assignment_tree",
+    "prune_and_report",
+    "random_edge_partition",
+    "random_vertex_partition",
+]

@@ -1,0 +1,115 @@
+"""Algorithm 3 — ``PartialLayerAssignmentTree``.
+
+Given the tree view ``T`` of a vertex (with its valid mapping into ``G``) and
+a per-node missing-neighbor count, the algorithm peels the *tree* in ``L``
+iterations: in iteration ``j`` every still-unassigned tree node ``x`` whose
+number of still-unassigned children plus ``|Missing(x)|`` is at most ``a``
+receives layer ``j``.  Nodes that survive all ``L`` iterations get ``∞``.
+
+The paper's guarantees:
+
+* **Lemma 3.8** — for every strictly-monotonically-reachable node ``x``,
+  ``ℓ_T(x) ≤ ℓ_G(map(x))`` (with ``a ≥ d + missing``); in particular the root
+  gets a layer at most its "true" layer.
+* **Lemma 3.10** — projecting the tree layers back to graph vertices by
+  taking minima yields out-degree at most ``a``.
+
+This procedure is executed locally on the machine holding the tree (no
+communication), which is why the MPC wrapper only charges local computation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.tree_view import TreeView
+from repro.errors import ParameterError
+from repro.graph.graph import Graph
+
+INFINITE_LAYER = math.inf
+
+
+@dataclass(frozen=True)
+class TreeLayerAssignment:
+    """Layer assignment ``ℓ_T : V(T) -> [L] ∪ {∞}`` produced by Algorithm 3."""
+
+    tree: TreeView
+    layer_of_node: tuple[float, ...]
+    num_layers: int
+    out_degree_parameter: int
+
+    def layer(self, node: int) -> float:
+        """Layer of a tree node (``math.inf`` for ``∞``)."""
+        return self.layer_of_node[node]
+
+    def vertex_layers(self) -> dict[int, float]:
+        """Per graph-vertex minimum layer over all tree nodes mapping to it.
+
+        This is the projection step used by Algorithm 4 (and Lemma 3.10): a
+        vertex inherits the smallest layer any of its occurrences received.
+        """
+        best: dict[int, float] = {}
+        for node in self.tree.nodes():
+            vertex = self.tree.map(node)
+            layer = self.layer_of_node[node]
+            if vertex not in best or layer < best[vertex]:
+                best[vertex] = layer
+        return best
+
+
+def partial_layer_assignment_tree(
+    graph: Graph,
+    tree: TreeView,
+    out_degree_parameter: int,
+    num_layers: int,
+) -> TreeLayerAssignment:
+    """Run Algorithm 3 on a single tree view.
+
+    Parameters
+    ----------
+    graph:
+        The underlying graph (needed for the missing-neighbor counts).
+    tree:
+        The tree view with a valid mapping whose layers we compute.
+    out_degree_parameter:
+        The threshold ``a``; the paper sets ``a = (s + 1)·k``.
+    num_layers:
+        The number of peeling iterations ``L``.
+    """
+    if out_degree_parameter < 0:
+        raise ParameterError("the out-degree parameter a must be non-negative")
+    if num_layers < 1:
+        raise ParameterError("num_layers must be at least 1")
+
+    missing = [tree.missing_count(graph, node) for node in tree.nodes()]
+    layer_of: list[float] = [INFINITE_LAYER] * tree.num_nodes
+    # unassigned_children[x] = number of children of x that are still in V_{≥ j}.
+    unassigned_children = [len(tree.children[node]) for node in tree.nodes()]
+    unassigned = set(tree.nodes())
+
+    for layer in range(1, num_layers + 1):
+        selected = [
+            node
+            for node in unassigned
+            if unassigned_children[node] + missing[node] <= out_degree_parameter
+        ]
+        if not selected:
+            # No node qualifies; later iterations cannot change that because
+            # the quantities only shrink when nodes are removed — but removal
+            # happens only via selection, so we can stop early.
+            break
+        for node in selected:
+            layer_of[node] = layer
+            unassigned.discard(node)
+        for node in selected:
+            parent = tree.parent[node]
+            if parent >= 0:
+                unassigned_children[parent] -= 1
+
+    return TreeLayerAssignment(
+        tree=tree,
+        layer_of_node=tuple(layer_of),
+        num_layers=num_layers,
+        out_degree_parameter=out_degree_parameter,
+    )

@@ -1,0 +1,179 @@
+"""Density / coreness decomposition on top of the orientation pipeline.
+
+The paper notes (footnote 2) that [GLM19] state their result for *coreness
+decomposition*, obtained "by simply running the algorithm for every
+``k = (1+ε)^i`` coreness/arboricity estimate in parallel".  This module
+reproduces that application on top of our Theorem 1.1 machinery:
+
+* :func:`approximate_coreness` — for every guess ``k_i = ⌈(1+ε)^i⌉`` run the
+  peel-to-layer pipeline restricted to that guess; a vertex's coreness
+  estimate is the smallest guess at which it gets peeled.  The result is a
+  per-vertex value within a constant factor of the true coreness (our
+  validator checks the factor explicitly against the exact values).
+* :func:`exact_coreness` — the classical centralised algorithm (bucket
+  peeling), used as ground truth by the tests and the ablation benchmark.
+* :func:`densest_subgraph_from_coreness` — the standard 2-approximation of the
+  densest subgraph read off the largest-coreness core, which downstream users
+  typically want next.
+
+Because all guesses run "in parallel" in the MPC model, the round cost charged
+is the maximum over guesses plus a constant for combining, and the global
+memory cost is the sum — matching how the paper accounts for the same trick in
+Theorem 1.1's proof.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import ParameterError
+from repro.graph.arboricity import degeneracy_ordering
+from repro.graph.graph import Graph
+from repro.mpc.cluster import MPCCluster
+from repro.mpc.config import MPCConfig
+
+
+def exact_coreness(graph: Graph) -> dict[int, int]:
+    """Exact core numbers via the classical peeling algorithm (ground truth)."""
+    _order, cores, _d = degeneracy_ordering(graph)
+    return {v: cores[v] for v in graph.vertices}
+
+
+@dataclass
+class CorenessResult:
+    """Output of the guess-in-parallel approximate coreness decomposition."""
+
+    estimates: dict[int, int]
+    guesses: list[int]
+    rounds: int
+    epsilon: float
+    cluster: MPCCluster | None = None
+    per_guess_peeled: dict[int, int] = field(default_factory=dict)
+
+    def max_estimate(self) -> int:
+        """Largest coreness estimate (an O(1)-approximation of the degeneracy)."""
+        return max(self.estimates.values(), default=0)
+
+    def core(self, threshold: int) -> list[int]:
+        """Vertices whose estimated coreness is at least ``threshold``."""
+        return [v for v, value in self.estimates.items() if value >= threshold]
+
+
+def geometric_guesses(upper_bound: int, epsilon: float) -> list[int]:
+    """The guess ladder ``⌈(1+ε)^i⌉`` up to ``upper_bound`` (deduplicated, sorted)."""
+    if upper_bound < 1:
+        return [1]
+    guesses: list[int] = []
+    value = 1.0
+    while value < upper_bound * (1 + epsilon):
+        guess = int(math.ceil(value))
+        if not guesses or guess > guesses[-1]:
+            guesses.append(guess)
+        value *= 1 + epsilon
+    if guesses[-1] < upper_bound:
+        guesses.append(upper_bound)
+    return guesses
+
+
+def approximate_coreness(
+    graph: Graph,
+    epsilon: float = 0.5,
+    delta: float = 0.5,
+    cluster: MPCCluster | None = None,
+    rounds_per_guess: int | None = None,
+) -> CorenessResult:
+    """Estimate every vertex's coreness by running all ``(1+ε)^i`` guesses in parallel.
+
+    For each guess ``g`` the peeling process "remove vertices of remaining
+    degree ≤ 2g" is run to its fixed point (the iterations are what the MPC
+    pipeline compresses); a vertex's estimate is the smallest guess whose
+    peeling removes it, i.e. the smallest ``g`` such that the vertex lies
+    outside the ``(2g+1)``-core.  Consequently every estimate is within a
+    factor ``2(1+ε)`` of the exact core number (checked by the tests), the
+    same constant-factor regime as the coreness statement of [GLM19].
+
+    Round accounting: the guesses run concurrently on disjoint copies of the
+    input (an ``O(log n)``-factor global-memory premium, as in the paper), so
+    the charged rounds are the maximum over guesses plus one combining round.
+    """
+    if epsilon <= 0:
+        raise ParameterError("epsilon must be positive")
+    n = graph.num_vertices
+    if n == 0:
+        return CorenessResult(estimates={}, guesses=[], rounds=0, epsilon=epsilon)
+    if cluster is None:
+        cluster = MPCCluster(MPCConfig.for_graph(graph, delta=delta))
+
+    max_degree = graph.max_degree()
+    guesses = geometric_guesses(max(max_degree, 1), epsilon)
+    estimates: dict[int, int] = {}
+    per_guess_peeled: dict[int, int] = {}
+    max_rounds_used = 0
+
+    for guess in guesses:
+        threshold = 2 * guess
+        iterations = rounds_per_guess if rounds_per_guess is not None else n + 1
+        degree = list(graph.degrees)
+        removed = [False] * n
+        rounds_used = 0
+        peeled_total = 0
+        for _ in range(iterations):
+            peel = [v for v in range(n) if not removed[v] and degree[v] <= threshold]
+            if not peel:
+                break
+            rounds_used += 1
+            for v in peel:
+                removed[v] = True
+                if v not in estimates:
+                    estimates[v] = guess
+                    peeled_total += 1
+            for v in peel:
+                for w in graph.neighbors(v):
+                    if not removed[w]:
+                        degree[w] -= 1
+        per_guess_peeled[guess] = peeled_total
+        max_rounds_used = max(max_rounds_used, rounds_used)
+
+    # Vertices never peeled (cannot happen once the guess reaches max degree,
+    # but guard against rounding) get the largest guess.
+    for v in range(n):
+        estimates.setdefault(v, guesses[-1])
+
+    # All guesses run in parallel; charge the slowest one plus a combine round.
+    cluster.charge_rounds(max_rounds_used + 1, label="coreness:parallel-guesses")
+    return CorenessResult(
+        estimates=estimates,
+        guesses=guesses,
+        rounds=cluster.stats.num_rounds,
+        epsilon=epsilon,
+        cluster=cluster,
+        per_guess_peeled=per_guess_peeled,
+    )
+
+
+def densest_subgraph_from_coreness(
+    graph: Graph, result: CorenessResult
+) -> tuple[list[int], float]:
+    """The max-coreness core and its density — the classic 2-approximation.
+
+    The subgraph induced by the vertices of maximum (exact) coreness ``c`` has
+    minimum degree ≥ c, hence density ≥ c/2 ≥ α(G)/2·(1/(1+ε)) when ``c`` is
+    the approximate estimate; returns the core and its measured density.
+    """
+    if not result.estimates:
+        return [], 0.0
+    best_core: list[int] = []
+    best_density = 0.0
+    for threshold in sorted(set(result.estimates.values())):
+        core = result.core(threshold)
+        if len(core) < 2:
+            continue
+        induced = graph.induced_subgraph(core)
+        if induced.num_edges == 0:
+            continue
+        density = induced.num_edges / induced.num_vertices
+        if density > best_density:
+            best_density = density
+            best_core = core
+    return best_core, best_density

@@ -1,0 +1,254 @@
+"""Partial layer assignments, their combination and path counts.
+
+Implements Section 2.1 of the paper:
+
+* Definition 2.1 — a *partial layer assignment* ``ℓ : V -> [L] ∪ {∞}`` with
+  out-degree ``d``: every assigned vertex has at most ``d`` neighbors in the
+  same or a higher layer (unassigned = ``∞`` counts as higher).
+* Claim 2.3 — the pointwise minimum of two partial layer assignments with the
+  same ``L`` and ``d`` is again a partial layer assignment with those
+  parameters.
+* Definition 2.2 / Lemma 2.4 — strictly increasing paths and the per-vertex
+  path counts ``NumPathsIn`` / ``NumPathsOut``; the total is at most
+  ``n · d^L`` for a complete assignment with out-degree ``d``.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping
+from dataclasses import dataclass
+
+from repro.errors import InvalidLayeringError
+from repro.graph.graph import Graph
+
+UNASSIGNED = math.inf
+"""Sentinel layer value for unassigned vertices (the paper's ``∞``)."""
+
+
+@dataclass(frozen=True)
+class PartialLayerAssignment:
+    """A partial layer assignment ``ℓ : V(G) -> [L] ∪ {∞}`` (Definition 2.1).
+
+    ``layer_of[v]`` is either an integer in ``1..num_layers`` or
+    :data:`UNASSIGNED`.  The declared ``out_degree`` is the bound ``d`` the
+    assignment promises; :meth:`validate` checks the promise.
+    """
+
+    graph: Graph
+    layer_of: Mapping[int, float]
+    num_layers: int
+    out_degree: int
+
+    def __post_init__(self) -> None:
+        for v in self.graph.vertices:
+            value = self.layer_of.get(v, None)
+            if value is None:
+                raise InvalidLayeringError(f"vertex {v} has no layer entry (use UNASSIGNED)")
+            if value != UNASSIGNED and not (1 <= value <= self.num_layers):
+                raise InvalidLayeringError(
+                    f"vertex {v} has layer {value} outside 1..{self.num_layers}"
+                )
+
+    # ------------------------------------------------------------------ #
+
+    def layer(self, v: int) -> float:
+        """Layer of ``v`` (``UNASSIGNED`` if not assigned)."""
+        return self.layer_of[v]
+
+    def is_assigned(self, v: int) -> bool:
+        """Whether ``v`` has a finite layer."""
+        return self.layer_of[v] != UNASSIGNED
+
+    def assigned_vertices(self) -> list[int]:
+        """All vertices with a finite layer."""
+        return [v for v in self.graph.vertices if self.is_assigned(v)]
+
+    def unassigned_vertices(self) -> list[int]:
+        """All vertices with layer ``∞``."""
+        return [v for v in self.graph.vertices if not self.is_assigned(v)]
+
+    def higher_or_equal_neighbors(self, v: int) -> list[int]:
+        """Neighbors ``u`` of ``v`` with ``ℓ(u) ≥ ℓ(v)`` (the out-degree set)."""
+        mine = self.layer_of[v]
+        return [u for u in self.graph.neighbors(v) if self.layer_of[u] >= mine]
+
+    def observed_out_degree(self, v: int) -> int:
+        """``|{u ∈ N(v) : ℓ(u) ≥ ℓ(v)}|`` for an assigned vertex ``v``."""
+        return len(self.higher_or_equal_neighbors(v))
+
+    def max_observed_out_degree(self) -> int:
+        """Maximum out-degree over assigned vertices (0 if nothing is assigned)."""
+        return max(
+            (self.observed_out_degree(v) for v in self.graph.vertices if self.is_assigned(v)),
+            default=0,
+        )
+
+    def validate(self) -> None:
+        """Raise unless every assigned vertex respects the declared out-degree bound.
+
+        This is exactly Definition 2.1's condition.
+        """
+        for v in self.graph.vertices:
+            if not self.is_assigned(v):
+                continue
+            observed = self.observed_out_degree(v)
+            if observed > self.out_degree:
+                raise InvalidLayeringError(
+                    f"vertex {v} (layer {self.layer_of[v]}) has {observed} neighbors in "
+                    f"layers ≥ its own, exceeding the declared bound {self.out_degree}"
+                )
+
+    def fraction_assigned(self) -> float:
+        """Fraction of vertices with a finite layer."""
+        n = self.graph.num_vertices
+        if n == 0:
+            return 1.0
+        return len(self.assigned_vertices()) / n
+
+    # ------------------------------------------------------------------ #
+    # Claim 2.3
+    # ------------------------------------------------------------------ #
+
+    def combine_min(self, other: "PartialLayerAssignment") -> "PartialLayerAssignment":
+        """Pointwise minimum of two partial layer assignments (Claim 2.3).
+
+        Both assignments must be over the same graph and declare the same
+        ``L`` and ``d``; the result declares the same parameters and is again
+        valid (Claim 2.3's statement, verified by the property tests).
+        """
+        if other.graph is not self.graph and other.graph != self.graph:
+            raise InvalidLayeringError("cannot combine assignments over different graphs")
+        if other.num_layers != self.num_layers or other.out_degree != self.out_degree:
+            raise InvalidLayeringError(
+                "cannot combine assignments with different (L, d) parameters"
+            )
+        combined = {
+            v: min(self.layer_of[v], other.layer_of[v]) for v in self.graph.vertices
+        }
+        return PartialLayerAssignment(
+            graph=self.graph,
+            layer_of=combined,
+            num_layers=self.num_layers,
+            out_degree=self.out_degree,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def fully_unassigned(cls, graph: Graph, num_layers: int, out_degree: int) -> "PartialLayerAssignment":
+        """The trivial assignment mapping every vertex to ``∞``."""
+        return cls(
+            graph=graph,
+            layer_of={v: UNASSIGNED for v in graph.vertices},
+            num_layers=num_layers,
+            out_degree=out_degree,
+        )
+
+    @classmethod
+    def from_peeling(cls, graph: Graph, threshold: int, num_layers: int | None = None) -> "PartialLayerAssignment":
+        """The auxiliary complete assignment ``ℓ_G`` of Lemma 3.13.
+
+        Peel vertices of remaining degree ≤ ``threshold`` iteratively; the
+        iteration index is the layer.  Any vertices that survive all
+        iterations (possible only when the threshold is below 2λ) stay ``∞``.
+        """
+        n = graph.num_vertices
+        degree = list(graph.degrees)
+        removed = [False] * n
+        layer_of: dict[int, float] = {v: UNASSIGNED for v in range(n)}
+        current_layer = 1
+        remaining = n
+        while remaining > 0 and (num_layers is None or current_layer <= num_layers):
+            peel = [v for v in range(n) if not removed[v] and degree[v] <= threshold]
+            if not peel:
+                break
+            for v in peel:
+                layer_of[v] = current_layer
+                removed[v] = True
+            remaining -= len(peel)
+            for v in peel:
+                for w in graph.neighbors(v):
+                    if not removed[w]:
+                        degree[w] -= 1
+            current_layer += 1
+        deepest = current_layer if num_layers is None else num_layers
+        return cls(
+            graph=graph,
+            layer_of=layer_of,
+            num_layers=max(deepest, 1),
+            out_degree=threshold,
+        )
+
+
+# --------------------------------------------------------------------------- #
+# Definition 2.2 / Lemma 2.4: strictly increasing path counts
+# --------------------------------------------------------------------------- #
+
+
+def num_paths_in(assignment: PartialLayerAssignment) -> dict[int, int]:
+    """``NumPathsIn(v)``: strictly increasing paths (w.r.t. ℓ) ending at ``v``.
+
+    A path ``(v_1, ..., v_k)`` is strictly increasing if
+    ``ℓ(v_1) < ℓ(v_2) < ... < ℓ(v_k) < ∞``; the single-vertex path counts, so
+    every assigned vertex has ``NumPathsIn ≥ 1`` and unassigned vertices have 0.
+
+    Computed by dynamic programming over vertices in increasing layer order:
+    ``NumPathsIn(v) = 1 + Σ_{u ∈ N(v), ℓ(u) < ℓ(v)} NumPathsIn(u)``.
+    """
+    graph = assignment.graph
+    counts: dict[int, int] = {v: 0 for v in graph.vertices}
+    assigned = [v for v in graph.vertices if assignment.is_assigned(v)]
+    for v in sorted(assigned, key=lambda u: assignment.layer(u)):
+        total = 1
+        for u in graph.neighbors(v):
+            if assignment.is_assigned(u) and assignment.layer(u) < assignment.layer(v):
+                total += counts[u]
+        counts[v] = total
+    return counts
+
+
+def num_paths_out(assignment: PartialLayerAssignment) -> dict[int, int]:
+    """``NumPathsOut(v)``: strictly increasing paths (w.r.t. ℓ) starting at ``v``."""
+    graph = assignment.graph
+    counts: dict[int, int] = {v: 0 for v in graph.vertices}
+    assigned = [v for v in graph.vertices if assignment.is_assigned(v)]
+    for v in sorted(assigned, key=lambda u: assignment.layer(u), reverse=True):
+        total = 1
+        for u in graph.neighbors(v):
+            if assignment.is_assigned(u) and assignment.layer(u) > assignment.layer(v):
+                total += counts[u]
+        counts[v] = total
+    return counts
+
+
+def lemma_2_4_upper_bound(assignment: PartialLayerAssignment) -> int:
+    """The right-hand side ``|V| · Σ_{j<L} d^j ≤ |V| · d^L`` of Lemma 2.4."""
+    d = max(assignment.out_degree, 2)
+    total_per_vertex = sum(d**j for j in range(assignment.num_layers))
+    return assignment.graph.num_vertices * total_per_vertex
+
+
+def enumerate_strictly_increasing_paths(
+    assignment: PartialLayerAssignment, start: int, limit: int = 1_000_000
+) -> list[list[int]]:
+    """Explicitly enumerate strictly increasing paths starting at ``start``.
+
+    Exponential in the worst case — used only by tests on small graphs to
+    cross-check the dynamic programs above.
+    """
+    graph = assignment.graph
+    if not assignment.is_assigned(start):
+        return []
+    paths: list[list[int]] = []
+    stack: list[list[int]] = [[start]]
+    while stack and len(paths) < limit:
+        path = stack.pop()
+        paths.append(path)
+        tail = path[-1]
+        for u in graph.neighbors(tail):
+            if assignment.is_assigned(u) and assignment.layer(u) > assignment.layer(tail):
+                stack.append(path + [u])
+    return paths

@@ -1,0 +1,81 @@
+"""Exception hierarchy for the ``repro`` package.
+
+All errors raised by this library derive from :class:`ReproError`, so callers
+can catch the whole family with a single ``except`` clause.  The MPC simulator
+raises dedicated subclasses when the paper's resource constraints are violated
+(local memory, per-round communication, or global memory), which lets the test
+suite assert that the algorithms respect the model rather than merely claiming
+so in documentation.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class GraphError(ReproError):
+    """Raised for malformed graph inputs (bad vertex ids, duplicate edges...)."""
+
+
+class InvalidOrientationError(ReproError):
+    """Raised when an orientation does not cover the edge set or is malformed."""
+
+
+class InvalidColoringError(ReproError):
+    """Raised when a coloring is not proper or misses vertices."""
+
+
+class InvalidLayeringError(ReproError):
+    """Raised when a layer assignment violates its declared out-degree bound."""
+
+
+class ParameterError(ReproError):
+    """Raised when algorithm parameters violate the paper's preconditions."""
+
+
+class MPCModelError(ReproError):
+    """Base class for violations of the MPC model constraints."""
+
+
+class MemoryLimitExceeded(MPCModelError):
+    """A machine exceeded its local memory capacity ``S`` (in words)."""
+
+    def __init__(self, machine_id: int, used_words: int, capacity_words: int) -> None:
+        self.machine_id = machine_id
+        self.used_words = used_words
+        self.capacity_words = capacity_words
+        super().__init__(
+            f"machine {machine_id} used {used_words} words, "
+            f"exceeding its capacity of {capacity_words} words"
+        )
+
+
+class CommunicationLimitExceeded(MPCModelError):
+    """A machine sent or received more than ``S`` words in a single round."""
+
+    def __init__(self, machine_id: int, direction: str, volume_words: int, capacity_words: int) -> None:
+        self.machine_id = machine_id
+        self.direction = direction
+        self.volume_words = volume_words
+        self.capacity_words = capacity_words
+        super().__init__(
+            f"machine {machine_id} {direction} {volume_words} words in one round, "
+            f"exceeding the per-round cap of {capacity_words} words"
+        )
+
+
+class GlobalMemoryExceeded(MPCModelError):
+    """The total memory across all machines exceeded the configured budget."""
+
+    def __init__(self, used_words: int, budget_words: int) -> None:
+        self.used_words = used_words
+        self.budget_words = budget_words
+        super().__init__(
+            f"global memory use of {used_words} words exceeds the budget of {budget_words} words"
+        )
+
+
+class SimulationError(ReproError):
+    """Raised when the simulator is driven through an invalid sequence of calls."""

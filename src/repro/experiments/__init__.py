@@ -1,0 +1,35 @@
+"""Experiment definitions, workloads and the measurement harness."""
+
+from repro.experiments.harness import (
+    ExperimentRow,
+    run_coloring_experiment,
+    run_orientation_experiment,
+    run_round_scaling_experiment,
+    sweep,
+)
+from repro.experiments.registry import ExperimentSpec, all_experiments, get_experiment
+from repro.experiments.workloads import (
+    Workload,
+    dense_sweep,
+    forests_sweep,
+    power_law_sweep,
+    standard_suite,
+    union_forest_sweep,
+)
+
+__all__ = [
+    "ExperimentRow",
+    "ExperimentSpec",
+    "Workload",
+    "all_experiments",
+    "dense_sweep",
+    "forests_sweep",
+    "get_experiment",
+    "power_law_sweep",
+    "run_coloring_experiment",
+    "run_orientation_experiment",
+    "run_round_scaling_experiment",
+    "standard_suite",
+    "sweep",
+    "union_forest_sweep",
+]

@@ -1,0 +1,125 @@
+"""Experiment registry — the per-experiment index of DESIGN.md, in code.
+
+Each entry names an experiment (E1–E7), the claim it reproduces, the workloads
+it sweeps, and the benchmark module that regenerates its table.  The benchmark
+modules import :func:`get_experiment` so the definitions live in exactly one
+place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.experiments.workloads import (
+    Workload,
+    dense_sweep,
+    forests_sweep,
+    power_law_sweep,
+    standard_suite,
+    union_forest_sweep,
+)
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """Description of one experiment in the reproduction."""
+
+    experiment_id: str
+    claim: str
+    bench_module: str
+    workloads: tuple[Workload, ...]
+    notes: str = ""
+    columns: tuple[str, ...] = field(default_factory=tuple)
+
+
+def _e1_workloads() -> tuple[Workload, ...]:
+    return tuple(standard_suite(seed=1))
+
+
+def _e2_workloads() -> tuple[Workload, ...]:
+    return tuple(standard_suite(seed=2))
+
+
+def _e3_workloads() -> tuple[Workload, ...]:
+    return tuple(
+        union_forest_sweep(sizes=(256, 512, 1024, 2048, 4096), arboricities=(4,), seed=3)
+    )
+
+
+def _e4_workloads() -> tuple[Workload, ...]:
+    return tuple(dense_sweep(sizes=(400, 800), seed=4))
+
+
+def _e5_workloads() -> tuple[Workload, ...]:
+    return tuple(union_forest_sweep(sizes=(512, 2048), arboricities=(2, 4), seed=5))
+
+
+def _e6_workloads() -> tuple[Workload, ...]:
+    return tuple(union_forest_sweep(sizes=(256, 1024, 4096), arboricities=(4,), seed=6))
+
+
+def _e7_workloads() -> tuple[Workload, ...]:
+    return tuple(forests_sweep(sizes=(256, 1024, 4096), seed=7))
+
+
+_REGISTRY: dict[str, ExperimentSpec] = {
+    "E1": ExperimentSpec(
+        experiment_id="E1",
+        claim="Theorem 1.1: orientation with max outdegree O(λ log log n) in poly(log log n) rounds",
+        bench_module="benchmarks/bench_e1_orientation.py",
+        workloads=_e1_workloads(),
+        columns=("workload", "n", "m", "lambda_hi", "max_degree", "max_outdegree", "outdegree_bound", "rounds"),
+    ),
+    "E2": ExperimentSpec(
+        experiment_id="E2",
+        claim="Theorem 1.2: proper coloring with O(λ log log n) colors in poly(log log n) rounds",
+        bench_module="benchmarks/bench_e2_coloring.py",
+        workloads=_e2_workloads(),
+        columns=("workload", "n", "lambda_hi", "max_degree", "colors", "colors_bound", "greedy_delta_colors", "degeneracy_colors", "rounds"),
+    ),
+    "E3": ExperimentSpec(
+        experiment_id="E3",
+        claim="Round-complexity separation: ours (poly log log n) vs GLM19 (√log n) vs LOCAL-in-MPC (log n)",
+        bench_module="benchmarks/bench_e3_round_scaling.py",
+        workloads=_e3_workloads(),
+        columns=("workload", "n", "rounds_ours", "rounds_glm19", "rounds_local", "outdeg_ours", "outdeg_glm19", "outdeg_local"),
+    ),
+    "E4": ExperimentSpec(
+        experiment_id="E4",
+        claim="Lemmas 2.1/2.2: random edge/vertex partitioning reduces per-part arboricity to O(log n)",
+        bench_module="benchmarks/bench_e4_partitioning.py",
+        workloads=_e4_workloads(),
+        columns=("workload", "n", "lambda_hi", "parts", "max_part_arboricity_edges", "max_part_arboricity_vertices", "log_n_budget"),
+    ),
+    "E5": ExperimentSpec(
+        experiment_id="E5",
+        claim="Lemma 3.15: complete layering with out-degree O(k log log n) and geometric layer decay",
+        bench_module="benchmarks/bench_e5_layer_decay.py",
+        workloads=_e5_workloads(),
+        columns=("workload", "n", "k", "num_layers", "max_out_degree", "out_degree_bound", "decay_ok"),
+    ),
+    "E6": ExperimentSpec(
+        experiment_id="E6",
+        claim="Claims 3.5/3.11: local memory O(n^δ + B), global memory O(nB + m)",
+        bench_module="benchmarks/bench_e6_memory.py",
+        workloads=_e6_workloads(),
+        columns=("workload", "n", "S", "peak_machine_words", "local_bound", "peak_global_words", "global_bound"),
+    ),
+    "E7": ExperimentSpec(
+        experiment_id="E7",
+        claim="Forests (λ=1): general pipeline vs the forest-specialised baseline [GLM+23-style]",
+        bench_module="benchmarks/bench_e7_forests.py",
+        workloads=_e7_workloads(),
+        columns=("workload", "n", "outdeg_general", "outdeg_forest", "colors_general", "colors_forest", "rounds_general", "rounds_forest"),
+    ),
+}
+
+
+def get_experiment(experiment_id: str) -> ExperimentSpec:
+    """Look up an experiment by id (e.g. ``"E1"``)."""
+    return _REGISTRY[experiment_id]
+
+
+def all_experiments() -> list[ExperimentSpec]:
+    """All registered experiments, in id order."""
+    return [_REGISTRY[key] for key in sorted(_REGISTRY)]

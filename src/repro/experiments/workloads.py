@@ -1,0 +1,102 @@
+"""Named workloads for the experiment suite.
+
+A workload is a reproducible graph instance: a family name, a size, family
+parameters and a seed.  The experiment registry (:mod:`repro.experiments.registry`)
+combines workloads into sweeps; the benchmarks materialise them on demand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.graph import generators
+from repro.graph.graph import Graph
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A reproducible graph instance description."""
+
+    name: str
+    family: str
+    num_vertices: int
+    seed: int = 0
+    params: tuple[tuple[str, object], ...] = field(default_factory=tuple)
+
+    def materialize(self) -> Graph:
+        """Generate the graph described by this workload."""
+        return generators.generate(
+            self.family, self.num_vertices, seed=self.seed, **dict(self.params)
+        )
+
+    def describe(self) -> str:
+        """One-line description for tables."""
+        extras = ", ".join(f"{key}={value}" for key, value in self.params)
+        suffix = f" ({extras})" if extras else ""
+        return f"{self.family} n={self.num_vertices}{suffix}"
+
+
+def forests_sweep(sizes: tuple[int, ...] = (256, 512, 1024, 2048), seed: int = 0) -> list[Workload]:
+    """Random forests (λ = 1) across sizes."""
+    return [
+        Workload(name=f"forest-{n}", family="forest", num_vertices=n, seed=seed)
+        for n in sizes
+    ]
+
+
+def union_forest_sweep(
+    sizes: tuple[int, ...] = (256, 512, 1024, 2048),
+    arboricities: tuple[int, ...] = (2, 4, 8),
+    seed: int = 0,
+) -> list[Workload]:
+    """Union-of-forests graphs with planted arboricity across sizes."""
+    return [
+        Workload(
+            name=f"union-forests-{n}-lam{lam}",
+            family="union_forests",
+            num_vertices=n,
+            seed=seed + lam,
+            params=(("arboricity", lam),),
+        )
+        for n in sizes
+        for lam in arboricities
+    ]
+
+
+def power_law_sweep(
+    sizes: tuple[int, ...] = (512, 1024, 2048), seed: int = 0
+) -> list[Workload]:
+    """Chung–Lu power-law graphs (Δ ≫ λ regime)."""
+    return [
+        Workload(
+            name=f"power-law-{n}",
+            family="power_law",
+            num_vertices=n,
+            seed=seed,
+            params=(("exponent", 2.3), ("average_degree", 6.0)),
+        )
+        for n in sizes
+    ]
+
+
+def dense_sweep(sizes: tuple[int, ...] = (400, 800), seed: int = 0) -> list[Workload]:
+    """Planted dense subgraphs (λ ≫ log n regime exercising Lemmas 2.1/2.2)."""
+    return [
+        Workload(
+            name=f"planted-dense-{n}",
+            family="planted_dense",
+            num_vertices=n,
+            seed=seed,
+            params=(("community_size", max(n // 8, 20)), ("community_probability", 0.5)),
+        )
+        for n in sizes
+    ]
+
+
+def standard_suite(seed: int = 0) -> list[Workload]:
+    """The default mixed workload suite used by E1/E2."""
+    suite: list[Workload] = []
+    suite.extend(union_forest_sweep(sizes=(256, 1024), arboricities=(2, 4), seed=seed))
+    suite.extend(power_law_sweep(sizes=(1024,), seed=seed))
+    suite.extend(forests_sweep(sizes=(1024,), seed=seed))
+    return suite

@@ -1,0 +1,51 @@
+"""Graph substrate: graphs, generators, density estimation, result value objects."""
+
+from repro.graph.arboricity import (
+    ArboricityBounds,
+    arboricity_bounds,
+    arboricity_upper_bound,
+    degeneracy,
+    degeneracy_ordering,
+    densest_subgraph,
+    densest_subgraph_density,
+    greedy_peeling_layers,
+)
+from repro.graph.coloring import Coloring
+from repro.graph.graph import Edge, Graph, InducedSubgraph, normalize_edge
+from repro.graph.hpartition import HPartition
+from repro.graph.io import (
+    format_coloring,
+    format_layering,
+    format_orientation,
+    parse_edge_list,
+    read_edge_list,
+    write_edge_list,
+)
+from repro.graph.maxflow import FlowNetwork
+from repro.graph.orientation import Orientation, validate_outdegree_bound
+
+__all__ = [
+    "ArboricityBounds",
+    "Coloring",
+    "Edge",
+    "FlowNetwork",
+    "Graph",
+    "HPartition",
+    "InducedSubgraph",
+    "Orientation",
+    "arboricity_bounds",
+    "arboricity_upper_bound",
+    "degeneracy",
+    "degeneracy_ordering",
+    "densest_subgraph",
+    "densest_subgraph_density",
+    "format_coloring",
+    "format_layering",
+    "format_orientation",
+    "greedy_peeling_layers",
+    "normalize_edge",
+    "parse_edge_list",
+    "read_edge_list",
+    "validate_outdegree_bound",
+    "write_edge_list",
+]

@@ -1,0 +1,462 @@
+"""Random graph generators used by the workloads and tests.
+
+The paper motivates density-dependent orientation with graphs whose maximum
+degree Δ is much larger than the arboricity λ (stars, power-law graphs, web
+crawls, social networks).  The experiment harness therefore needs generators
+with *controllable arboricity*:
+
+* :func:`random_forest` and :func:`random_tree` — λ = 1 exactly.
+* :func:`union_of_random_forests` — λ ≤ t by construction (union of t forests,
+  Nash-Williams), and ≥ roughly t in expectation for dense-enough forests.
+  This is the primary workload of E1/E2/E5.
+* :func:`gnm_random_graph` / :func:`gnp_random_graph` — Erdős–Rényi; density
+  about m/n.
+* :func:`chung_lu_power_law` — heavy-tailed degrees with small arboricity; the
+  "star-like" regime where Δ ≫ λ that motivates the paper.
+* :func:`star`, :func:`complete_graph`, :func:`grid_2d`, :func:`cycle` —
+  deterministic extreme cases used by unit tests.
+* :func:`planted_dense_subgraph` — a sparse background with a planted dense
+  community, exercising the densest-subgraph machinery and Lemma 2.1/2.2.
+
+Every generator takes an explicit ``rng`` (``random.Random``) or ``seed`` so
+the benchmarks are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+
+from repro.errors import GraphError
+from repro.graph.graph import Edge, Graph, normalize_edge
+
+
+def _resolve_rng(rng: random.Random | None, seed: int | None) -> random.Random:
+    if rng is not None:
+        return rng
+    return random.Random(seed)
+
+
+# --------------------------------------------------------------------------- #
+# Deterministic families
+# --------------------------------------------------------------------------- #
+
+
+def star(num_leaves: int) -> Graph:
+    """A star with one center (vertex 0) and ``num_leaves`` leaves.
+
+    The canonical example where Δ = n - 1 but λ = 1: Δ-dependent coloring
+    wastes Θ(n) colors while density-dependent coloring needs O(1).
+    """
+    if num_leaves < 0:
+        raise GraphError("num_leaves must be non-negative")
+    edges = [(0, i) for i in range(1, num_leaves + 1)]
+    return Graph(num_leaves + 1, edges)
+
+
+def path(num_vertices: int) -> Graph:
+    """A simple path on ``num_vertices`` vertices."""
+    edges = [(i, i + 1) for i in range(num_vertices - 1)]
+    return Graph(num_vertices, edges)
+
+
+def cycle(num_vertices: int) -> Graph:
+    """A cycle on ``num_vertices ≥ 3`` vertices (λ = 2, degeneracy 2)."""
+    if num_vertices < 3:
+        raise GraphError("a cycle needs at least 3 vertices")
+    edges = [(i, (i + 1) % num_vertices) for i in range(num_vertices)]
+    return Graph(num_vertices, edges)
+
+
+def complete_graph(num_vertices: int) -> Graph:
+    """The complete graph K_n (λ = ⌈n/2⌉)."""
+    edges = [(i, j) for i in range(num_vertices) for j in range(i + 1, num_vertices)]
+    return Graph(num_vertices, edges)
+
+
+def complete_bipartite(left: int, right: int) -> Graph:
+    """The complete bipartite graph K_{left,right}."""
+    edges = [(i, left + j) for i in range(left) for j in range(right)]
+    return Graph(left + right, edges)
+
+
+def grid_2d(rows: int, cols: int) -> Graph:
+    """A rows × cols grid graph (λ = 2 for non-degenerate grids)."""
+    if rows <= 0 or cols <= 0:
+        raise GraphError("grid dimensions must be positive")
+
+    def vid(r: int, c: int) -> int:
+        return r * cols + c
+
+    edges: list[Edge] = []
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                edges.append((vid(r, c), vid(r, c + 1)))
+            if r + 1 < rows:
+                edges.append((vid(r, c), vid(r + 1, c)))
+    return Graph(rows * cols, edges)
+
+
+def complete_ary_tree(branching: int, num_vertices: int) -> Graph:
+    """A complete ``branching``-ary tree truncated at ``num_vertices`` vertices.
+
+    With ``branching ≥ (2+ε)·λ + 1`` this is the canonical *slow-peeling*
+    instance: the Barenboim–Elkin process removes exactly one level of the
+    tree per iteration, so the LOCAL baseline needs ``Θ(log_b n)`` rounds —
+    the separation workload of experiment E3.
+    """
+    if branching < 2:
+        raise GraphError("branching must be at least 2")
+    edges = [((i - 1) // branching, i) for i in range(1, num_vertices)]
+    return Graph(max(num_vertices, 1), edges)
+
+
+def deep_hierarchy(
+    num_vertices: int,
+    branching: int = 6,
+    extra_forests: int = 2,
+    rng: random.Random | None = None,
+    seed: int | None = None,
+) -> Graph:
+    """A complete b-ary tree overlaid with random forests (λ ≤ 1 + extra_forests).
+
+    Keeps the level-by-level peeling behaviour of :func:`complete_ary_tree`
+    while raising the arboricity above 1, so the workload is outside the
+    forest special case of [GLM+23].
+    """
+    rng = _resolve_rng(rng, seed)
+    base = complete_ary_tree(branching, num_vertices)
+    edge_set: set[Edge] = set(base.edges)
+    for _ in range(max(extra_forests, 0)):
+        order = list(range(num_vertices))
+        rng.shuffle(order)
+        for i in range(1, num_vertices):
+            parent = order[rng.randrange(i)]
+            edge_set.add(normalize_edge(parent, order[i]))
+    return Graph(num_vertices, edge_set)
+
+
+# --------------------------------------------------------------------------- #
+# Random trees and forests (λ = 1)
+# --------------------------------------------------------------------------- #
+
+
+def random_tree(num_vertices: int, rng: random.Random | None = None, seed: int | None = None) -> Graph:
+    """A uniformly random labelled tree via a random Prüfer-like attachment.
+
+    Each vertex ``i ≥ 1`` attaches to a uniformly random earlier vertex, which
+    produces a random recursive tree (not the uniform distribution over all
+    labelled trees, but with the right shape properties for our experiments:
+    depth Θ(log n), λ = 1).
+    """
+    rng = _resolve_rng(rng, seed)
+    if num_vertices <= 0:
+        return Graph(max(num_vertices, 0), ())
+    edges = [(rng.randrange(i), i) for i in range(1, num_vertices)]
+    return Graph(num_vertices, edges)
+
+
+def random_forest(
+    num_vertices: int,
+    num_trees: int = 1,
+    rng: random.Random | None = None,
+    seed: int | None = None,
+) -> Graph:
+    """A random forest on ``num_vertices`` vertices with ``num_trees`` components."""
+    rng = _resolve_rng(rng, seed)
+    if num_trees < 1 or num_trees > max(num_vertices, 1):
+        raise GraphError("num_trees must be between 1 and num_vertices")
+    # Assign vertices to trees, then build a random recursive tree inside each.
+    assignment = list(range(num_vertices))
+    rng.shuffle(assignment)
+    edges: list[Edge] = []
+    boundaries = [0]
+    base = num_vertices // num_trees
+    extra = num_vertices % num_trees
+    for t in range(num_trees):
+        size = base + (1 if t < extra else 0)
+        boundaries.append(boundaries[-1] + size)
+    for t in range(num_trees):
+        members = assignment[boundaries[t] : boundaries[t + 1]]
+        for i in range(1, len(members)):
+            parent = members[rng.randrange(i)]
+            edges.append(normalize_edge(parent, members[i]))
+    return Graph(num_vertices, edges)
+
+
+def union_of_random_forests(
+    num_vertices: int,
+    arboricity: int,
+    rng: random.Random | None = None,
+    seed: int | None = None,
+) -> Graph:
+    """A graph that is the union of ``arboricity`` random spanning forests.
+
+    By Nash-Williams, λ(G) ≤ ``arboricity`` exactly; with n ≫ arboricity the
+    density is close to ``arboricity`` as well, so this family gives tight
+    control over λ.  Duplicate edges across forests are simply dropped (which
+    can only lower λ).
+    """
+    rng = _resolve_rng(rng, seed)
+    if arboricity < 1:
+        raise GraphError("arboricity must be at least 1")
+    edge_set: set[Edge] = set()
+    for _ in range(arboricity):
+        order = list(range(num_vertices))
+        rng.shuffle(order)
+        for i in range(1, num_vertices):
+            parent = order[rng.randrange(i)]
+            edge_set.add(normalize_edge(parent, order[i]))
+    return Graph(num_vertices, edge_set)
+
+
+# --------------------------------------------------------------------------- #
+# Erdős–Rényi
+# --------------------------------------------------------------------------- #
+
+
+def gnp_random_graph(
+    num_vertices: int,
+    probability: float,
+    rng: random.Random | None = None,
+    seed: int | None = None,
+) -> Graph:
+    """G(n, p): every edge appears independently with probability ``p``.
+
+    Uses the skip-sampling technique so the running time is proportional to
+    the number of generated edges rather than n².
+    """
+    rng = _resolve_rng(rng, seed)
+    if not 0.0 <= probability <= 1.0:
+        raise GraphError("probability must lie in [0, 1]")
+    if probability == 0.0 or num_vertices < 2:
+        return Graph(max(num_vertices, 0), ())
+    if probability == 1.0:
+        return complete_graph(num_vertices)
+
+    import math
+
+    edges: list[Edge] = []
+    log_q = math.log(1.0 - probability)
+    v = 1
+    w = -1
+    while v < num_vertices:
+        r = rng.random()
+        w = w + 1 + int(math.floor(math.log(1.0 - r) / log_q))
+        while w >= v and v < num_vertices:
+            w -= v
+            v += 1
+        if v < num_vertices:
+            edges.append((w, v))
+    return Graph(num_vertices, edges)
+
+
+def gnm_random_graph(
+    num_vertices: int,
+    num_edges: int,
+    rng: random.Random | None = None,
+    seed: int | None = None,
+) -> Graph:
+    """G(n, m): ``num_edges`` distinct edges chosen uniformly at random."""
+    rng = _resolve_rng(rng, seed)
+    max_edges = num_vertices * (num_vertices - 1) // 2
+    if num_edges > max_edges:
+        raise GraphError(f"cannot place {num_edges} edges in a simple graph on {num_vertices} vertices")
+    edge_set: set[Edge] = set()
+    while len(edge_set) < num_edges:
+        u = rng.randrange(num_vertices)
+        v = rng.randrange(num_vertices)
+        if u == v:
+            continue
+        edge_set.add(normalize_edge(u, v))
+    return Graph(num_vertices, edge_set)
+
+
+# --------------------------------------------------------------------------- #
+# Power law / Chung-Lu
+# --------------------------------------------------------------------------- #
+
+
+def chung_lu_power_law(
+    num_vertices: int,
+    exponent: float = 2.5,
+    average_degree: float = 4.0,
+    rng: random.Random | None = None,
+    seed: int | None = None,
+) -> Graph:
+    """A Chung–Lu random graph with power-law expected degrees.
+
+    Vertex ``i`` gets weight ``w_i ∝ (i + i0)^{-1/(exponent-1)}`` scaled so the
+    average expected degree is ``average_degree``; edge ``{u, v}`` appears with
+    probability ``min(1, w_u w_v / W)``.  This family has a few very high
+    degree hubs (Δ = n^{Θ(1)}) while the arboricity stays polylogarithmic —
+    the regime where density-dependent bounds beat Δ-dependent ones.
+    """
+    rng = _resolve_rng(rng, seed)
+    if num_vertices == 0:
+        return Graph(0, ())
+    if exponent <= 1.0:
+        raise GraphError("exponent must be > 1")
+    gamma = 1.0 / (exponent - 1.0)
+    raw = [(i + 1.0) ** (-gamma) for i in range(num_vertices)]
+    scale = average_degree * num_vertices / sum(raw)
+    weights = [w * scale for w in raw]
+    total_weight = sum(weights)
+
+    edges: set[Edge] = set()
+    # For each vertex, sample its expected number of partners from the
+    # weight distribution; this gives the right degree sequence shape while
+    # staying near-linear time.
+    cumulative: list[float] = []
+    acc = 0.0
+    for w in weights:
+        acc += w
+        cumulative.append(acc)
+
+    def sample_partner() -> int:
+        target = rng.random() * total_weight
+        lo, hi = 0, num_vertices - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if cumulative[mid] < target:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    expected_edges = int(total_weight / 2.0)
+    for _ in range(expected_edges):
+        u = sample_partner()
+        v = sample_partner()
+        if u == v:
+            continue
+        edges.add(normalize_edge(u, v))
+    return Graph(num_vertices, edges)
+
+
+# --------------------------------------------------------------------------- #
+# Planted structure
+# --------------------------------------------------------------------------- #
+
+
+def planted_dense_subgraph(
+    num_vertices: int,
+    community_size: int,
+    community_probability: float = 0.5,
+    background_probability: float = 0.01,
+    rng: random.Random | None = None,
+    seed: int | None = None,
+) -> Graph:
+    """A sparse background graph with one dense planted community.
+
+    Vertices ``0 .. community_size-1`` form the community.  The arboricity is
+    dominated by the community (about ``community_size ·
+    community_probability / 2``), so this family produces λ ≫ log n inputs
+    exercising Lemma 2.1/2.2 and the large-λ branch of Theorems 1.1/1.2.
+    """
+    rng = _resolve_rng(rng, seed)
+    if community_size > num_vertices:
+        raise GraphError("community_size cannot exceed num_vertices")
+    edges: set[Edge] = set()
+    for u in range(community_size):
+        for v in range(u + 1, community_size):
+            if rng.random() < community_probability:
+                edges.add((u, v))
+    background = gnp_random_graph(num_vertices, background_probability, rng=rng)
+    edges.update(background.edges)
+    return Graph(num_vertices, edges)
+
+
+def bounded_degree_random_graph(
+    num_vertices: int,
+    degree: int,
+    rng: random.Random | None = None,
+    seed: int | None = None,
+) -> Graph:
+    """A random graph with maximum degree ≤ ``degree`` (greedy random matching rounds).
+
+    Built as the union of ``degree`` random perfect-matching attempts; useful
+    for tests that need Δ close to λ.
+    """
+    rng = _resolve_rng(rng, seed)
+    if degree < 0:
+        raise GraphError("degree must be non-negative")
+    edges: set[Edge] = set()
+    current_degree = [0] * num_vertices
+    for _ in range(degree):
+        order = list(range(num_vertices))
+        rng.shuffle(order)
+        for i in range(0, num_vertices - 1, 2):
+            u, v = order[i], order[i + 1]
+            if current_degree[u] < degree and current_degree[v] < degree:
+                e = normalize_edge(u, v)
+                if e not in edges:
+                    edges.add(e)
+                    current_degree[u] += 1
+                    current_degree[v] += 1
+    return Graph(num_vertices, edges)
+
+
+# --------------------------------------------------------------------------- #
+# Registry used by the experiment workloads
+# --------------------------------------------------------------------------- #
+
+
+def family_names() -> Sequence[str]:
+    """Names of generator families accepted by :func:`generate`."""
+    return (
+        "forest",
+        "union_forests",
+        "gnp",
+        "gnm",
+        "power_law",
+        "star",
+        "grid",
+        "planted_dense",
+        "ary_tree",
+        "deep_hierarchy",
+    )
+
+
+def generate(family: str, num_vertices: int, seed: int = 0, **kwargs) -> Graph:
+    """Generate a member of a named family; used by the experiment registry."""
+    rng = random.Random(seed)
+    if family == "forest":
+        return random_forest(num_vertices, kwargs.get("num_trees", 1), rng=rng)
+    if family == "union_forests":
+        return union_of_random_forests(num_vertices, kwargs.get("arboricity", 4), rng=rng)
+    if family == "gnp":
+        return gnp_random_graph(num_vertices, kwargs.get("probability", 8.0 / max(num_vertices, 1)), rng=rng)
+    if family == "gnm":
+        return gnm_random_graph(num_vertices, kwargs.get("num_edges", 4 * num_vertices), rng=rng)
+    if family == "power_law":
+        return chung_lu_power_law(
+            num_vertices,
+            exponent=kwargs.get("exponent", 2.5),
+            average_degree=kwargs.get("average_degree", 6.0),
+            rng=rng,
+        )
+    if family == "star":
+        return star(num_vertices - 1)
+    if family == "grid":
+        side = max(int(num_vertices**0.5), 1)
+        return grid_2d(side, side)
+    if family == "ary_tree":
+        return complete_ary_tree(kwargs.get("branching", 6), num_vertices)
+    if family == "deep_hierarchy":
+        return deep_hierarchy(
+            num_vertices,
+            branching=kwargs.get("branching", 8),
+            extra_forests=kwargs.get("extra_forests", 2),
+            rng=rng,
+        )
+    if family == "planted_dense":
+        return planted_dense_subgraph(
+            num_vertices,
+            community_size=kwargs.get("community_size", max(num_vertices // 10, 10)),
+            community_probability=kwargs.get("community_probability", 0.5),
+            background_probability=kwargs.get("background_probability", 2.0 / max(num_vertices, 1)),
+            rng=rng,
+        )
+    raise GraphError(f"unknown graph family {family!r}; known: {family_names()}")

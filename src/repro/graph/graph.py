@@ -1,0 +1,294 @@
+"""Immutable undirected graph used throughout the reproduction.
+
+The MPC and LOCAL simulators, the core algorithms of the paper, and the
+baselines all consume the same :class:`Graph` type defined here.  The class is
+intentionally small: vertices are integers ``0 .. n-1`` and the edge set is a
+set of unordered pairs.  All derived structures (adjacency lists, degrees) are
+computed once at construction time and never mutated afterwards, which keeps
+the simulators honest — an algorithm cannot "cheat" by editing the input in
+place; it must produce explicit outputs (orientations, colorings, layerings).
+
+The class stores adjacency as sorted tuples so iteration order is
+deterministic, which matters for reproducibility of the randomized algorithms
+(they consume randomness only through explicitly passed generators).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+from typing import Optional
+
+from repro.errors import GraphError
+
+Edge = tuple[int, int]
+
+
+def normalize_edge(u: int, v: int) -> Edge:
+    """Return the canonical (smaller, larger) representation of an edge.
+
+    Raises :class:`GraphError` for self loops, which none of the algorithms in
+    the paper support (a self loop has no meaningful orientation).
+    """
+    if u == v:
+        raise GraphError(f"self loop ({u}, {v}) is not allowed")
+    if u < v:
+        return (u, v)
+    return (v, u)
+
+
+class Graph:
+    """A finite, simple, undirected graph on vertices ``0 .. n-1``.
+
+    Parameters
+    ----------
+    num_vertices:
+        Number of vertices.  Vertices are identified with ``range(num_vertices)``.
+    edges:
+        Iterable of ``(u, v)`` pairs.  Each pair is normalised; duplicates and
+        reversed duplicates are rejected so the edge multiset is simple.
+
+    Notes
+    -----
+    The graph is immutable.  Algorithms that need to "remove" vertices or
+    edges (e.g. the peeling procedures of the paper) either track removed sets
+    externally or call :meth:`induced_subgraph` / :meth:`subgraph_without_vertices`
+    to obtain fresh graphs.
+    """
+
+    __slots__ = ("_n", "_edges", "_adjacency", "_degrees")
+
+    def __init__(self, num_vertices: int, edges: Iterable[Edge] = ()) -> None:
+        if num_vertices < 0:
+            raise GraphError("num_vertices must be non-negative")
+        self._n = int(num_vertices)
+
+        edge_set: set[Edge] = set()
+        adjacency: list[list[int]] = [[] for _ in range(self._n)]
+        for u, v in edges:
+            u = int(u)
+            v = int(v)
+            if not (0 <= u < self._n and 0 <= v < self._n):
+                raise GraphError(
+                    f"edge ({u}, {v}) references a vertex outside 0..{self._n - 1}"
+                )
+            e = normalize_edge(u, v)
+            if e in edge_set:
+                raise GraphError(f"duplicate edge {e}")
+            edge_set.add(e)
+            adjacency[e[0]].append(e[1])
+            adjacency[e[1]].append(e[0])
+
+        self._edges: tuple[Edge, ...] = tuple(sorted(edge_set))
+        self._adjacency: tuple[tuple[int, ...], ...] = tuple(
+            tuple(sorted(neighbors)) for neighbors in adjacency
+        )
+        self._degrees: tuple[int, ...] = tuple(len(a) for a in self._adjacency)
+
+    # ------------------------------------------------------------------ #
+    # Basic accessors
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices ``n``."""
+        return self._n
+
+    @property
+    def num_edges(self) -> int:
+        """Number of edges ``m``."""
+        return len(self._edges)
+
+    @property
+    def vertices(self) -> range:
+        """The vertex set, as a ``range`` object."""
+        return range(self._n)
+
+    @property
+    def edges(self) -> tuple[Edge, ...]:
+        """All edges in canonical ``(min, max)`` form, sorted."""
+        return self._edges
+
+    def neighbors(self, v: int) -> tuple[int, ...]:
+        """Sorted tuple of neighbors of ``v``."""
+        return self._adjacency[v]
+
+    def degree(self, v: int) -> int:
+        """Degree of vertex ``v``."""
+        return self._degrees[v]
+
+    @property
+    def degrees(self) -> tuple[int, ...]:
+        """Tuple of all vertex degrees, indexed by vertex id."""
+        return self._degrees
+
+    def max_degree(self) -> int:
+        """Maximum degree Δ of the graph (0 for the empty graph)."""
+        return max(self._degrees, default=0)
+
+    def average_degree(self) -> float:
+        """Average degree ``2m / n`` (0.0 for the empty graph)."""
+        if self._n == 0:
+            return 0.0
+        return 2.0 * self.num_edges / self._n
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether the edge ``{u, v}`` is present."""
+        return (u, v) in self
+
+    def __contains__(self, edge: Edge) -> bool:
+        u, v = edge
+        if u == v or not (0 <= u < self._n and 0 <= v < self._n):
+            return False
+        # adjacency tuples are sorted, but degrees are small enough that a
+        # linear scan is fine and avoids building an auxiliary index.
+        return v in self._adjacency[u]
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(range(self._n))
+
+    def __len__(self) -> int:
+        return self._n
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return self._n == other._n and self._edges == other._edges
+
+    def __hash__(self) -> int:
+        return hash((self._n, self._edges))
+
+    def __repr__(self) -> str:
+        return f"Graph(n={self._n}, m={self.num_edges})"
+
+    # ------------------------------------------------------------------ #
+    # Derived graphs
+    # ------------------------------------------------------------------ #
+
+    def induced_subgraph(self, vertex_subset: Iterable[int]) -> "InducedSubgraph":
+        """Return the subgraph induced by ``vertex_subset``.
+
+        The returned :class:`InducedSubgraph` relabels the kept vertices to
+        ``0 .. len(subset)-1`` but remembers the mapping back to the original
+        ids, which the partitioning lemmas (Lemma 2.2) and the iterative layer
+        assignment (Lemma 3.14) need.
+        """
+        return InducedSubgraph.from_parent(self, vertex_subset)
+
+    def subgraph_without_vertices(self, removed: Iterable[int]) -> "InducedSubgraph":
+        """Induced subgraph on the complement of ``removed``."""
+        removed_set = set(removed)
+        kept = [v for v in range(self._n) if v not in removed_set]
+        return self.induced_subgraph(kept)
+
+    def edge_subgraph(self, edge_subset: Iterable[Edge]) -> "Graph":
+        """Return a graph on the same vertex set containing only ``edge_subset``.
+
+        Used by the random edge partitioning of Lemma 2.1: each part keeps all
+        vertices but only its share of the edges.
+        """
+        normalized = [normalize_edge(u, v) for u, v in edge_subset]
+        missing = [e for e in normalized if e not in self]
+        if missing:
+            raise GraphError(f"edges {missing[:3]}... are not present in the graph")
+        return Graph(self._n, normalized)
+
+    def connected_components(self) -> list[list[int]]:
+        """Connected components as lists of vertex ids (BFS, iterative)."""
+        seen = [False] * self._n
+        components: list[list[int]] = []
+        for start in range(self._n):
+            if seen[start]:
+                continue
+            seen[start] = True
+            component = [start]
+            frontier = [start]
+            while frontier:
+                next_frontier: list[int] = []
+                for u in frontier:
+                    for w in self._adjacency[u]:
+                        if not seen[w]:
+                            seen[w] = True
+                            component.append(w)
+                            next_frontier.append(w)
+                frontier = next_frontier
+            components.append(sorted(component))
+        return components
+
+    def is_forest(self) -> bool:
+        """Whether the graph is acyclic (a forest)."""
+        # A graph is a forest iff m = n - (#components).
+        return self.num_edges == self._n - len(self.connected_components())
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_edges(cls, edges: Sequence[Edge], num_vertices: Optional[int] = None) -> "Graph":
+        """Build a graph from an edge list, inferring ``n`` if not given."""
+        edges = list(edges)
+        if num_vertices is None:
+            num_vertices = 1 + max((max(u, v) for u, v in edges), default=-1)
+        return cls(num_vertices, edges)
+
+    @classmethod
+    def empty(cls, num_vertices: int) -> "Graph":
+        """Graph with ``num_vertices`` vertices and no edges."""
+        return cls(num_vertices, ())
+
+    def union_edges(self, other: "Graph") -> "Graph":
+        """Union of the edge sets of two graphs on the same vertex set."""
+        if other.num_vertices != self._n:
+            raise GraphError("union_edges requires graphs on the same vertex set")
+        combined = set(self._edges) | set(other.edges)
+        return Graph(self._n, combined)
+
+
+class InducedSubgraph(Graph):
+    """An induced subgraph that remembers the mapping back to its parent.
+
+    ``local`` ids are ``0 .. k-1``; :meth:`to_parent` and :meth:`to_local`
+    translate between local and parent vertex ids.
+    """
+
+    __slots__ = ("_to_parent", "_to_local")
+
+    def __init__(self, num_vertices: int, edges: Iterable[Edge], to_parent: Sequence[int]) -> None:
+        super().__init__(num_vertices, edges)
+        if len(to_parent) != num_vertices:
+            raise GraphError("to_parent must list exactly one parent id per local vertex")
+        self._to_parent: tuple[int, ...] = tuple(int(p) for p in to_parent)
+        self._to_local: dict[int, int] = {p: i for i, p in enumerate(self._to_parent)}
+        if len(self._to_local) != num_vertices:
+            raise GraphError("to_parent contains duplicate parent ids")
+
+    @classmethod
+    def from_parent(cls, parent: Graph, vertex_subset: Iterable[int]) -> "InducedSubgraph":
+        kept = sorted(set(int(v) for v in vertex_subset))
+        for v in kept:
+            if not (0 <= v < parent.num_vertices):
+                raise GraphError(f"vertex {v} is not a vertex of the parent graph")
+        local_of = {p: i for i, p in enumerate(kept)}
+        kept_set = set(kept)
+        edges = [
+            (local_of[u], local_of[v])
+            for (u, v) in parent.edges
+            if u in kept_set and v in kept_set
+        ]
+        return cls(len(kept), edges, kept)
+
+    def to_parent(self, local_vertex: int) -> int:
+        """Parent id of a local vertex."""
+        return self._to_parent[local_vertex]
+
+    def to_local(self, parent_vertex: int) -> int:
+        """Local id of a parent vertex (KeyError if not in the subgraph)."""
+        return self._to_local[parent_vertex]
+
+    @property
+    def parent_ids(self) -> tuple[int, ...]:
+        """Tuple mapping local id -> parent id."""
+        return self._to_parent
+
+    def __repr__(self) -> str:
+        return f"InducedSubgraph(n={self.num_vertices}, m={self.num_edges})"

@@ -1,0 +1,141 @@
+"""H-partitions (complete layer assignments) and their validation.
+
+An H-partition [BE08, GLM+23] splits the vertex set into layers
+``H_1 ⊔ H_2 ⊔ ... ⊔ H_L`` such that every vertex in layer ``i`` has at most
+``d`` neighbors in layers ``≥ i``.  The deterministic part of Theorem 1.1
+computes exactly such a partition with ``d = O(λ log log n)`` and additionally
+guarantees geometric decay of the layer sizes, ``|H_i| ≤ n · exp(-Θ(i))``
+(in our Lemma 3.15 driver: ``|{v : ℓ(v) ≥ j}| ≤ 0.5^{j-1} n``).
+
+This module holds the *value object* describing the result; the algorithms
+computing H-partitions live in :mod:`repro.core`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field
+
+from repro.errors import InvalidLayeringError
+from repro.graph.graph import Graph
+from repro.graph.orientation import Orientation
+
+
+@dataclass(frozen=True)
+class HPartition:
+    """A complete layer assignment ``ℓ : V -> {1, ..., L}``.
+
+    Attributes
+    ----------
+    graph:
+        The underlying graph.
+    layer_of:
+        Mapping from vertex id to its (1-based) layer number.
+    """
+
+    graph: Graph
+    layer_of: Mapping[int, int]
+    _layers: tuple[tuple[int, ...], ...] = field(init=False, repr=False, compare=False, default=())
+
+    def __post_init__(self) -> None:
+        missing = [v for v in self.graph.vertices if v not in self.layer_of]
+        if missing:
+            raise InvalidLayeringError(
+                f"{len(missing)} vertices have no layer (e.g. {missing[:5]})"
+            )
+        bad = [v for v in self.graph.vertices if self.layer_of[v] < 1]
+        if bad:
+            raise InvalidLayeringError(f"layers must be ≥ 1 (offenders: {bad[:5]})")
+        num_layers = max((self.layer_of[v] for v in self.graph.vertices), default=0)
+        layers: list[list[int]] = [[] for _ in range(num_layers)]
+        for v in self.graph.vertices:
+            layers[self.layer_of[v] - 1].append(v)
+        object.__setattr__(self, "_layers", tuple(tuple(layer) for layer in layers))
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_layers(self) -> int:
+        """Number of layers ``L`` (index of the deepest non-empty layer)."""
+        return len(self._layers)
+
+    def layer(self, index: int) -> tuple[int, ...]:
+        """Vertices in layer ``index`` (1-based)."""
+        return self._layers[index - 1]
+
+    @property
+    def layers(self) -> tuple[tuple[int, ...], ...]:
+        """All layers, ``layers[i]`` being layer ``i+1``."""
+        return self._layers
+
+    def layer_sizes(self) -> list[int]:
+        """``[|H_1|, |H_2|, ..., |H_L|]``."""
+        return [len(layer) for layer in self._layers]
+
+    def suffix_sizes(self) -> list[int]:
+        """``[|{v : ℓ(v) ≥ j}|]`` for ``j = 1..L`` (the decay quantity of Lemma 3.15)."""
+        sizes = self.layer_sizes()
+        suffix: list[int] = []
+        total = 0
+        for size in reversed(sizes):
+            total += size
+            suffix.append(total)
+        return list(reversed(suffix))
+
+    def out_degree_of(self, v: int) -> int:
+        """Number of neighbors of ``v`` in the same or a higher layer."""
+        mine = self.layer_of[v]
+        return sum(1 for w in self.graph.neighbors(v) if self.layer_of[w] >= mine)
+
+    def max_out_degree(self) -> int:
+        """``max_v |{u ∈ N(v) : ℓ(u) ≥ ℓ(v)}|`` — the H-partition's out-degree."""
+        return max((self.out_degree_of(v) for v in self.graph.vertices), default=0)
+
+    def to_orientation(self) -> Orientation:
+        """Orient every edge toward the strictly higher layer (ties toward larger id)."""
+        return Orientation.from_layering(self.graph, self.layer_of)
+
+    # ------------------------------------------------------------------ #
+    # Validation helpers used by tests and the experiment harness
+    # ------------------------------------------------------------------ #
+
+    def validate_out_degree(self, bound: int) -> None:
+        """Raise unless every vertex has ≤ ``bound`` neighbors in layers ≥ its own."""
+        worst = self.max_out_degree()
+        if worst > bound:
+            offenders = [
+                v
+                for v in self.graph.vertices
+                if self.out_degree_of(v) > bound
+            ]
+            raise InvalidLayeringError(
+                f"H-partition out-degree {worst} exceeds bound {bound} "
+                f"({len(offenders)} offenders, e.g. {offenders[:5]})"
+            )
+
+    def validate_decay(self, ratio: float = 0.5, slack: float = 1.0) -> None:
+        """Check the geometric decay property of Lemma 3.15.
+
+        Requires ``|{v : ℓ(v) ≥ j}| ≤ slack · ratio^{j-1} · n`` for every
+        layer ``j``.  ``slack`` allows a multiplicative constant when checking
+        randomized runs on small graphs.
+        """
+        n = self.graph.num_vertices
+        for j, suffix in enumerate(self.suffix_sizes(), start=1):
+            allowed = slack * (ratio ** (j - 1)) * n
+            if suffix > allowed + 1e-9:
+                raise InvalidLayeringError(
+                    f"layer decay violated at layer {j}: "
+                    f"{suffix} vertices remain but only {allowed:.2f} allowed"
+                )
+
+    @classmethod
+    def from_layers(cls, graph: Graph, layers: Sequence[Sequence[int]]) -> "HPartition":
+        """Build from an explicit list of layers (layer 1 first)."""
+        layer_of: dict[int, int] = {}
+        for index, layer in enumerate(layers, start=1):
+            for v in layer:
+                if v in layer_of:
+                    raise InvalidLayeringError(f"vertex {v} appears in more than one layer")
+                layer_of[v] = index
+        return cls(graph, layer_of)

@@ -1,0 +1,29 @@
+"""LOCAL model substrate: synchronous network simulator and LOCAL subroutines."""
+
+from repro.local.list_coloring import (
+    ListColoringResult,
+    greedy_list_coloring,
+    random_list_coloring,
+    validate_lists,
+)
+from repro.local.network import LocalNetwork, LocalRunResult, VertexAlgorithm
+from repro.local.peeling import (
+    PeelingResult,
+    barenboim_elkin_peeling,
+    peeling_layers_reference,
+    peeling_threshold,
+)
+
+__all__ = [
+    "ListColoringResult",
+    "LocalNetwork",
+    "LocalRunResult",
+    "PeelingResult",
+    "VertexAlgorithm",
+    "barenboim_elkin_peeling",
+    "greedy_list_coloring",
+    "peeling_layers_reference",
+    "peeling_threshold",
+    "random_list_coloring",
+    "validate_lists",
+]

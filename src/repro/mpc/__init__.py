@@ -1,0 +1,28 @@
+"""MPC model simulation substrate (machines, rounds, memory accounting, primitives)."""
+
+from repro.mpc.cluster import MPCCluster
+from repro.mpc.config import MPCConfig
+from repro.mpc.machine import Machine
+from repro.mpc.metrics import RoundRecord, RoundStats
+from repro.mpc.primitives import (
+    aggregate_by_key,
+    broadcast,
+    count_by_key,
+    gather_bundles,
+    prefix_sums,
+    sort_by_key,
+)
+
+__all__ = [
+    "MPCCluster",
+    "MPCConfig",
+    "Machine",
+    "RoundRecord",
+    "RoundStats",
+    "aggregate_by_key",
+    "broadcast",
+    "count_by_key",
+    "gather_bundles",
+    "prefix_sums",
+    "sort_by_key",
+]

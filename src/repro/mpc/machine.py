@@ -1,0 +1,95 @@
+"""Per-machine bookkeeping for the MPC simulator.
+
+A :class:`Machine` tracks the number of words it currently stores and the
+volume it has sent/received in the round in progress.  The cluster consults
+these counters to enforce the model constraints:
+
+* local memory never exceeds the capacity ``S``;
+* per-round send and receive volumes never exceed ``S`` either (the only
+  communication constraint in the MPC model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import CommunicationLimitExceeded, MemoryLimitExceeded
+
+
+@dataclass
+class Machine:
+    """State of a single simulated machine."""
+
+    machine_id: int
+    capacity_words: int
+    stored_words: int = 0
+    peak_stored_words: int = 0
+    round_sent_words: int = 0
+    round_received_words: int = 0
+    stored_by_tag: dict[str, int] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    # Storage
+    # ------------------------------------------------------------------ #
+
+    def store(self, words: int, tag: str = "data", enforce: bool = True) -> None:
+        """Account for ``words`` additional words of local storage."""
+        if words < 0:
+            raise ValueError("words must be non-negative")
+        self.stored_words += words
+        self.stored_by_tag[tag] = self.stored_by_tag.get(tag, 0) + words
+        self.peak_stored_words = max(self.peak_stored_words, self.stored_words)
+        if enforce and self.stored_words > self.capacity_words:
+            raise MemoryLimitExceeded(self.machine_id, self.stored_words, self.capacity_words)
+
+    def release(self, words: int, tag: str = "data") -> None:
+        """Release ``words`` words of local storage."""
+        if words < 0:
+            raise ValueError("words must be non-negative")
+        freed = min(words, self.stored_words)
+        self.stored_words -= freed
+        if tag in self.stored_by_tag:
+            self.stored_by_tag[tag] = max(self.stored_by_tag[tag] - words, 0)
+
+    def release_tag(self, tag: str) -> None:
+        """Release everything stored under a given tag."""
+        words = self.stored_by_tag.pop(tag, 0)
+        self.stored_words = max(self.stored_words - words, 0)
+
+    # ------------------------------------------------------------------ #
+    # Per-round communication
+    # ------------------------------------------------------------------ #
+
+    def begin_round(self) -> None:
+        """Reset the per-round send/receive counters."""
+        self.round_sent_words = 0
+        self.round_received_words = 0
+
+    def account_send(self, words: int, enforce: bool = True) -> None:
+        """Charge ``words`` of outgoing traffic for the round in progress."""
+        self.round_sent_words += words
+        if enforce and self.round_sent_words > self.capacity_words:
+            raise CommunicationLimitExceeded(
+                self.machine_id, "sent", self.round_sent_words, self.capacity_words
+            )
+
+    def account_receive(self, words: int, enforce: bool = True) -> None:
+        """Charge ``words`` of incoming traffic for the round in progress."""
+        self.round_received_words += words
+        if enforce and self.round_received_words > self.capacity_words:
+            raise CommunicationLimitExceeded(
+                self.machine_id, "received", self.round_received_words, self.capacity_words
+            )
+
+    @property
+    def utilisation(self) -> float:
+        """Fraction of the local memory currently in use."""
+        if self.capacity_words == 0:
+            return 0.0
+        return self.stored_words / self.capacity_words
+
+    def __repr__(self) -> str:
+        return (
+            f"Machine(id={self.machine_id}, stored={self.stored_words}/"
+            f"{self.capacity_words} words)"
+        )

@@ -1,0 +1,113 @@
+"""Run metrics collected by the MPC simulator.
+
+The primary measure in the MPC model is the number of rounds; the experiment
+suite also records per-machine peak memory and the total communication volume
+so that the memory claims of the paper (Claims 3.5 and 3.11, and the global
+memory bounds of Theorems 1.1/1.2) can be reported, not just asserted.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+
+@dataclass
+class RoundRecord:
+    """One simulated MPC round."""
+
+    index: int
+    label: str
+    words_sent: int
+    max_machine_sent: int
+    max_machine_received: int
+
+
+@dataclass
+class RoundStats:
+    """Aggregated statistics of a simulated MPC execution."""
+
+    rounds: list[RoundRecord] = field(default_factory=list)
+    peak_machine_memory_words: int = 0
+    peak_global_memory_words: int = 0
+    rounds_by_label: Counter = field(default_factory=Counter)
+
+    @property
+    def num_rounds(self) -> int:
+        """Total number of MPC rounds charged so far."""
+        return len(self.rounds)
+
+    @property
+    def total_words_sent(self) -> int:
+        """Total communication volume, in words, across the whole run."""
+        return sum(record.words_sent for record in self.rounds)
+
+    @property
+    def max_round_volume(self) -> int:
+        """Largest per-round communication volume in words."""
+        return max((record.words_sent for record in self.rounds), default=0)
+
+    def record_round(
+        self,
+        label: str,
+        words_sent: int,
+        max_machine_sent: int,
+        max_machine_received: int,
+    ) -> RoundRecord:
+        """Append a round record and update per-label counters."""
+        record = RoundRecord(
+            index=len(self.rounds),
+            label=label,
+            words_sent=words_sent,
+            max_machine_sent=max_machine_sent,
+            max_machine_received=max_machine_received,
+        )
+        self.rounds.append(record)
+        self.rounds_by_label[label] += 1
+        return record
+
+    def observe_memory(self, machine_peak_words: int, global_words: int) -> None:
+        """Update peak memory high-water marks."""
+        self.peak_machine_memory_words = max(self.peak_machine_memory_words, machine_peak_words)
+        self.peak_global_memory_words = max(self.peak_global_memory_words, global_words)
+
+    def merge(self, other: "RoundStats") -> "RoundStats":
+        """Combine statistics of two sequential executions (rounds add up)."""
+        merged = RoundStats()
+        merged.rounds = list(self.rounds)
+        offset = len(merged.rounds)
+        for record in other.rounds:
+            merged.rounds.append(
+                RoundRecord(
+                    index=offset + record.index,
+                    label=record.label,
+                    words_sent=record.words_sent,
+                    max_machine_sent=record.max_machine_sent,
+                    max_machine_received=record.max_machine_received,
+                )
+            )
+        merged.rounds_by_label = self.rounds_by_label + other.rounds_by_label
+        merged.peak_machine_memory_words = max(
+            self.peak_machine_memory_words, other.peak_machine_memory_words
+        )
+        merged.peak_global_memory_words = max(
+            self.peak_global_memory_words, other.peak_global_memory_words
+        )
+        return merged
+
+    def summary(self) -> dict[str, float]:
+        """A flat dictionary for the reporting layer."""
+        return {
+            "rounds": float(self.num_rounds),
+            "total_words_sent": float(self.total_words_sent),
+            "max_round_volume": float(self.max_round_volume),
+            "peak_machine_memory_words": float(self.peak_machine_memory_words),
+            "peak_global_memory_words": float(self.peak_global_memory_words),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"RoundStats(rounds={self.num_rounds}, "
+            f"peak_machine_memory={self.peak_machine_memory_words}, "
+            f"peak_global_memory={self.peak_global_memory_words})"
+        )

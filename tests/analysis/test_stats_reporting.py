@@ -1,0 +1,85 @@
+"""Tests for the statistics helpers and table rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.reporting import Table
+from repro.analysis.stats import geometric_mean, growth_exponent, ratio_series, summarize
+
+
+class TestSummarize:
+    def test_empty(self):
+        summary = summarize([])
+        assert summary.count == 0
+        assert summary.mean == 0.0
+
+    def test_single_value(self):
+        summary = summarize([4.0])
+        assert summary.mean == 4.0
+        assert summary.std == 0.0
+
+    def test_basic_statistics(self):
+        summary = summarize([1.0, 2.0, 3.0, 4.0])
+        assert summary.mean == pytest.approx(2.5)
+        assert summary.minimum == 1.0
+        assert summary.maximum == 4.0
+        assert summary.std == pytest.approx(1.2909944, rel=1e-5)
+        assert set(summary.as_dict()) == {"count", "mean", "std", "min", "max"}
+
+
+class TestOtherHelpers:
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+        assert geometric_mean([]) == 0.0
+        assert geometric_mean([0.0, -1.0]) == 0.0
+
+    def test_ratio_series_skips_zero_denominators(self):
+        assert ratio_series([2.0, 3.0, 4.0], [1.0, 0.0, 2.0]) == [2.0, 2.0]
+
+    def test_growth_exponent_linear(self):
+        sizes = [10.0, 100.0, 1000.0]
+        values = [2.0, 20.0, 200.0]
+        assert growth_exponent(sizes, values) == pytest.approx(1.0, abs=1e-6)
+
+    def test_growth_exponent_flat(self):
+        sizes = [10.0, 100.0, 1000.0]
+        values = [5.0, 5.0, 5.0]
+        assert growth_exponent(sizes, values) == pytest.approx(0.0, abs=1e-6)
+
+    def test_growth_exponent_degenerate(self):
+        assert growth_exponent([10.0], [5.0]) == 0.0
+
+
+class TestTable:
+    def test_add_row_by_mapping_and_sequence(self):
+        table = Table("demo", ["a", "b"])
+        table.add_row({"a": 1, "b": 2.5})
+        table.add_row([3, "x"])
+        assert table.rows == [["1", "2.500"], ["3", "x"]]
+
+    def test_add_row_rejects_wrong_length(self):
+        table = Table("demo", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row([1])
+
+    def test_markdown_rendering(self):
+        table = Table("demo", ["a", "b"])
+        table.add_row({"a": 1, "b": 2})
+        markdown = table.to_markdown()
+        assert "### demo" in markdown
+        assert "| a | b |" in markdown
+        assert "| 1 | 2 |" in markdown
+
+    def test_ascii_rendering(self, capsys):
+        table = Table("demo", ["col"])
+        table.add_row({"col": "value"})
+        table.print()
+        captured = capsys.readouterr()
+        assert "demo" in captured.out
+        assert "value" in captured.out
+
+    def test_integer_like_floats_rendered_without_decimals(self):
+        table = Table("demo", ["x"])
+        table.add_row({"x": 3.0})
+        assert table.rows[0][0] == "3"

@@ -1,0 +1,114 @@
+"""Tests for the coreness decomposition application."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.coreness import (
+    approximate_coreness,
+    densest_subgraph_from_coreness,
+    exact_coreness,
+    geometric_guesses,
+)
+from repro.errors import ParameterError
+from repro.graph import generators
+from repro.graph.graph import Graph
+from tests.conftest import graphs
+
+
+class TestExactCoreness:
+    def test_forest_cores_are_one(self, small_forest):
+        cores = exact_coreness(small_forest)
+        assert max(cores.values()) == 1
+
+    def test_clique_cores(self):
+        cores = exact_coreness(generators.complete_graph(6))
+        assert all(value == 5 for value in cores.values())
+
+    def test_star_center_core_is_one(self, small_star):
+        cores = exact_coreness(small_star)
+        assert cores[0] == 1
+
+
+class TestGeometricGuesses:
+    def test_covers_upper_bound(self):
+        guesses = geometric_guesses(37, epsilon=0.5)
+        assert guesses[0] == 1
+        assert guesses[-1] >= 37
+        assert guesses == sorted(set(guesses))
+
+    def test_trivial_bound(self):
+        assert geometric_guesses(0, 0.5) == [1]
+
+
+class TestApproximateCoreness:
+    def test_rejects_bad_epsilon(self, small_forest):
+        with pytest.raises(ParameterError):
+            approximate_coreness(small_forest, epsilon=0.0)
+
+    def test_empty_graph(self):
+        result = approximate_coreness(Graph(0))
+        assert result.estimates == {}
+
+    def test_every_vertex_estimated(self, power_law_graph):
+        result = approximate_coreness(power_law_graph, epsilon=0.5)
+        assert set(result.estimates) == set(power_law_graph.vertices)
+        assert result.rounds >= 1
+
+    def test_estimates_within_factor_of_exact(self, power_law_graph):
+        epsilon = 0.5
+        result = approximate_coreness(power_law_graph, epsilon=epsilon)
+        exact = exact_coreness(power_law_graph)
+        for v in power_law_graph.vertices:
+            estimate = result.estimates[v]
+            core = max(exact[v], 1)
+            assert estimate <= (1 + epsilon) * core + 1
+            assert 2 * (1 + epsilon) * estimate + 1 >= core
+
+    def test_dense_community_detected(self, dense_community_graph):
+        result = approximate_coreness(dense_community_graph, epsilon=0.5)
+        exact = exact_coreness(dense_community_graph)
+        deep_core = [v for v in dense_community_graph.vertices if exact[v] == max(exact.values())]
+        # The estimates of deep-core vertices must be clearly above the
+        # background's (vertices outside the planted community).
+        background = [v for v in dense_community_graph.vertices if v >= 70]
+        avg_core = sum(result.estimates[v] for v in deep_core) / len(deep_core)
+        avg_background = sum(result.estimates[v] for v in background) / len(background)
+        assert avg_core > 3 * avg_background
+
+    @settings(max_examples=20, deadline=None)
+    @given(graphs(max_vertices=18), st.floats(min_value=0.25, max_value=1.0))
+    def test_factor_property(self, graph, epsilon):
+        if graph.num_vertices == 0:
+            return
+        result = approximate_coreness(graph, epsilon=epsilon)
+        exact = exact_coreness(graph)
+        for v in graph.vertices:
+            estimate = result.estimates[v]
+            core = exact[v]
+            assert estimate <= (1 + epsilon) * max(core, 1) + 1
+            assert 2 * (1 + epsilon) * estimate + 1 >= core
+
+
+class TestDensestSubgraphFromCoreness:
+    def test_finds_planted_community(self, dense_community_graph):
+        result = approximate_coreness(dense_community_graph, epsilon=0.5)
+        core, density = densest_subgraph_from_coreness(dense_community_graph, result)
+        assert density > 5.0
+        inside = sum(1 for v in core if v < 70)
+        assert inside / max(len(core), 1) > 0.7
+
+    def test_empty_graph(self):
+        result = approximate_coreness(Graph(0))
+        core, density = densest_subgraph_from_coreness(Graph(0), result)
+        assert core == [] and density == 0.0
+
+    def test_density_at_least_half_of_exact(self, power_law_graph):
+        from repro.graph.arboricity import densest_subgraph_density
+
+        result = approximate_coreness(power_law_graph, epsilon=0.5)
+        _core, density = densest_subgraph_from_coreness(power_law_graph, result)
+        exact = densest_subgraph_density(power_law_graph)
+        assert density >= exact / (2 * (1 + 0.5)) - 1e-9

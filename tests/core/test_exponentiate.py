@@ -1,0 +1,107 @@
+"""Tests for Algorithm 2 (ExponentiateAndLocalPrune): Claims 3.3–3.6."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.exponentiate import exponentiate_and_local_prune
+from repro.core.parameters import Parameters
+from repro.graph import generators
+from repro.mpc.cluster import MPCCluster
+from repro.mpc.config import MPCConfig
+from tests.conftest import graphs
+
+
+def run(graph, k=3, budget=64, steps=3, num_layers=2, cluster=None):
+    params = Parameters(k=k, budget=budget, steps=steps, num_layers=num_layers)
+    return params, exponentiate_and_local_prune(graph, params, cluster=cluster)
+
+
+class TestInitialisation:
+    def test_low_degree_vertices_start_active_with_star_views(self, small_forest):
+        params, result = run(small_forest, budget=64, steps=1, num_layers=1)
+        for v in small_forest.vertices:
+            tree = result.tree(v)
+            assert tree.map(tree.root) == v
+        del params
+
+    def test_high_degree_vertices_start_inactive(self, small_star):
+        # budget smaller than the center's degree: the center starts inactive.
+        params, result = run(small_star, budget=5, steps=2, num_layers=2)
+        assert result.active[1] in (True, False)  # leaves may stay active
+        center_tree = result.tree(0)
+        assert center_tree.num_nodes <= params.budget
+        assert not result.active[0] or small_star.degree(0) < params.budget
+
+
+class TestClaim33ValidMappings:
+    def test_mappings_stay_valid(self, union_forest_graph):
+        _, result = run(union_forest_graph, k=4, budget=100, steps=3, num_layers=2)
+        for v in union_forest_graph.vertices:
+            assert result.tree(v).is_valid_mapping(union_forest_graph)
+
+    @settings(max_examples=20, deadline=None)
+    @given(graphs(max_vertices=14), st.integers(min_value=1, max_value=3))
+    def test_mappings_valid_property(self, graph, steps):
+        if graph.num_vertices == 0:
+            return
+        _, result = run(graph, k=2, budget=36, steps=steps, num_layers=min(2, 2**steps - 1))
+        for v in graph.vertices:
+            assert result.tree(v).is_valid_mapping(graph)
+
+
+class TestClaim34BudgetBound:
+    def test_trees_never_exceed_budget(self, power_law_graph):
+        params, result = run(power_law_graph, k=6, budget=81, steps=3, num_layers=2)
+        assert result.max_tree_nodes <= params.budget
+        for v in power_law_graph.vertices:
+            assert result.tree(v).num_nodes <= params.budget
+
+    @settings(max_examples=20, deadline=None)
+    @given(graphs(max_vertices=16), st.integers(min_value=1, max_value=3))
+    def test_budget_property(self, graph, steps):
+        if graph.num_vertices == 0:
+            return
+        params, result = run(graph, k=2, budget=25, steps=steps, num_layers=min(2, 2**steps - 1))
+        assert result.max_tree_nodes <= params.budget
+
+
+class TestClaim36MissingBound:
+    def test_root_missing_bound_for_active_vertices(self, union_forest_graph):
+        params, result = run(union_forest_graph, k=4, budget=144, steps=3, num_layers=2)
+        s, k = params.steps, params.k
+        for v in union_forest_graph.vertices:
+            if not result.active[v]:
+                continue
+            tree = result.tree(v)
+            # The root is within distance < 2^s of itself and maps to an
+            # active vertex, so Claim 3.6 bounds its missing count by s*k.
+            assert tree.missing_count(union_forest_graph, tree.root) <= s * k
+
+    def test_all_shallow_active_nodes_bounded(self, small_forest):
+        params, result = run(small_forest, k=2, budget=64, steps=2, num_layers=2)
+        s, k = params.steps, params.k
+        for v in small_forest.vertices:
+            tree = result.tree(v)
+            depths = tree.depths()
+            for node in tree.nodes():
+                if depths[node] < 2**s and result.active.get(tree.map(node), False):
+                    assert tree.missing_count(small_forest, node) <= s * k
+
+
+class TestResourceAccounting:
+    def test_rounds_linear_in_steps(self, union_forest_graph):
+        cluster = MPCCluster(MPCConfig.for_graph(union_forest_graph))
+        params, _ = run(union_forest_graph, k=4, budget=64, steps=3, num_layers=2, cluster=cluster)
+        # init + one communication round + one storage update per step, plus
+        # possible oversized splits: O(s) rounds overall (Claim 3.5).
+        assert cluster.stats.num_rounds <= 6 * params.steps + 4
+        assert cluster.stats.num_rounds >= params.steps
+
+    def test_deactivation_recorded(self, power_law_graph):
+        _, result = run(power_law_graph, k=2, budget=16, steps=3, num_layers=2)
+        # With such a tiny budget some hubs must deactivate.
+        assert result.num_active() < power_law_graph.num_vertices
+        assert all(step >= 1 for step in result.deactivated_at_step.values())

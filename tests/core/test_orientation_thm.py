@@ -1,0 +1,112 @@
+"""Tests for the Theorem 1.1 orientation pipeline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.validators import (
+    validate_orientation_quality,
+    validate_round_complexity,
+)
+from repro.core.orientation import orient, orientation_outdegree_bound
+from repro.errors import ParameterError
+from repro.graph import generators
+from repro.graph.arboricity import arboricity_bounds
+from repro.graph.graph import Graph
+from repro.mpc.cluster import MPCCluster
+from repro.mpc.config import MPCConfig
+
+
+class TestBasicCorrectness:
+    def test_empty_graph(self):
+        run = orient(Graph(0))
+        assert run.max_outdegree == 0
+        assert run.rounds == 0
+
+    def test_covers_every_edge(self, union_forest_graph):
+        run = orient(union_forest_graph, seed=0)
+        assert set(run.orientation.direction.keys()) == set(union_forest_graph.edges)
+
+    def test_rejects_bad_k(self, union_forest_graph):
+        with pytest.raises(ParameterError):
+            orient(union_forest_graph, k=0)
+
+    def test_deterministic_given_seed(self, union_forest_graph):
+        a = orient(union_forest_graph, seed=5)
+        b = orient(union_forest_graph, seed=5)
+        assert a.orientation.direction == b.orientation.direction
+
+
+class TestTheorem11Quality:
+    def test_forest_outdegree(self, small_forest):
+        run = orient(small_forest, seed=0)
+        bounds = arboricity_bounds(small_forest)
+        report = validate_orientation_quality(
+            run.orientation, bounds.upper, small_forest.num_vertices
+        )
+        assert report.passed
+
+    def test_union_forest_outdegree(self, union_forest_graph):
+        run = orient(union_forest_graph, seed=0)
+        assert run.max_outdegree <= orientation_outdegree_bound(4, union_forest_graph.num_vertices)
+
+    def test_star_outdegree_is_one(self, small_star):
+        run = orient(small_star, seed=0)
+        assert run.max_outdegree <= 2
+        # The Δ-oblivious guarantee: the hub's degree is irrelevant.
+        assert small_star.max_degree() == small_star.num_vertices - 1
+
+    def test_power_law_beats_max_degree(self, power_law_graph):
+        run = orient(power_law_graph, seed=0)
+        assert run.max_outdegree < power_law_graph.max_degree() / 4
+        bounds = arboricity_bounds(power_law_graph, exact_density=False)
+        report = validate_orientation_quality(
+            run.orientation, bounds.upper, power_law_graph.num_vertices
+        )
+        assert report.passed
+
+    def test_outdegree_ratio_reported(self, union_forest_graph):
+        run = orient(union_forest_graph, seed=0)
+        assert run.outdegree_to_arboricity_ratio() == pytest.approx(
+            run.max_outdegree / run.arboricity_proxy
+        )
+
+
+class TestRoundsAndBranches:
+    def test_round_complexity_poly_loglog(self, union_forest_graph):
+        run = orient(union_forest_graph, seed=0)
+        report = validate_round_complexity(run.rounds, union_forest_graph.num_vertices)
+        assert report.passed
+
+    def test_small_lambda_uses_direct_branch(self, small_forest):
+        run = orient(small_forest, seed=0)
+        assert not run.used_edge_partitioning
+        assert run.num_parts == 1
+        assert run.hpartition is not None
+
+    def test_large_lambda_uses_edge_partitioning(self, dense_community_graph):
+        run = orient(dense_community_graph, seed=0)
+        assert run.used_edge_partitioning
+        assert run.num_parts > 1
+        # The merged orientation still covers all edges and respects the bound.
+        assert set(run.orientation.direction.keys()) == set(dense_community_graph.edges)
+        bounds = arboricity_bounds(dense_community_graph, exact_density=False)
+        report = validate_orientation_quality(
+            run.orientation, bounds.upper, dense_community_graph.num_vertices, constant=12.0
+        )
+        assert report.passed
+
+    def test_force_edge_partitioning_override(self, union_forest_graph):
+        run = orient(union_forest_graph, seed=0, force_edge_partitioning=True)
+        assert run.used_edge_partitioning
+        assert set(run.orientation.direction.keys()) == set(union_forest_graph.edges)
+
+    def test_external_cluster_accumulates_rounds(self, union_forest_graph):
+        cluster = MPCCluster(MPCConfig.for_graph(union_forest_graph))
+        run = orient(union_forest_graph, seed=0, cluster=cluster)
+        assert run.rounds == cluster.stats.num_rounds
+        assert run.cluster is cluster
+
+    def test_orientation_from_layering_is_acyclic(self, union_forest_graph):
+        run = orient(union_forest_graph, seed=0)
+        assert run.orientation.is_acyclic()

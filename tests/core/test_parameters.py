@@ -1,0 +1,84 @@
+"""Tests for parameter selection (Lemma 3.13's parameter relations)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.parameters import Parameters, choose_parameters, log2_ceil, loglog
+from repro.errors import ParameterError
+
+
+class TestParameters:
+    def test_layer_out_degree_formula(self):
+        params = Parameters(k=5, budget=64, steps=4, num_layers=3)
+        assert params.layer_out_degree == (4 + 1) * 5
+
+    def test_sqrt_budget(self):
+        assert Parameters(k=2, budget=100, steps=3, num_layers=2).sqrt_budget == 10
+        assert Parameters(k=2, budget=99, steps=3, num_layers=2).sqrt_budget == 9
+
+    def test_rejects_invalid_values(self):
+        with pytest.raises(ParameterError):
+            Parameters(k=0, budget=64, steps=3, num_layers=2)
+        with pytest.raises(ParameterError):
+            Parameters(k=2, budget=2, steps=3, num_layers=2)
+        with pytest.raises(ParameterError):
+            Parameters(k=2, budget=64, steps=0, num_layers=2)
+        with pytest.raises(ParameterError):
+            Parameters(k=2, budget=64, steps=3, num_layers=0)
+
+    def test_rejects_steps_not_exceeding_log_layers(self):
+        # Lemma 3.7 requires s > log2(L): with L=8 we need s >= 4.
+        with pytest.raises(ParameterError):
+            Parameters(k=2, budget=256, steps=3, num_layers=8)
+        Parameters(k=2, budget=256, steps=4, num_layers=8)
+
+
+class TestHelpers:
+    def test_log2_ceil(self):
+        assert log2_ceil(1) == 0
+        assert log2_ceil(2) == 1
+        assert log2_ceil(5) == 3
+
+    def test_loglog_clamped(self):
+        assert loglog(2) == 1.0
+        assert loglog(2**16) == pytest.approx(4.0)
+
+
+class TestChooseParameters:
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ParameterError):
+            choose_parameters(0, 1)
+        with pytest.raises(ParameterError):
+            choose_parameters(10, -1)
+        with pytest.raises(ParameterError):
+            choose_parameters(10, 1, delta=0.0)
+
+    def test_k_scales_with_arboricity(self):
+        low = choose_parameters(1024, 2)
+        high = choose_parameters(1024, 16)
+        assert high.k > low.k
+        assert low.k >= 2 * 2
+        assert high.k >= 2 * 16
+
+    def test_budget_cap_respected(self):
+        params = choose_parameters(1024, 4, budget_cap=128)
+        assert params.budget <= 128
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.integers(min_value=2, max_value=100_000),
+        st.integers(min_value=0, max_value=64),
+        st.floats(min_value=0.2, max_value=0.9),
+    )
+    def test_relations_always_hold(self, n, arboricity, delta):
+        params = choose_parameters(n, arboricity, delta=delta)
+        # The structural relations of Lemma 3.13, with scaled constants.
+        assert params.k >= max(arboricity, 1)
+        assert params.steps > math.log2(params.num_layers) - 1e-9
+        assert params.budget >= 16
+        assert params.layer_out_degree == (params.steps + 1) * params.k

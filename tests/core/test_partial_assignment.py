@@ -1,0 +1,94 @@
+"""Tests for Algorithm 4 and the Lemma 3.13 driver (Claims 3.11/3.12)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.validators import validate_partial_assignment
+from repro.core.parameters import Parameters
+from repro.core.partial_assignment import (
+    partial_assignment_with_decay,
+    partial_layer_assignment,
+)
+from repro.errors import ParameterError
+from repro.graph import generators
+from repro.mpc.cluster import MPCCluster
+from repro.mpc.config import MPCConfig
+from tests.conftest import graphs
+
+
+class TestClaim312OutDegree:
+    def test_out_degree_bounded_by_declared(self, union_forest_graph):
+        params = Parameters(k=6, budget=144, steps=3, num_layers=3)
+        result = partial_layer_assignment(union_forest_graph, params)
+        result.assignment.validate()
+        assert result.assignment.out_degree == params.layer_out_degree
+
+    def test_power_law_out_degree(self, power_law_graph):
+        params = Parameters(k=8, budget=196, steps=3, num_layers=2)
+        result = partial_layer_assignment(power_law_graph, params)
+        result.assignment.validate()
+        report = validate_partial_assignment(result.assignment)
+        assert report.passed
+
+    @settings(max_examples=15, deadline=None)
+    @given(graphs(max_vertices=16), st.integers(min_value=2, max_value=5))
+    def test_out_degree_property(self, graph, k):
+        if graph.num_vertices == 0:
+            return
+        params = Parameters(k=k, budget=64, steps=3, num_layers=2)
+        result = partial_layer_assignment(graph, params)
+        result.assignment.validate()
+
+
+class TestProgress:
+    def test_bounded_degree_graph_fully_assigned(self, union_forest_graph):
+        # When a = (s+1)k exceeds the maximum degree, every vertex qualifies
+        # for some layer (the peeling on its own tree always succeeds).
+        max_degree = union_forest_graph.max_degree()
+        params = Parameters(k=max_degree, budget=4 * max_degree * max_degree, steps=3, num_layers=3)
+        result = partial_layer_assignment(union_forest_graph, params)
+        assert result.assignment.fraction_assigned() == 1.0
+
+    def test_star_center_layered_above_leaves(self, small_star):
+        # k = 1 keeps a = (s+1)·k = 4 below the hub degree 8, so the center
+        # cannot land in the bottom layer.
+        params = Parameters(k=1, budget=64, steps=3, num_layers=3)
+        result = partial_layer_assignment(small_star, params)
+        assignment = result.assignment
+        # The leaves are assigned layer 1 and the center a strictly higher layer.
+        assert assignment.layer(1) == 1
+        assert assignment.layer(0) > 1
+
+    def test_assigns_most_of_a_sparse_graph(self, small_forest):
+        result = partial_assignment_with_decay(small_forest, k=2, budget=64)
+        assert result.assignment.fraction_assigned() > 0.5
+
+
+class TestLemma313Driver:
+    def test_rejects_bad_parameters(self, small_forest):
+        with pytest.raises(ParameterError):
+            partial_assignment_with_decay(small_forest, k=0, budget=64)
+        with pytest.raises(ParameterError):
+            partial_assignment_with_decay(small_forest, k=2, budget=2)
+
+    def test_out_degree_is_o_k_loglog(self, union_forest_graph):
+        result = partial_assignment_with_decay(union_forest_graph, k=6, budget=144)
+        result.assignment.validate()
+        # a = (s+1)·k with s = O(log L): the "O(k log log n)" shape of Lemma 3.13.
+        assert result.assignment.out_degree <= 6 * (result.params.steps + 1)
+
+    def test_rounds_charged_scale_with_steps(self, union_forest_graph):
+        cluster = MPCCluster(MPCConfig.for_graph(union_forest_graph))
+        result = partial_assignment_with_decay(
+            union_forest_graph, k=6, budget=144, cluster=cluster
+        )
+        assert result.rounds_charged == cluster.stats.num_rounds
+        assert result.rounds_charged <= 8 * (result.params.steps + 2)
+
+    def test_unassigned_fraction_shrinks_with_budget(self, power_law_graph):
+        small = partial_assignment_with_decay(power_law_graph, k=4, budget=36)
+        large = partial_assignment_with_decay(power_law_graph, k=4, budget=400)
+        assert large.assignment.fraction_assigned() >= small.assignment.fraction_assigned()

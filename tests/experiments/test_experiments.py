@@ -1,0 +1,97 @@
+"""Tests for workloads, the experiment registry and the harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.harness import (
+    run_coloring_experiment,
+    run_orientation_experiment,
+    run_round_scaling_experiment,
+    sweep,
+)
+from repro.experiments.registry import all_experiments, get_experiment
+from repro.experiments.workloads import (
+    Workload,
+    dense_sweep,
+    forests_sweep,
+    power_law_sweep,
+    standard_suite,
+    union_forest_sweep,
+)
+
+
+class TestWorkloads:
+    def test_materialize_is_deterministic(self):
+        workload = Workload(
+            name="w", family="union_forests", num_vertices=128, seed=3, params=(("arboricity", 2),)
+        )
+        assert workload.materialize() == workload.materialize()
+        assert "union_forests" in workload.describe()
+
+    def test_sweep_constructors(self):
+        assert len(forests_sweep(sizes=(64, 128))) == 2
+        assert len(union_forest_sweep(sizes=(64,), arboricities=(2, 4))) == 2
+        assert len(power_law_sweep(sizes=(64,))) == 1
+        assert len(dense_sweep(sizes=(100,))) == 1
+        assert len(standard_suite()) >= 4
+
+    def test_workload_sizes_match(self):
+        for workload in union_forest_sweep(sizes=(64,), arboricities=(2,)):
+            graph = workload.materialize()
+            assert graph.num_vertices == 64
+
+
+class TestRegistry:
+    def test_all_experiments_registered(self):
+        ids = [spec.experiment_id for spec in all_experiments()]
+        assert ids == ["E1", "E2", "E3", "E4", "E5", "E6", "E7"]
+
+    def test_every_experiment_has_workloads_and_columns(self):
+        for spec in all_experiments():
+            assert spec.workloads, spec.experiment_id
+            assert spec.columns, spec.experiment_id
+            assert spec.bench_module.startswith("benchmarks/")
+
+    def test_get_experiment_lookup(self):
+        assert get_experiment("E3").experiment_id == "E3"
+        with pytest.raises(KeyError):
+            get_experiment("E99")
+
+
+class TestHarness:
+    @pytest.fixture
+    def small_workload(self) -> Workload:
+        return Workload(
+            name="small",
+            family="union_forests",
+            num_vertices=128,
+            seed=1,
+            params=(("arboricity", 2),),
+        )
+
+    def test_orientation_experiment_row(self, small_workload):
+        row = run_orientation_experiment(small_workload)
+        data = row.as_dict()
+        assert data["n"] == 128
+        assert data["max_outdegree"] <= data["outdegree_bound"]
+        assert data["outdegree_ok"] == 1.0
+        assert data["rounds_ok"] == 1.0
+
+    def test_coloring_experiment_row(self, small_workload):
+        row = run_coloring_experiment(small_workload)
+        data = row.as_dict()
+        assert data["proper"] == 1.0
+        assert data["colors"] <= data["colors_bound"]
+        assert data["degeneracy_colors"] <= data["colors"] + 10
+
+    def test_round_scaling_row(self, small_workload):
+        row = run_round_scaling_experiment(small_workload)
+        data = row.as_dict()
+        assert data["rounds_ours"] >= 1
+        assert data["rounds_local"] >= 1
+        assert data["rounds_glm19"] >= 1
+
+    def test_sweep_applies_runner(self, small_workload):
+        rows = sweep([small_workload, small_workload], run_orientation_experiment)
+        assert len(rows) == 2

@@ -1,0 +1,137 @@
+"""Tests for degeneracy, densest subgraph and arboricity bounds."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.graph import generators
+from repro.graph.arboricity import (
+    arboricity_bounds,
+    arboricity_upper_bound,
+    degeneracy,
+    degeneracy_ordering,
+    densest_subgraph,
+    densest_subgraph_density,
+    greedy_peeling_layers,
+)
+from repro.graph.graph import Graph
+from tests.conftest import graphs
+
+
+class TestDegeneracy:
+    def test_empty_and_edgeless(self):
+        assert degeneracy(Graph.empty(0)) == 0
+        assert degeneracy(Graph.empty(5)) == 0
+
+    def test_tree_has_degeneracy_one(self, small_forest):
+        assert degeneracy(small_forest) == 1
+
+    def test_cycle_has_degeneracy_two(self):
+        assert degeneracy(generators.cycle(10)) == 2
+
+    def test_complete_graph(self):
+        assert degeneracy(generators.complete_graph(6)) == 5
+
+    def test_star_has_degeneracy_one(self, small_star):
+        assert degeneracy(small_star) == 1
+
+    def test_ordering_is_permutation_with_consistent_cores(self, union_forest_graph):
+        order, cores, d = degeneracy_ordering(union_forest_graph)
+        assert sorted(order) == list(union_forest_graph.vertices)
+        assert max(cores) == d
+        assert all(c >= 0 for c in cores)
+
+    def test_ordering_property(self, power_law_graph):
+        # Each vertex has at most `degeneracy` neighbors later in the order.
+        order, _cores, d = degeneracy_ordering(power_law_graph)
+        position = {v: i for i, v in enumerate(order)}
+        for v in power_law_graph.vertices:
+            later = sum(1 for w in power_law_graph.neighbors(v) if position[w] > position[v])
+            assert later <= d
+
+
+class TestGreedyPeeling:
+    def test_layers_partition_vertices(self, union_forest_graph):
+        layers = greedy_peeling_layers(union_forest_graph, threshold=6)
+        flattened = [v for layer in layers for v in layer]
+        assert sorted(flattened) == list(union_forest_graph.vertices)
+
+    def test_zero_threshold_on_edgeless_graph(self):
+        layers = greedy_peeling_layers(Graph.empty(4), threshold=0)
+        assert layers == [[0, 1, 2, 3]]
+
+    def test_negative_threshold_rejected(self, triangle):
+        with pytest.raises(ValueError):
+            greedy_peeling_layers(triangle, threshold=-1)
+
+    def test_stalls_dump_remainder(self):
+        clique = generators.complete_graph(5)
+        layers = greedy_peeling_layers(clique, threshold=1)
+        assert layers == [[0, 1, 2, 3, 4]]
+
+
+class TestDensestSubgraph:
+    def test_empty_graph(self):
+        assert densest_subgraph_density(Graph.empty(4)) == 0.0
+
+    def test_single_edge(self):
+        g = Graph(2, [(0, 1)])
+        assert densest_subgraph_density(g) == pytest.approx(0.5, abs=1e-4)
+
+    def test_triangle(self, triangle):
+        assert densest_subgraph_density(triangle) == pytest.approx(1.0, abs=1e-4)
+
+    def test_clique_density(self):
+        g = generators.complete_graph(6)
+        assert densest_subgraph_density(g) == pytest.approx(15 / 6, abs=1e-4)
+
+    def test_planted_community_is_found(self, dense_community_graph):
+        subset, density = densest_subgraph(dense_community_graph)
+        # The planted community occupies vertices 0..69; the witness should be
+        # concentrated there and much denser than the background.
+        overlap = len([v for v in subset if v < 70]) / max(len(subset), 1)
+        assert overlap > 0.8
+        assert density > 5.0
+
+    def test_density_below_degeneracy(self, power_law_graph):
+        density = densest_subgraph_density(power_law_graph)
+        assert density <= degeneracy(power_law_graph) + 1e-6
+
+
+class TestArboricityBounds:
+    def test_edgeless(self):
+        bounds = arboricity_bounds(Graph.empty(3))
+        assert bounds.lower == 0 and bounds.upper == 0
+
+    def test_forest_bounds(self, small_forest):
+        bounds = arboricity_bounds(small_forest)
+        assert bounds.lower == 1
+        assert bounds.upper == 1
+
+    def test_clique_bounds(self):
+        bounds = arboricity_bounds(generators.complete_graph(8))
+        # λ(K_8) = ceil(8/2) = 4, degeneracy 7.
+        assert bounds.lower <= 4 <= bounds.upper
+
+    def test_upper_bound_cheap_path(self, union_forest_graph):
+        assert arboricity_upper_bound(union_forest_graph) == degeneracy(union_forest_graph)
+
+    def test_inconsistent_bounds_rejected(self):
+        from repro.graph.arboricity import ArboricityBounds
+
+        with pytest.raises(ValueError):
+            ArboricityBounds(lower=5, upper=2, density=4.0, degeneracy=2)
+
+
+@settings(max_examples=25, deadline=None)
+@given(graphs(max_vertices=16))
+def test_density_degeneracy_sandwich(graph):
+    """⌈α⌉ ≤ λ ≤ degeneracy, and α ≤ degeneracy, for every graph."""
+    if graph.num_edges == 0:
+        return
+    density = densest_subgraph_density(graph)
+    d = degeneracy(graph)
+    assert density <= d + 1e-6
+    # The whole graph is always a candidate subgraph.
+    assert density + 1e-9 >= graph.num_edges / graph.num_vertices

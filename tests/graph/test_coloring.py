@@ -1,0 +1,72 @@
+"""Tests for the Coloring value object."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import InvalidColoringError
+from repro.graph import generators
+from repro.graph.coloring import Coloring
+from repro.graph.graph import Graph
+from tests.conftest import graphs
+
+
+class TestConstruction:
+    def test_requires_all_vertices(self, triangle):
+        with pytest.raises(InvalidColoringError):
+            Coloring(triangle, {0: 0, 1: 1})
+
+    def test_rejects_negative_colors(self, triangle):
+        with pytest.raises(InvalidColoringError):
+            Coloring(triangle, {0: 0, 1: -1, 2: 2})
+
+    def test_basic_accessors(self, triangle):
+        coloring = Coloring(triangle, {0: 0, 1: 1, 2: 2})
+        assert coloring.color(1) == 1
+        assert coloring.num_colors() == 3
+        assert coloring.max_color() == 2
+        assert coloring.color_class_sizes() == {0: 1, 1: 1, 2: 1}
+        assert coloring.as_dict() == {0: 0, 1: 1, 2: 2}
+
+
+class TestProperness:
+    def test_proper_triangle(self, triangle):
+        coloring = Coloring(triangle, {0: 0, 1: 1, 2: 2})
+        assert coloring.is_proper()
+        coloring.validate_proper()
+
+    def test_improper_detected(self, triangle):
+        coloring = Coloring(triangle, {0: 0, 1: 0, 2: 1})
+        assert not coloring.is_proper()
+        assert (0, 1) in coloring.conflicting_edges()
+        with pytest.raises(InvalidColoringError):
+            coloring.validate_proper()
+
+    def test_palette_validation(self, small_path):
+        coloring = Coloring(small_path, {v: v % 2 for v in small_path.vertices})
+        coloring.validate_palette(2)
+        with pytest.raises(InvalidColoringError):
+            coloring.validate_palette(1)
+
+    def test_star_two_coloring(self, small_star):
+        colors = {0: 1}
+        colors.update({v: 0 for v in range(1, small_star.num_vertices)})
+        coloring = Coloring(small_star, colors)
+        assert coloring.is_proper()
+        assert coloring.num_colors() == 2
+
+    def test_equality(self, triangle):
+        a = Coloring(triangle, {0: 0, 1: 1, 2: 2})
+        b = Coloring(triangle, {0: 0, 1: 1, 2: 2})
+        c = Coloring(triangle, {0: 2, 1: 1, 2: 0})
+        assert a == b
+        assert a != c
+
+
+@settings(max_examples=30, deadline=None)
+@given(graphs(max_vertices=16))
+def test_identity_coloring_always_proper(graph):
+    coloring = Coloring(graph, {v: v for v in graph.vertices})
+    assert coloring.is_proper()
+    assert coloring.num_colors() == graph.num_vertices

@@ -1,0 +1,143 @@
+"""Tests for the random graph generators."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import generators
+from repro.graph.arboricity import degeneracy
+
+
+class TestDeterministicFamilies:
+    def test_star_shape(self):
+        g = generators.star(10)
+        assert g.num_vertices == 11
+        assert g.num_edges == 10
+        assert g.degree(0) == 10
+        assert all(g.degree(v) == 1 for v in range(1, 11))
+
+    def test_path_and_cycle(self):
+        p = generators.path(6)
+        assert p.num_edges == 5 and p.is_forest()
+        c = generators.cycle(6)
+        assert c.num_edges == 6 and not c.is_forest()
+        with pytest.raises(GraphError):
+            generators.cycle(2)
+
+    def test_complete_graph(self):
+        g = generators.complete_graph(6)
+        assert g.num_edges == 15
+        assert g.max_degree() == 5
+
+    def test_complete_bipartite(self):
+        g = generators.complete_bipartite(3, 4)
+        assert g.num_edges == 12
+        assert g.num_vertices == 7
+
+    def test_grid(self):
+        g = generators.grid_2d(4, 5)
+        assert g.num_vertices == 20
+        assert g.num_edges == 4 * 4 + 3 * 5  # horizontal + vertical
+        with pytest.raises(GraphError):
+            generators.grid_2d(0, 3)
+
+    def test_complete_ary_tree_is_tree(self):
+        g = generators.complete_ary_tree(4, 100)
+        assert g.is_forest()
+        assert g.num_edges == 99
+        with pytest.raises(GraphError):
+            generators.complete_ary_tree(1, 10)
+
+
+class TestRandomTreesAndForests:
+    def test_random_tree_is_tree(self):
+        g = generators.random_tree(50, seed=3)
+        assert g.is_forest()
+        assert len(g.connected_components()) == 1
+
+    def test_random_forest_component_count(self):
+        g = generators.random_forest(60, num_trees=5, seed=3)
+        assert g.is_forest()
+        assert len(g.connected_components()) == 5
+
+    def test_random_forest_rejects_bad_tree_count(self):
+        with pytest.raises(GraphError):
+            generators.random_forest(10, num_trees=0)
+
+    def test_union_of_forests_bounds_arboricity(self):
+        g = generators.union_of_random_forests(200, arboricity=4, seed=5)
+        # Nash-Williams: the union of 4 forests has arboricity at most 4,
+        # hence degeneracy at most 2*4 - 1.
+        assert degeneracy(g) <= 7
+        with pytest.raises(GraphError):
+            generators.union_of_random_forests(10, arboricity=0)
+
+    def test_deep_hierarchy_contains_tree(self):
+        g = generators.deep_hierarchy(200, branching=6, extra_forests=1, seed=9)
+        assert g.num_edges >= 199  # at least the b-ary tree edges
+
+
+class TestErdosRenyi:
+    def test_gnp_edge_count_scales_with_p(self):
+        sparse = generators.gnp_random_graph(300, 0.01, seed=1)
+        dense = generators.gnp_random_graph(300, 0.05, seed=1)
+        assert sparse.num_edges < dense.num_edges
+
+    def test_gnp_extreme_probabilities(self):
+        assert generators.gnp_random_graph(20, 0.0, seed=1).num_edges == 0
+        assert generators.gnp_random_graph(6, 1.0, seed=1).num_edges == 15
+        with pytest.raises(GraphError):
+            generators.gnp_random_graph(10, 1.5)
+
+    def test_gnm_exact_edge_count(self):
+        g = generators.gnm_random_graph(50, 120, seed=2)
+        assert g.num_edges == 120
+        with pytest.raises(GraphError):
+            generators.gnm_random_graph(4, 100)
+
+
+class TestPowerLawAndPlanted:
+    def test_power_law_has_hubs(self):
+        g = generators.chung_lu_power_law(500, exponent=2.2, average_degree=6.0, seed=4)
+        # Heavy-tailed: the maximum degree should far exceed the average.
+        assert g.max_degree() > 4 * g.average_degree()
+        with pytest.raises(GraphError):
+            generators.chung_lu_power_law(10, exponent=1.0)
+
+    def test_planted_dense_subgraph_density(self):
+        g = generators.planted_dense_subgraph(
+            150, community_size=30, community_probability=0.6, background_probability=0.01, seed=6
+        )
+        community_edges = sum(1 for (u, v) in g.edges if u < 30 and v < 30)
+        assert community_edges > 100  # dense community clearly present
+        with pytest.raises(GraphError):
+            generators.planted_dense_subgraph(10, community_size=20)
+
+    def test_bounded_degree_random_graph(self):
+        g = generators.bounded_degree_random_graph(60, degree=4, seed=8)
+        assert g.max_degree() <= 4
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("family", generators.family_names())
+    def test_generate_every_family(self, family):
+        g = generators.generate(family, 64, seed=3)
+        assert g.num_vertices >= 1
+
+    def test_generate_unknown_family(self):
+        with pytest.raises(GraphError):
+            generators.generate("no-such-family", 10)
+
+    def test_generators_are_deterministic_given_seed(self):
+        a = generators.generate("union_forests", 100, seed=42, arboricity=3)
+        b = generators.generate("union_forests", 100, seed=42, arboricity=3)
+        assert a == b
+
+    def test_shared_rng_advances(self):
+        rng = random.Random(1)
+        a = generators.random_tree(20, rng=rng)
+        b = generators.random_tree(20, rng=rng)
+        assert a != b  # the same rng produces different draws

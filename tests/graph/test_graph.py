@@ -1,0 +1,165 @@
+"""Unit and property tests for repro.graph.graph."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphError
+from repro.graph.graph import Graph, InducedSubgraph, normalize_edge
+from tests.conftest import graphs
+
+
+class TestNormalizeEdge:
+    def test_orders_endpoints(self):
+        assert normalize_edge(5, 2) == (2, 5)
+        assert normalize_edge(2, 5) == (2, 5)
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(GraphError):
+            normalize_edge(3, 3)
+
+
+class TestGraphConstruction:
+    def test_empty_graph(self):
+        g = Graph.empty(5)
+        assert g.num_vertices == 5
+        assert g.num_edges == 0
+        assert g.max_degree() == 0
+
+    def test_basic_adjacency(self, triangle):
+        assert triangle.num_edges == 3
+        assert triangle.neighbors(0) == (1, 2)
+        assert triangle.degree(1) == 2
+        assert triangle.has_edge(0, 2)
+        assert not triangle.has_edge(0, 0)
+
+    def test_rejects_duplicate_edges(self):
+        with pytest.raises(GraphError):
+            Graph(3, [(0, 1), (1, 0)])
+
+    def test_rejects_out_of_range_vertices(self):
+        with pytest.raises(GraphError):
+            Graph(3, [(0, 3)])
+
+    def test_rejects_self_loops(self):
+        with pytest.raises(GraphError):
+            Graph(3, [(1, 1)])
+
+    def test_rejects_negative_vertex_count(self):
+        with pytest.raises(GraphError):
+            Graph(-1)
+
+    def test_from_edges_infers_size(self):
+        g = Graph.from_edges([(0, 4), (2, 3)])
+        assert g.num_vertices == 5
+        assert g.num_edges == 2
+
+    def test_equality_and_hash(self):
+        g1 = Graph(3, [(0, 1), (1, 2)])
+        g2 = Graph(3, [(1, 2), (0, 1)])
+        g3 = Graph(3, [(0, 1)])
+        assert g1 == g2
+        assert hash(g1) == hash(g2)
+        assert g1 != g3
+
+    def test_contains_and_iteration(self, triangle):
+        assert (0, 1) in triangle
+        assert (1, 0) in triangle  # membership is orientation-agnostic
+        assert (1, 1) not in triangle
+        assert (0, 7) not in triangle
+        assert list(iter(triangle)) == [0, 1, 2]
+        assert len(triangle) == 3
+
+
+class TestDerivedGraphs:
+    def test_induced_subgraph_relabels(self, triangle):
+        sub = triangle.induced_subgraph([0, 2])
+        assert sub.num_vertices == 2
+        assert sub.num_edges == 1
+        assert sub.to_parent(0) == 0
+        assert sub.to_parent(1) == 2
+        assert sub.to_local(2) == 1
+
+    def test_induced_subgraph_rejects_bad_vertex(self, triangle):
+        with pytest.raises(GraphError):
+            triangle.induced_subgraph([0, 7])
+
+    def test_subgraph_without_vertices(self, small_path):
+        sub = small_path.subgraph_without_vertices([2])
+        # Removing the middle of a path splits it into two components.
+        assert sub.num_vertices == 4
+        assert len(sub.connected_components()) == 2
+
+    def test_edge_subgraph_keeps_vertex_set(self, triangle):
+        sub = triangle.edge_subgraph([(0, 1)])
+        assert sub.num_vertices == 3
+        assert sub.num_edges == 1
+
+    def test_edge_subgraph_rejects_foreign_edges(self, small_path):
+        with pytest.raises(GraphError):
+            small_path.edge_subgraph([(0, 4)])
+
+    def test_union_edges(self):
+        g1 = Graph(4, [(0, 1)])
+        g2 = Graph(4, [(2, 3), (0, 1)])
+        union = g1.union_edges(g2)
+        assert union.num_edges == 2
+
+    def test_union_edges_rejects_mismatched_vertex_sets(self):
+        with pytest.raises(GraphError):
+            Graph(3).union_edges(Graph(4))
+
+
+class TestComponentsAndForests:
+    def test_connected_components_of_path(self, small_path):
+        assert small_path.connected_components() == [[0, 1, 2, 3, 4]]
+
+    def test_forest_detection(self, small_forest, triangle):
+        assert small_forest.is_forest()
+        assert not triangle.is_forest()
+
+    def test_average_degree(self, triangle):
+        assert triangle.average_degree() == pytest.approx(2.0)
+
+
+class TestInducedSubgraphValidation:
+    def test_duplicate_parent_ids_rejected(self):
+        with pytest.raises(GraphError):
+            InducedSubgraph(2, [(0, 1)], [3, 3])
+
+    def test_parent_length_mismatch_rejected(self):
+        with pytest.raises(GraphError):
+            InducedSubgraph(2, [(0, 1)], [3])
+
+
+@settings(max_examples=50, deadline=None)
+@given(graphs())
+def test_degree_sum_equals_twice_edges(graph):
+    assert sum(graph.degrees) == 2 * graph.num_edges
+
+
+@settings(max_examples=50, deadline=None)
+@given(graphs())
+def test_neighbors_are_symmetric(graph):
+    for v in graph.vertices:
+        for w in graph.neighbors(v):
+            assert v in graph.neighbors(w)
+
+
+@settings(max_examples=30, deadline=None)
+@given(graphs(), st.integers(min_value=0, max_value=2**31 - 1))
+def test_induced_subgraph_preserves_adjacency(graph, seed):
+    import random as _random
+
+    local = _random.Random(seed)
+    subset = [v for v in graph.vertices if local.random() < 0.5]
+    sub = graph.induced_subgraph(subset)
+    for local_u in sub.vertices:
+        for local_w in sub.neighbors(local_u):
+            assert graph.has_edge(sub.to_parent(local_u), sub.to_parent(local_w))
+    # Every edge of the parent with both endpoints kept must appear.
+    kept = set(subset)
+    expected = sum(1 for (u, v) in graph.edges if u in kept and v in kept)
+    assert sub.num_edges == expected

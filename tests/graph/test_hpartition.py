@@ -1,0 +1,85 @@
+"""Tests for the HPartition value object."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InvalidLayeringError
+from repro.graph import generators
+from repro.graph.graph import Graph
+from repro.graph.hpartition import HPartition
+from repro.local.peeling import peeling_layers_reference
+
+
+class TestConstruction:
+    def test_requires_all_vertices(self, triangle):
+        with pytest.raises(InvalidLayeringError):
+            HPartition(triangle, {0: 1, 1: 1})
+
+    def test_rejects_non_positive_layers(self, triangle):
+        with pytest.raises(InvalidLayeringError):
+            HPartition(triangle, {0: 0, 1: 1, 2: 1})
+
+    def test_layers_and_sizes(self, small_path):
+        partition = HPartition(small_path, {0: 1, 1: 1, 2: 2, 3: 2, 4: 3})
+        assert partition.num_layers == 3
+        assert partition.layer(1) == (0, 1)
+        assert partition.layer_sizes() == [2, 2, 1]
+        assert partition.suffix_sizes() == [5, 3, 1]
+
+    def test_from_layers_round_trip(self, small_path):
+        partition = HPartition.from_layers(small_path, [[0, 1], [2, 3], [4]])
+        assert partition.layer_of[4] == 3
+
+    def test_from_layers_rejects_duplicates(self, small_path):
+        with pytest.raises(InvalidLayeringError):
+            HPartition.from_layers(small_path, [[0, 1], [1, 2, 3, 4]])
+
+
+class TestOutDegreeAndDecay:
+    def test_out_degree_of_star_center(self, small_star):
+        layer_of = {0: 1}
+        layer_of.update({v: 2 for v in range(1, small_star.num_vertices)})
+        partition = HPartition(small_star, layer_of)
+        assert partition.out_degree_of(0) == small_star.num_vertices - 1
+        # Reversing the layers puts the center above the leaves.
+        layer_of = {0: 2}
+        layer_of.update({v: 1 for v in range(1, small_star.num_vertices)})
+        partition = HPartition(small_star, layer_of)
+        assert partition.out_degree_of(0) == 0
+        assert partition.max_out_degree() == 1
+
+    def test_validate_out_degree(self, triangle):
+        partition = HPartition(triangle, {0: 1, 1: 1, 2: 1})
+        partition.validate_out_degree(2)
+        with pytest.raises(InvalidLayeringError):
+            partition.validate_out_degree(1)
+
+    def test_validate_decay(self, small_path):
+        partition = HPartition(small_path, {0: 1, 1: 1, 2: 1, 3: 2, 4: 3})
+        partition.validate_decay(ratio=0.5, slack=1.2)
+        bad = HPartition(small_path, {v: 3 for v in small_path.vertices})
+        with pytest.raises(InvalidLayeringError):
+            bad.validate_decay(ratio=0.5, slack=1.0)
+
+    def test_peeling_partition_satisfies_out_degree(self, union_forest_graph):
+        partition = peeling_layers_reference(union_forest_graph, threshold=6)
+        partition.validate_out_degree(6)
+
+    def test_to_orientation_respects_layers(self, union_forest_graph):
+        partition = peeling_layers_reference(union_forest_graph, threshold=6)
+        orientation = partition.to_orientation()
+        assert orientation.max_outdegree() <= 6
+        assert orientation.is_acyclic()
+
+
+class TestEdgeCases:
+    def test_single_vertex(self):
+        g = Graph(1)
+        partition = HPartition(g, {0: 1})
+        assert partition.max_out_degree() == 0
+        assert partition.suffix_sizes() == [1]
+
+    def test_forest_peeling_has_small_outdegree(self, small_forest):
+        partition = peeling_layers_reference(small_forest, threshold=2)
+        assert partition.max_out_degree() <= 2

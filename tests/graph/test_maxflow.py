@@ -1,0 +1,83 @@
+"""Tests for the Dinic max-flow substrate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.maxflow import FlowNetwork
+
+
+class TestFlowNetworkBasics:
+    def test_rejects_bad_construction(self):
+        with pytest.raises(ValueError):
+            FlowNetwork(0)
+        net = FlowNetwork(2)
+        with pytest.raises(ValueError):
+            net.add_edge(0, 1, -1.0)
+        with pytest.raises(ValueError):
+            net.max_flow(0, 0)
+
+    def test_single_edge(self):
+        net = FlowNetwork(2)
+        net.add_edge(0, 1, 3.5)
+        assert net.max_flow(0, 1) == pytest.approx(3.5)
+
+    def test_series_edges_bottleneck(self):
+        net = FlowNetwork(3)
+        net.add_edge(0, 1, 5.0)
+        net.add_edge(1, 2, 2.0)
+        assert net.max_flow(0, 2) == pytest.approx(2.0)
+
+    def test_parallel_paths_add(self):
+        net = FlowNetwork(4)
+        net.add_edge(0, 1, 3.0)
+        net.add_edge(1, 3, 3.0)
+        net.add_edge(0, 2, 4.0)
+        net.add_edge(2, 3, 2.0)
+        assert net.max_flow(0, 3) == pytest.approx(5.0)
+
+    def test_disconnected_sink(self):
+        net = FlowNetwork(3)
+        net.add_edge(0, 1, 1.0)
+        assert net.max_flow(0, 2) == pytest.approx(0.0)
+
+
+class TestClassicInstances:
+    def test_clrs_style_network(self):
+        # A standard 6-node instance with known max flow 23.
+        net = FlowNetwork(6)
+        s, v1, v2, v3, v4, t = range(6)
+        net.add_edge(s, v1, 16)
+        net.add_edge(s, v2, 13)
+        net.add_edge(v1, v2, 10)
+        net.add_edge(v2, v1, 4)
+        net.add_edge(v1, v3, 12)
+        net.add_edge(v3, v2, 9)
+        net.add_edge(v2, v4, 14)
+        net.add_edge(v4, v3, 7)
+        net.add_edge(v3, t, 20)
+        net.add_edge(v4, t, 4)
+        assert net.max_flow(s, t) == pytest.approx(23.0)
+
+    def test_min_cut_matches_flow(self):
+        net = FlowNetwork(4)
+        net.add_edge(0, 1, 2.0)
+        net.add_edge(0, 2, 3.0)
+        net.add_edge(1, 3, 4.0)
+        net.add_edge(2, 3, 1.0)
+        flow = net.max_flow(0, 3)
+        source_side = net.min_cut_source_side(0)
+        assert 0 in source_side and 3 not in source_side
+        # Max-flow equals min-cut: edges crossing the cut carry exactly the flow.
+        assert flow == pytest.approx(3.0)
+
+    def test_requires_multiple_phases(self):
+        # A layered network where Dinic needs more than one BFS phase.
+        net = FlowNetwork(6)
+        net.add_edge(0, 1, 1)
+        net.add_edge(0, 2, 1)
+        net.add_edge(1, 3, 1)
+        net.add_edge(2, 3, 1)
+        net.add_edge(3, 4, 2)
+        net.add_edge(4, 5, 2)
+        assert net.max_flow(0, 5) == pytest.approx(2.0)

@@ -1,0 +1,135 @@
+"""End-to-end integration tests across the whole pipeline.
+
+These tests exercise the same code paths as the benchmark suite, on smaller
+inputs, so that a green test run implies the benchmarks can execute.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import color, orient
+from repro.analysis.validators import (
+    validate_coloring_quality,
+    validate_global_memory,
+    validate_layer_decay,
+    validate_local_memory,
+    validate_orientation_quality,
+    validate_round_complexity,
+)
+from repro.baselines.be_mpc import barenboim_elkin_in_mpc
+from repro.baselines.forest import forest_orient_and_color
+from repro.core.full_assignment import complete_layer_assignment
+from repro.graph import generators
+from repro.graph.arboricity import arboricity_bounds, degeneracy
+from repro.mpc.cluster import MPCCluster
+from repro.mpc.config import MPCConfig
+from tests.conftest import forests, graphs
+
+
+FAMILIES = [
+    ("forest", {}),
+    ("union_forests", {"arboricity": 3}),
+    ("power_law", {"average_degree": 5.0}),
+    ("gnp", {}),
+    ("ary_tree", {"branching": 5}),
+]
+
+
+class TestOrientAndColorAcrossFamilies:
+    @pytest.mark.parametrize("family,params", FAMILIES)
+    def test_orientation_quality_and_rounds(self, family, params):
+        graph = generators.generate(family, 300, seed=11, **params)
+        bounds = arboricity_bounds(graph, exact_density=False)
+        run = orient(graph, seed=1)
+        assert set(run.orientation.direction.keys()) == set(graph.edges)
+        validate_orientation_quality(
+            run.orientation, bounds.upper, graph.num_vertices
+        ).raise_if_failed()
+        validate_round_complexity(run.rounds, graph.num_vertices).raise_if_failed()
+
+    @pytest.mark.parametrize("family,params", FAMILIES)
+    def test_coloring_quality(self, family, params):
+        graph = generators.generate(family, 300, seed=13, **params)
+        bounds = arboricity_bounds(graph, exact_density=False)
+        run = color(graph, seed=2)
+        run.coloring.validate_proper()
+        validate_coloring_quality(
+            run.coloring, bounds.upper, graph.num_vertices
+        ).raise_if_failed()
+
+
+class TestAgreementWithBaselines:
+    def test_ours_within_loglog_factor_of_local_baseline(self, union_forest_graph):
+        ours = orient(union_forest_graph, seed=0)
+        baseline = barenboim_elkin_in_mpc(union_forest_graph, arboricity=3)
+        # The baseline achieves (2+eps)λ; ours is allowed an extra O(log log n).
+        assert ours.max_outdegree <= 4 * max(baseline.max_outdegree, 1)
+
+    def test_general_pipeline_handles_forests_like_specialist(self, small_forest):
+        general = orient(small_forest, seed=0)
+        specialist = forest_orient_and_color(small_forest)
+        assert specialist.max_outdegree <= 2
+        assert general.max_outdegree <= 8  # O(λ log log n) with λ = 1
+
+
+class TestMemoryProfile:
+    def test_memory_claims_on_mid_size_graph(self):
+        graph = generators.union_of_random_forests(1024, arboricity=4, seed=21)
+        cluster = MPCCluster(MPCConfig.for_graph(graph, delta=0.5))
+        run = complete_layer_assignment(graph, k=8, cluster=cluster)
+        assert run.is_complete()
+        budget = 4 * int(graph.num_vertices**0.5)
+        validate_local_memory(
+            cluster.stats, graph.num_vertices, budget=budget, delta=0.5
+        ).raise_if_failed()
+        validate_global_memory(
+            cluster.stats, graph.num_vertices, graph.num_edges, budget=budget
+        ).raise_if_failed()
+
+    def test_layer_decay_on_mid_size_graph(self):
+        graph = generators.union_of_random_forests(1024, arboricity=4, seed=23)
+        run = complete_layer_assignment(graph, k=8)
+        validate_layer_decay(run.to_hpartition(), slack=2.0).raise_if_failed()
+
+
+class TestPropertyBasedEndToEnd:
+    @settings(max_examples=10, deadline=None)
+    @given(graphs(max_vertices=24), st.integers(min_value=0, max_value=10**6))
+    def test_orient_always_valid_on_random_graphs(self, graph, seed):
+        if graph.num_vertices == 0:
+            return
+        run = orient(graph, seed=seed)
+        assert set(run.orientation.direction.keys()) == set(graph.edges)
+        # The layering-induced orientation is acyclic whenever produced directly.
+        if run.hpartition is not None:
+            assert run.orientation.is_acyclic()
+
+    @settings(max_examples=10, deadline=None)
+    @given(graphs(max_vertices=20), st.integers(min_value=0, max_value=10**6))
+    def test_color_always_proper_on_random_graphs(self, graph, seed):
+        if graph.num_vertices == 0:
+            return
+        run = color(graph, seed=seed)
+        run.coloring.validate_proper()
+
+    @settings(max_examples=10, deadline=None)
+    @given(forests(max_vertices=40), st.integers(min_value=0, max_value=10**6))
+    def test_forests_get_constant_outdegree_and_palette(self, forest, seed):
+        run = orient(forest, seed=seed)
+        assert run.max_outdegree <= 8
+        coloring_run = color(forest, seed=seed)
+        coloring_run.coloring.validate_proper()
+        assert coloring_run.num_colors <= 24
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(min_value=2, max_value=60))
+    def test_stars_of_any_size(self, leaves):
+        graph = generators.star(leaves)
+        run = orient(graph, seed=0)
+        assert run.max_outdegree <= 2
+        coloring_run = color(graph, seed=0)
+        assert coloring_run.num_colors <= 6
+        coloring_run.coloring.validate_proper()

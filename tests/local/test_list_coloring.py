@@ -1,0 +1,95 @@
+"""Tests for the randomized degree+1 list coloring subroutine."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.graph import generators
+from repro.graph.coloring import Coloring
+from repro.local.list_coloring import (
+    greedy_list_coloring,
+    random_list_coloring,
+    validate_lists,
+)
+from tests.conftest import graphs
+
+
+def degree_plus_one_palettes(graph, extra: int = 0, offset: int = 0):
+    return {
+        v: list(range(offset, offset + graph.degree(v) + 1 + extra)) for v in graph.vertices
+    }
+
+
+class TestValidation:
+    def test_missing_palette_rejected(self, triangle):
+        with pytest.raises(ParameterError):
+            validate_lists(triangle, {0: [0, 1, 2], 1: [0, 1, 2]})
+
+    def test_short_palette_rejected(self, triangle):
+        with pytest.raises(ParameterError):
+            validate_lists(triangle, {0: [0], 1: [0, 1, 2], 2: [0, 1, 2]})
+
+
+class TestRandomListColoring:
+    def test_colors_triangle(self, triangle):
+        result = random_list_coloring(triangle, degree_plus_one_palettes(triangle), seed=1)
+        coloring = Coloring(triangle, result.colors)
+        assert coloring.is_proper()
+        assert result.rounds >= 1
+
+    def test_colors_from_own_palette(self, union_forest_graph):
+        palettes = degree_plus_one_palettes(union_forest_graph, offset=100)
+        result = random_list_coloring(union_forest_graph, palettes, seed=3)
+        for v, c in result.colors.items():
+            assert c in palettes[v]
+        Coloring(union_forest_graph, result.colors).validate_proper()
+
+    def test_respects_asymmetric_palettes(self):
+        graph = generators.star(6)
+        palettes = {0: list(range(10, 18))}
+        palettes.update({v: [0, 10] for v in range(1, 7)})
+        result = random_list_coloring(graph, palettes, seed=5)
+        coloring = Coloring(graph, result.colors)
+        assert coloring.is_proper()
+
+    def test_deterministic_given_seed(self, union_forest_graph):
+        palettes = degree_plus_one_palettes(union_forest_graph)
+        a = random_list_coloring(union_forest_graph, palettes, seed=9)
+        b = random_list_coloring(union_forest_graph, palettes, seed=9)
+        assert a.colors == b.colors
+
+    def test_rounds_logarithmic_in_practice(self, power_law_graph):
+        palettes = degree_plus_one_palettes(power_law_graph)
+        result = random_list_coloring(power_law_graph, palettes, seed=2)
+        assert result.rounds <= 16 * max(power_law_graph.num_vertices.bit_length(), 4)
+
+    def test_shared_rng_accepted(self, triangle):
+        rng = random.Random(0)
+        result = random_list_coloring(triangle, degree_plus_one_palettes(triangle), rng=rng)
+        Coloring(triangle, result.colors).validate_proper()
+
+
+class TestGreedyListColoring:
+    def test_matches_palettes_and_is_proper(self, union_forest_graph):
+        palettes = degree_plus_one_palettes(union_forest_graph)
+        colors = greedy_list_coloring(union_forest_graph, palettes)
+        coloring = Coloring(union_forest_graph, colors)
+        coloring.validate_proper()
+        for v, c in colors.items():
+            assert c in palettes[v]
+
+
+@settings(max_examples=25, deadline=None)
+@given(graphs(max_vertices=14), st.integers(min_value=0, max_value=1000))
+def test_random_list_coloring_property(graph, seed):
+    palettes = {v: list(range(graph.degree(v) + 1)) for v in graph.vertices}
+    result = random_list_coloring(graph, palettes, seed=seed)
+    coloring = Coloring(graph, result.colors)
+    assert coloring.is_proper()
+    for v, c in result.colors.items():
+        assert c in palettes[v]

@@ -1,0 +1,68 @@
+"""Tests for the LOCAL model simulator."""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.graph import generators
+from repro.local.network import LocalNetwork, VertexAlgorithm
+
+
+class FloodMin(VertexAlgorithm):
+    """Every vertex learns the minimum id in its connected component.
+
+    A classic LOCAL algorithm whose round complexity equals the component
+    diameter; used to verify the simulator's semantics and round counting.
+    """
+
+    def init(self, vertex: int, graph):
+        # A vertex cannot know the diameter, so it waits n quiet rounds (a
+        # safe upper bound) before declaring its value final.
+        return {"best": vertex, "idle_rounds": 0, "patience": max(graph.num_vertices, 1)}
+
+    def message(self, vertex: int, state, neighbor: int):
+        return state["best"]
+
+    def update(self, vertex: int, state, inbox: Mapping[int, Any]):
+        best = min([state["best"], *inbox.values()]) if inbox else state["best"]
+        changed = best < state["best"]
+        idle = 0 if changed else state["idle_rounds"] + 1
+        return {"best": best, "idle_rounds": idle, "patience": state["patience"]}
+
+    def is_halted(self, vertex: int, state) -> bool:
+        return state["idle_rounds"] >= state["patience"]
+
+    def output(self, vertex: int, state):
+        return state["best"]
+
+
+class TestLocalNetwork:
+    def test_flood_min_on_path(self):
+        graph = generators.path(10)
+        result = LocalNetwork(graph).run(FloodMin(), max_rounds=50)
+        assert result.halted
+        assert all(value == 0 for value in result.outputs.values())
+        # Information needs about diameter rounds to traverse the path.
+        assert result.rounds >= 9
+
+    def test_flood_min_respects_components(self):
+        graph = generators.random_forest(40, num_trees=4, seed=3)
+        result = LocalNetwork(graph).run(FloodMin(), max_rounds=200)
+        assert result.halted
+        for component in graph.connected_components():
+            expected = min(component)
+            for v in component:
+                assert result.outputs[v] == expected
+
+    def test_max_rounds_cap(self):
+        graph = generators.path(50)
+        result = LocalNetwork(graph).run(FloodMin(), max_rounds=3)
+        assert not result.halted
+        assert result.rounds == 3
+
+    def test_empty_graph(self):
+        graph = generators.path(0)
+        result = LocalNetwork(graph).run(FloodMin())
+        assert result.halted
+        assert result.outputs == {}
+        assert result.rounds == 0

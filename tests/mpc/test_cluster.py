@@ -1,0 +1,115 @@
+"""Tests for the MPC cluster simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import CommunicationLimitExceeded, GlobalMemoryExceeded, SimulationError
+from repro.graph import generators
+from repro.mpc.cluster import MPCCluster
+from repro.mpc.config import MPCConfig
+
+
+def make_cluster(n=256, m=512, **kwargs) -> MPCCluster:
+    return MPCCluster(MPCConfig(num_vertices=n, num_edges=m, delta=0.5), **kwargs)
+
+
+class TestRounds:
+    def test_charge_rounds(self):
+        cluster = make_cluster()
+        cluster.charge_rounds(3, label="setup")
+        assert cluster.stats.num_rounds == 3
+        assert cluster.stats.rounds_by_label["setup"] == 3
+        with pytest.raises(SimulationError):
+            cluster.charge_rounds(-1, label="bad")
+
+    def test_communication_round_counts_volume(self):
+        cluster = make_cluster()
+        rounds = cluster.communication_round([(0, 1, 4), (2, 3, 6)], label="test")
+        assert rounds == 1
+        assert cluster.stats.num_rounds == 1
+        assert cluster.stats.total_words_sent == 10
+
+    def test_negative_message_size_rejected(self):
+        cluster = make_cluster()
+        with pytest.raises(SimulationError):
+            cluster.communication_round([(0, 1, -2)])
+
+    def test_oversized_round_splits(self):
+        cluster = make_cluster(n=64, m=64)
+        capacity = cluster.words_per_machine
+        rounds = cluster.communication_round([(0, 1, capacity * 3)], label="big")
+        assert rounds >= 3
+        assert cluster.stats.num_rounds == rounds
+
+    def test_oversized_round_raises_when_splitting_disabled(self):
+        cluster = make_cluster(n=64, m=64)
+        capacity = cluster.words_per_machine
+        with pytest.raises(CommunicationLimitExceeded):
+            cluster.communication_round(
+                [(0, 1, capacity * 3)], label="big", split_oversized=False
+            )
+
+    def test_store_tag_keeps_received_payload(self):
+        cluster = make_cluster()
+        cluster.communication_round([(0, 1, 5)], store_tag="views")
+        assert cluster.global_memory_in_use() == 5
+        cluster.release_tag_everywhere("views")
+        assert cluster.global_memory_in_use() == 0
+
+
+class TestStorage:
+    def test_store_and_release_at_key(self):
+        cluster = make_cluster()
+        cluster.store_at_key(7, 10, tag="x")
+        assert cluster.global_memory_in_use() == 10
+        cluster.release_at_key(7, 10, tag="x")
+        assert cluster.global_memory_in_use() == 0
+
+    def test_store_spread_divides_evenly(self):
+        cluster = make_cluster()
+        cluster.store_spread(cluster.num_machines * 3, tag="big")
+        peak = max(m.stored_words for m in cluster._machines.values())
+        assert peak <= 3 + 1
+
+    def test_store_spread_rejects_negative(self):
+        cluster = make_cluster()
+        with pytest.raises(SimulationError):
+            cluster.store_spread(-1)
+
+    def test_global_memory_enforcement_optional(self):
+        cluster = MPCCluster(
+            MPCConfig(num_vertices=32, num_edges=32, delta=0.5),
+            enforce_global_memory=True,
+        )
+        with pytest.raises(GlobalMemoryExceeded):
+            cluster.store_spread(cluster.config.global_memory_words() + 1000)
+
+    def test_peak_memory_tracked(self):
+        cluster = make_cluster()
+        cluster.store_at_key(1, 7)
+        cluster.release_at_key(1, 7)
+        assert cluster.stats.peak_global_memory_words >= 7
+        assert cluster.peak_machine_memory() >= 7
+
+    def test_machine_id_out_of_range(self):
+        cluster = make_cluster()
+        with pytest.raises(SimulationError):
+            cluster.machine(cluster.num_machines + 5)
+
+
+class TestGraphLoading:
+    def test_load_graph_accounts_words(self):
+        graph = generators.union_of_random_forests(64, arboricity=2, seed=1)
+        cluster = MPCCluster(MPCConfig.for_graph(graph))
+        cluster.load_graph(graph)
+        expected = graph.num_vertices + 2 * graph.num_edges
+        assert cluster.global_memory_in_use() == expected
+
+    def test_snapshot_reports_configuration(self):
+        cluster = make_cluster()
+        cluster.charge_rounds(2, "x")
+        snap = cluster.snapshot()
+        assert snap["rounds"] == 2.0
+        assert snap["num_machines"] == float(cluster.num_machines)
+        assert snap["words_per_machine"] == float(cluster.words_per_machine)

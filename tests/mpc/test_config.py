@@ -1,0 +1,69 @@
+"""Tests for MPCConfig."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.graph import generators
+from repro.mpc.config import MPCConfig
+
+
+class TestValidation:
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ParameterError):
+            MPCConfig(num_vertices=0, num_edges=0)
+        with pytest.raises(ParameterError):
+            MPCConfig(num_vertices=10, num_edges=-1)
+        with pytest.raises(ParameterError):
+            MPCConfig(num_vertices=10, num_edges=0, delta=0.0)
+        with pytest.raises(ParameterError):
+            MPCConfig(num_vertices=10, num_edges=0, memory_constant=0.0)
+
+
+class TestDerivedQuantities:
+    def test_strongly_sublinear_flag(self):
+        assert MPCConfig(num_vertices=100, num_edges=10, delta=0.5).is_strongly_sublinear
+        assert not MPCConfig(num_vertices=100, num_edges=10, delta=1.0).is_strongly_sublinear
+
+    def test_words_per_machine_scales_with_delta(self):
+        small = MPCConfig(num_vertices=10_000, num_edges=0, delta=0.25)
+        large = MPCConfig(num_vertices=10_000, num_edges=0, delta=0.75)
+        assert small.words_per_machine < large.words_per_machine
+
+    def test_words_per_machine_sublinear(self):
+        config = MPCConfig(num_vertices=10_000, num_edges=40_000, delta=0.5)
+        assert config.words_per_machine < config.num_vertices
+
+    def test_global_memory_covers_input(self):
+        config = MPCConfig(num_vertices=1000, num_edges=5000, delta=0.5)
+        assert config.global_memory_words() >= config.num_edges + config.num_vertices
+
+    def test_num_machines_times_capacity_covers_budget(self):
+        config = MPCConfig(num_vertices=1000, num_edges=5000, delta=0.5)
+        assert config.num_machines() * config.words_per_machine >= config.global_memory_words()
+
+    def test_machine_of_is_stable_and_in_range(self):
+        config = MPCConfig(num_vertices=500, num_edges=1000, delta=0.5)
+        machines = config.num_machines()
+        for key in range(200):
+            m = config.machine_of(key)
+            assert 0 <= m < machines
+            assert m == config.machine_of(key)
+
+    def test_machine_of_spreads_keys(self):
+        config = MPCConfig(num_vertices=5000, num_edges=20000, delta=0.5)
+        machines = {config.machine_of(key) for key in range(1000)}
+        assert len(machines) > 1
+
+    def test_for_graph_constructor(self):
+        graph = generators.union_of_random_forests(200, arboricity=2, seed=0)
+        config = MPCConfig.for_graph(graph, delta=0.4)
+        assert config.num_vertices == 200
+        assert config.num_edges == graph.num_edges
+        assert config.delta == 0.4
+
+    def test_log_helpers(self):
+        config = MPCConfig(num_vertices=2, num_edges=0)
+        assert config.log_n >= 1.0
+        assert config.log_log_n >= 1.0

@@ -1,0 +1,71 @@
+"""Tests for per-machine accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import CommunicationLimitExceeded, MemoryLimitExceeded
+from repro.mpc.machine import Machine
+
+
+class TestStorage:
+    def test_store_and_release(self):
+        machine = Machine(machine_id=0, capacity_words=100)
+        machine.store(40)
+        machine.store(20, tag="trees")
+        assert machine.stored_words == 60
+        assert machine.peak_stored_words == 60
+        machine.release(30)
+        assert machine.stored_words == 30
+        assert machine.peak_stored_words == 60
+
+    def test_store_over_capacity_raises(self):
+        machine = Machine(machine_id=3, capacity_words=10)
+        with pytest.raises(MemoryLimitExceeded) as info:
+            machine.store(11)
+        assert info.value.machine_id == 3
+
+    def test_store_over_capacity_unenforced(self):
+        machine = Machine(machine_id=0, capacity_words=10)
+        machine.store(50, enforce=False)
+        assert machine.stored_words == 50
+
+    def test_release_tag(self):
+        machine = Machine(machine_id=0, capacity_words=100)
+        machine.store(30, tag="a")
+        machine.store(20, tag="b")
+        machine.release_tag("a")
+        assert machine.stored_words == 20
+
+    def test_negative_words_rejected(self):
+        machine = Machine(machine_id=0, capacity_words=100)
+        with pytest.raises(ValueError):
+            machine.store(-1)
+        with pytest.raises(ValueError):
+            machine.release(-1)
+
+    def test_utilisation(self):
+        machine = Machine(machine_id=0, capacity_words=100)
+        machine.store(25)
+        assert machine.utilisation == pytest.approx(0.25)
+
+
+class TestCommunication:
+    def test_round_counters_reset(self):
+        machine = Machine(machine_id=0, capacity_words=100)
+        machine.account_send(60)
+        machine.account_receive(70)
+        machine.begin_round()
+        assert machine.round_sent_words == 0
+        assert machine.round_received_words == 0
+
+    def test_send_limit(self):
+        machine = Machine(machine_id=1, capacity_words=10)
+        with pytest.raises(CommunicationLimitExceeded) as info:
+            machine.account_send(11)
+        assert info.value.direction == "sent"
+
+    def test_receive_limit_unenforced(self):
+        machine = Machine(machine_id=1, capacity_words=10)
+        machine.account_receive(100, enforce=False)
+        assert machine.round_received_words == 100

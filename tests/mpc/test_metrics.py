@@ -1,0 +1,51 @@
+"""Tests for RoundStats bookkeeping."""
+
+from __future__ import annotations
+
+from repro.mpc.metrics import RoundStats
+
+
+class TestRoundStats:
+    def test_record_and_counters(self):
+        stats = RoundStats()
+        stats.record_round("a", words_sent=10, max_machine_sent=5, max_machine_received=7)
+        stats.record_round("a", words_sent=2, max_machine_sent=2, max_machine_received=2)
+        stats.record_round("b", words_sent=0, max_machine_sent=0, max_machine_received=0)
+        assert stats.num_rounds == 3
+        assert stats.total_words_sent == 12
+        assert stats.max_round_volume == 10
+        assert stats.rounds_by_label == {"a": 2, "b": 1}
+
+    def test_observe_memory_tracks_peaks(self):
+        stats = RoundStats()
+        stats.observe_memory(5, 100)
+        stats.observe_memory(3, 200)
+        assert stats.peak_machine_memory_words == 5
+        assert stats.peak_global_memory_words == 200
+
+    def test_merge_concatenates_and_maxes(self):
+        a = RoundStats()
+        a.record_round("x", 1, 1, 1)
+        a.observe_memory(10, 50)
+        b = RoundStats()
+        b.record_round("y", 2, 2, 2)
+        b.record_round("y", 3, 3, 3)
+        b.observe_memory(4, 80)
+        merged = a.merge(b)
+        assert merged.num_rounds == 3
+        assert merged.rounds[2].index == 2
+        assert merged.rounds_by_label == {"x": 1, "y": 2}
+        assert merged.peak_machine_memory_words == 10
+        assert merged.peak_global_memory_words == 80
+
+    def test_summary_keys(self):
+        stats = RoundStats()
+        stats.record_round("a", 1, 1, 1)
+        summary = stats.summary()
+        assert set(summary) == {
+            "rounds",
+            "total_words_sent",
+            "max_round_volume",
+            "peak_machine_memory_words",
+            "peak_global_memory_words",
+        }

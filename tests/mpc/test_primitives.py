@@ -1,0 +1,82 @@
+"""Tests for the standard MPC primitives."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.mpc.cluster import MPCCluster
+from repro.mpc.config import MPCConfig
+from repro.mpc.primitives import (
+    AGGREGATE_ROUNDS,
+    BROADCAST_ROUNDS,
+    GATHER_ROUNDS,
+    PREFIX_SUM_ROUNDS,
+    SORT_ROUNDS,
+    aggregate_by_key,
+    broadcast,
+    count_by_key,
+    gather_bundles,
+    prefix_sums,
+    sort_by_key,
+)
+
+
+@pytest.fixture
+def cluster() -> MPCCluster:
+    return MPCCluster(MPCConfig(num_vertices=512, num_edges=1024, delta=0.5))
+
+
+class TestSort:
+    def test_sorts_by_key(self, cluster):
+        items = [(3, "c"), (1, "a"), (2, "b")]
+        result = sort_by_key(cluster, items)
+        assert [k for k, _ in result] == [1, 2, 3]
+        assert cluster.stats.num_rounds == SORT_ROUNDS
+
+
+class TestAggregate:
+    def test_combines_values(self, cluster):
+        items = [(1, 2), (1, 3), (2, 10)]
+        result = aggregate_by_key(cluster, items, combine=lambda a, b: a + b)
+        assert result == {1: 5, 2: 10}
+        assert cluster.stats.num_rounds == AGGREGATE_ROUNDS
+
+    def test_min_combine(self, cluster):
+        result = aggregate_by_key(cluster, [(7, 4), (7, 1), (9, 2)], combine=min)
+        assert result == {7: 1, 9: 2}
+
+    def test_count_by_key(self, cluster):
+        result = count_by_key(cluster, [1, 1, 2, 3, 3, 3])
+        assert result == {1: 2, 2: 1, 3: 3}
+
+
+class TestBroadcastAndPrefix:
+    def test_broadcast_charges_rounds(self, cluster):
+        broadcast(cluster, payload_words=2, destinations=list(range(50)))
+        assert cluster.stats.num_rounds >= BROADCAST_ROUNDS
+
+    def test_broadcast_empty_destinations(self, cluster):
+        broadcast(cluster, payload_words=2, destinations=[])
+        assert cluster.stats.num_rounds == BROADCAST_ROUNDS
+
+    def test_broadcast_rejects_negative_payload(self, cluster):
+        with pytest.raises(SimulationError):
+            broadcast(cluster, payload_words=-1, destinations=[1])
+
+    def test_prefix_sums(self, cluster):
+        assert prefix_sums(cluster, [3, 1, 4, 1]) == [0, 3, 4, 8]
+        assert cluster.stats.num_rounds == PREFIX_SUM_ROUNDS
+
+
+class TestGather:
+    def test_gather_bundles_delivers_volume(self, cluster):
+        bundles = {0: 3, 1: 2, 2: 1}
+        interest = {5: [0, 1], 6: [2]}
+        gather_bundles(cluster, bundles, interest)
+        assert cluster.stats.num_rounds == GATHER_ROUNDS + 1
+        assert cluster.stats.total_words_sent == 3 + 2 + 1
+
+    def test_gather_with_storage(self, cluster):
+        gather_bundles(cluster, {0: 4}, {1: [0]}, store_tag="bundle")
+        assert cluster.global_memory_in_use() == 4

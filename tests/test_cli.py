@@ -1,0 +1,91 @@
+"""Tests for the command-line interface (python -m repro ...)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.graph import generators
+from repro.graph.io import read_edge_list, write_edge_list
+
+
+@pytest.fixture
+def graph_file(tmp_path):
+    graph = generators.union_of_random_forests(128, arboricity=3, seed=5)
+    path = tmp_path / "graph.txt"
+    write_edge_list(graph, path)
+    return path, graph
+
+
+class TestGenerate:
+    def test_generate_to_stdout(self, capsys):
+        assert main(["generate", "forest", "32", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "# vertices 32" in out
+        assert len(out.strip().splitlines()) == 32  # header + 31 edges
+
+    def test_generate_to_file_roundtrips(self, tmp_path):
+        path = tmp_path / "gen.txt"
+        assert main(["generate", "union_forests", "64", "--seed", "2", "--output", str(path)]) == 0
+        graph = read_edge_list(path)
+        assert graph.num_vertices == 64
+
+
+class TestOrient:
+    def test_orient_prints_every_edge(self, graph_file, capsys):
+        path, graph = graph_file
+        assert main(["orient", str(path), "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert len(out.strip().splitlines()) == graph.num_edges
+        assert "->" in out
+
+    def test_orient_summary_on_stderr(self, graph_file, capsys):
+        path, _graph = graph_file
+        assert main(["orient", str(path)]) == 0
+        err = capsys.readouterr().err
+        assert "max outdegree" in err
+
+    def test_orient_to_file(self, graph_file, tmp_path):
+        path, graph = graph_file
+        out_path = tmp_path / "orientation.txt"
+        assert main(["orient", str(path), "--quiet", "--output", str(out_path)]) == 0
+        assert len(out_path.read_text().strip().splitlines()) == graph.num_edges
+
+
+class TestColor:
+    def test_color_outputs_one_line_per_vertex(self, graph_file, capsys):
+        path, graph = graph_file
+        assert main(["color", str(path), "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert len(out.strip().splitlines()) == graph.num_vertices
+
+    def test_colors_are_proper(self, graph_file, capsys):
+        path, graph = graph_file
+        assert main(["color", str(path), "--quiet"]) == 0
+        out = capsys.readouterr().out
+        colors = {}
+        for line in out.strip().splitlines():
+            vertex, value = line.split()
+            colors[int(vertex)] = int(value)
+        assert all(colors[u] != colors[v] for (u, v) in graph.edges)
+
+
+class TestLayersAndCoreness:
+    def test_layers_command(self, graph_file, capsys):
+        path, graph = graph_file
+        assert main(["layers", str(path), "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert len(out.strip().splitlines()) == graph.num_vertices
+
+    def test_layers_with_explicit_k(self, graph_file, capsys):
+        path, _graph = graph_file
+        assert main(["layers", str(path), "--k", "8"]) == 0
+        err = capsys.readouterr().err
+        assert "k=8" in err
+
+    def test_coreness_command(self, graph_file, capsys):
+        path, graph = graph_file
+        assert main(["coreness", str(path), "--exact"]) == 0
+        captured = capsys.readouterr()
+        assert len(captured.out.strip().splitlines()) == graph.num_vertices
+        assert "ratio" in captured.err
