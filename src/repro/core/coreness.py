@@ -113,25 +113,14 @@ def approximate_coreness(
 
     for guess in guesses:
         threshold = 2 * guess
-        iterations = rounds_per_guess if rounds_per_guess is not None else n + 1
-        degree = list(graph.degrees)
-        removed = [False] * n
-        rounds_used = 0
+        # The frontier kernel runs the whole peel-to-fixed-point process in
+        # O(n + m) regardless of the number of rounds.
+        layers, rounds_used = graph.peel_layers(threshold, max_rounds=rounds_per_guess)
         peeled_total = 0
-        for _ in range(iterations):
-            peel = [v for v in range(n) if not removed[v] and degree[v] <= threshold]
-            if not peel:
-                break
-            rounds_used += 1
-            for v in peel:
-                removed[v] = True
-                if v not in estimates:
-                    estimates[v] = guess
-                    peeled_total += 1
-            for v in peel:
-                for w in graph.neighbors(v):
-                    if not removed[w]:
-                        degree[w] -= 1
+        for v in range(n):
+            if layers[v] and v not in estimates:
+                estimates[v] = guess
+                peeled_total += 1
         per_guess_peeled[guess] = peeled_total
         max_rounds_used = max(max_rounds_used, rounds_used)
 

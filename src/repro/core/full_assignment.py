@@ -157,25 +157,16 @@ def _peel_low_degree(
     charged as part of the same round).
     """
     n = graph.num_vertices
-    degree = list(graph.degrees)
-    removed = [False] * n
+    layers, used_rounds = graph.peel_layers(k, max_rounds=rounds)
     layer_of: dict[int, int] = {}
-    used_rounds = 0
-    for round_index in range(1, rounds + 1):
-        peel = [v for v in range(n) if not removed[v] and degree[v] <= k]
-        if not peel:
-            break
-        used_rounds += 1
-        for v in peel:
-            removed[v] = True
-            layer_of[v] = round_index
-        for v in peel:
-            for w in graph.neighbors(v):
-                if not removed[w]:
-                    degree[w] -= 1
-        if cluster is not None:
-            cluster.charge_rounds(1, label="peel:low-degree")
-    survivors = [v for v in range(n) if not removed[v]]
+    survivors: list[int] = []
+    for v in range(n):
+        if layers[v]:
+            layer_of[v] = layers[v]
+        else:
+            survivors.append(v)
+    if cluster is not None and used_rounds:
+        cluster.charge_rounds(used_rounds, label="peel:low-degree")
     return layer_of, survivors, used_rounds
 
 

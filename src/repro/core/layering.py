@@ -11,12 +11,22 @@ Implements Section 2.1 of the paper:
 * Definition 2.2 / Lemma 2.4 — strictly increasing paths and the per-vertex
   path counts ``NumPathsIn`` / ``NumPathsOut``; the total is at most
   ``n · d^L`` for a complete assignment with out-degree ``d``.
+
+Storage layout: layers live in a flat per-vertex list (``∞`` =
+:data:`UNASSIGNED`) aligned with the graph's CSR arrays, not in a
+``dict[int, float]``.  The public ``layer_of`` attribute remains a read-only
+``Mapping`` view over that list for source compatibility; constructors also
+accept a plain sequence, which the hot paths (:meth:`~PartialLayerAssignment.from_peeling`,
+:meth:`~PartialLayerAssignment.combine_min`) use to skip dict round-trips.
+The peeling constructor delegates to the shared frontier kernel
+:meth:`repro.graph.graph.Graph.peel_layers`, and the path-count DPs are
+single passes over a layer-sorted vertex array.
 """
 
 from __future__ import annotations
 
 import math
-from collections.abc import Mapping
+from collections.abc import Iterator, Mapping
 from dataclasses import dataclass
 
 from repro.errors import InvalidLayeringError
@@ -26,13 +36,53 @@ UNASSIGNED = math.inf
 """Sentinel layer value for unassigned vertices (the paper's ``∞``)."""
 
 
+class _LayerArrayView(Mapping):
+    """Read-only ``vertex -> layer`` Mapping over the flat layer list."""
+
+    __slots__ = ("_values",)
+
+    def __init__(self, values: list[float]) -> None:
+        self._values = values
+
+    def __getitem__(self, v: int) -> float:
+        values = self._values
+        if isinstance(v, int) and 0 <= v < len(values):
+            return values[v]
+        raise KeyError(v)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(range(len(self._values)))
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, _LayerArrayView):
+            return self._values == other._values
+        if isinstance(other, Mapping):
+            if len(other) != len(self._values):
+                return False
+            try:
+                return all(other[v] == value for v, value in enumerate(self._values))
+            except KeyError:
+                return False
+        return NotImplemented
+
+    __hash__ = None  # mirrors dict's unhashability
+
+    def __repr__(self) -> str:
+        return repr(dict(enumerate(self._values)))
+
+
 @dataclass(frozen=True)
 class PartialLayerAssignment:
     """A partial layer assignment ``ℓ : V(G) -> [L] ∪ {∞}`` (Definition 2.1).
 
     ``layer_of[v]`` is either an integer in ``1..num_layers`` or
     :data:`UNASSIGNED`.  The declared ``out_degree`` is the bound ``d`` the
-    assignment promises; :meth:`validate` checks the promise.
+    assignment promises; :meth:`validate` checks the promise.  ``layer_of``
+    may be passed as a mapping (the original API) or as a flat per-vertex
+    sequence; it is normalised to the internal flat list either way.
     """
 
     graph: Graph
@@ -41,62 +91,102 @@ class PartialLayerAssignment:
     out_degree: int
 
     def __post_init__(self) -> None:
-        for v in self.graph.vertices:
-            value = self.layer_of.get(v, None)
-            if value is None:
-                raise InvalidLayeringError(f"vertex {v} has no layer entry (use UNASSIGNED)")
-            if value != UNASSIGNED and not (1 <= value <= self.num_layers):
+        graph = self.graph
+        n = graph.num_vertices
+        provided = self.layer_of
+        if isinstance(provided, _LayerArrayView):
+            values = list(provided._values)
+            if len(values) != n:
                 raise InvalidLayeringError(
-                    f"vertex {v} has layer {value} outside 1..{self.num_layers}"
+                    f"layer sequence has {len(values)} entries for {n} vertices"
                 )
+        elif isinstance(provided, Mapping):
+            values = [UNASSIGNED] * n
+            for v in range(n):
+                value = provided.get(v, None)
+                if value is None:
+                    raise InvalidLayeringError(f"vertex {v} has no layer entry (use UNASSIGNED)")
+                values[v] = value
+        else:
+            values = list(provided)
+            if len(values) != n:
+                raise InvalidLayeringError(
+                    f"layer sequence has {len(values)} entries for {n} vertices"
+                )
+        num_layers = self.num_layers
+        for v, value in enumerate(values):
+            if value != UNASSIGNED and not (1 <= value <= num_layers):
+                raise InvalidLayeringError(
+                    f"vertex {v} has layer {value} outside 1..{num_layers}"
+                )
+        object.__setattr__(self, "_values", values)
+        object.__setattr__(self, "layer_of", _LayerArrayView(values))
 
     # ------------------------------------------------------------------ #
 
     def layer(self, v: int) -> float:
         """Layer of ``v`` (``UNASSIGNED`` if not assigned)."""
-        return self.layer_of[v]
+        return self._values[v]
 
     def is_assigned(self, v: int) -> bool:
         """Whether ``v`` has a finite layer."""
-        return self.layer_of[v] != UNASSIGNED
+        return self._values[v] != UNASSIGNED
 
     def assigned_vertices(self) -> list[int]:
         """All vertices with a finite layer."""
-        return [v for v in self.graph.vertices if self.is_assigned(v)]
+        return [v for v, value in enumerate(self._values) if value != UNASSIGNED]
 
     def unassigned_vertices(self) -> list[int]:
         """All vertices with layer ``∞``."""
-        return [v for v in self.graph.vertices if not self.is_assigned(v)]
+        return [v for v, value in enumerate(self._values) if value == UNASSIGNED]
 
     def higher_or_equal_neighbors(self, v: int) -> list[int]:
         """Neighbors ``u`` of ``v`` with ``ℓ(u) ≥ ℓ(v)`` (the out-degree set)."""
-        mine = self.layer_of[v]
-        return [u for u in self.graph.neighbors(v) if self.layer_of[u] >= mine]
+        values = self._values
+        mine = values[v]
+        return [u for u in self.graph.neighbors(v) if values[u] >= mine]
 
     def observed_out_degree(self, v: int) -> int:
         """``|{u ∈ N(v) : ℓ(u) ≥ ℓ(v)}|`` for an assigned vertex ``v``."""
         return len(self.higher_or_equal_neighbors(v))
 
+    def _observed_out_degrees(self):
+        """Yield ``(v, ℓ(v), observed out-degree)`` for every assigned vertex.
+
+        One pass over the CSR adjacency; shared by :meth:`validate` and
+        :meth:`max_observed_out_degree`.
+        """
+        values = self._values
+        indptr = self.graph.csr_indptr
+        indices = self.graph.csr_indices
+        for v, mine in enumerate(values):
+            if mine == UNASSIGNED:
+                continue
+            observed = 0
+            for j in range(indptr[v], indptr[v + 1]):
+                if values[indices[j]] >= mine:
+                    observed += 1
+            yield v, mine, observed
+
     def max_observed_out_degree(self) -> int:
         """Maximum out-degree over assigned vertices (0 if nothing is assigned)."""
         return max(
-            (self.observed_out_degree(v) for v in self.graph.vertices if self.is_assigned(v)),
+            (observed for _v, _mine, observed in self._observed_out_degrees()),
             default=0,
         )
 
     def validate(self) -> None:
         """Raise unless every assigned vertex respects the declared out-degree bound.
 
-        This is exactly Definition 2.1's condition.
+        This is exactly Definition 2.1's condition; checked in one pass over
+        the CSR adjacency.
         """
-        for v in self.graph.vertices:
-            if not self.is_assigned(v):
-                continue
-            observed = self.observed_out_degree(v)
-            if observed > self.out_degree:
+        bound = self.out_degree
+        for v, mine, observed in self._observed_out_degrees():
+            if observed > bound:
                 raise InvalidLayeringError(
-                    f"vertex {v} (layer {self.layer_of[v]}) has {observed} neighbors in "
-                    f"layers ≥ its own, exceeding the declared bound {self.out_degree}"
+                    f"vertex {v} (layer {mine}) has {observed} neighbors in "
+                    f"layers ≥ its own, exceeding the declared bound {bound}"
                 )
 
     def fraction_assigned(self) -> float:
@@ -123,9 +213,7 @@ class PartialLayerAssignment:
             raise InvalidLayeringError(
                 "cannot combine assignments with different (L, d) parameters"
             )
-        combined = {
-            v: min(self.layer_of[v], other.layer_of[v]) for v in self.graph.vertices
-        }
+        combined = [a if a <= b else b for a, b in zip(self._values, other._values)]
         return PartialLayerAssignment(
             graph=self.graph,
             layer_of=combined,
@@ -142,7 +230,7 @@ class PartialLayerAssignment:
         """The trivial assignment mapping every vertex to ``∞``."""
         return cls(
             graph=graph,
-            layer_of={v: UNASSIGNED for v in graph.vertices},
+            layer_of=[UNASSIGNED] * graph.num_vertices,
             num_layers=num_layers,
             out_degree=out_degree,
         )
@@ -154,31 +242,18 @@ class PartialLayerAssignment:
         Peel vertices of remaining degree ≤ ``threshold`` iteratively; the
         iteration index is the layer.  Any vertices that survive all
         iterations (possible only when the threshold is below 2λ) stay ``∞``.
+
+        When ``num_layers`` is omitted, the declared layer count is exactly
+        the deepest assigned layer (at least 1), so ``num_layers`` never
+        overstates the layering depth that round bounds are derived from.
         """
-        n = graph.num_vertices
-        degree = list(graph.degrees)
-        removed = [False] * n
-        layer_of: dict[int, float] = {v: UNASSIGNED for v in range(n)}
-        current_layer = 1
-        remaining = n
-        while remaining > 0 and (num_layers is None or current_layer <= num_layers):
-            peel = [v for v in range(n) if not removed[v] and degree[v] <= threshold]
-            if not peel:
-                break
-            for v in peel:
-                layer_of[v] = current_layer
-                removed[v] = True
-            remaining -= len(peel)
-            for v in peel:
-                for w in graph.neighbors(v):
-                    if not removed[w]:
-                        degree[w] -= 1
-            current_layer += 1
-        deepest = current_layer if num_layers is None else num_layers
+        layers, rounds_used = graph.peel_layers(threshold, max_rounds=num_layers)
+        layer_of = [float(layer) if layer else UNASSIGNED for layer in layers]
+        declared = rounds_used if num_layers is None else num_layers
         return cls(
             graph=graph,
             layer_of=layer_of,
-            num_layers=max(deepest, 1),
+            num_layers=max(declared, 1),
             out_degree=threshold,
         )
 
@@ -195,33 +270,52 @@ def num_paths_in(assignment: PartialLayerAssignment) -> dict[int, int]:
     ``ℓ(v_1) < ℓ(v_2) < ... < ℓ(v_k) < ∞``; the single-vertex path counts, so
     every assigned vertex has ``NumPathsIn ≥ 1`` and unassigned vertices have 0.
 
-    Computed by dynamic programming over vertices in increasing layer order:
-    ``NumPathsIn(v) = 1 + Σ_{u ∈ N(v), ℓ(u) < ℓ(v)} NumPathsIn(u)``.
+    Computed by a single dynamic-programming pass over the vertices sorted by
+    increasing layer: ``NumPathsIn(v) = 1 + Σ_{u ∈ N(v), ℓ(u) < ℓ(v)} NumPathsIn(u)``.
     """
     graph = assignment.graph
-    counts: dict[int, int] = {v: 0 for v in graph.vertices}
-    assigned = [v for v in graph.vertices if assignment.is_assigned(v)]
-    for v in sorted(assigned, key=lambda u: assignment.layer(u)):
+    values = assignment._values
+    n = graph.num_vertices
+    indptr = graph.csr_indptr
+    indices = graph.csr_indices
+    counts = [0] * n
+    order = sorted(
+        (v for v in range(n) if values[v] != UNASSIGNED), key=values.__getitem__
+    )
+    for v in order:
+        mine = values[v]
         total = 1
-        for u in graph.neighbors(v):
-            if assignment.is_assigned(u) and assignment.layer(u) < assignment.layer(v):
+        for j in range(indptr[v], indptr[v + 1]):
+            u = indices[j]
+            if values[u] < mine:
                 total += counts[u]
         counts[v] = total
-    return counts
+    return {v: counts[v] for v in range(n)}
 
 
 def num_paths_out(assignment: PartialLayerAssignment) -> dict[int, int]:
     """``NumPathsOut(v)``: strictly increasing paths (w.r.t. ℓ) starting at ``v``."""
     graph = assignment.graph
-    counts: dict[int, int] = {v: 0 for v in graph.vertices}
-    assigned = [v for v in graph.vertices if assignment.is_assigned(v)]
-    for v in sorted(assigned, key=lambda u: assignment.layer(u), reverse=True):
+    values = assignment._values
+    n = graph.num_vertices
+    indptr = graph.csr_indptr
+    indices = graph.csr_indices
+    counts = [0] * n
+    order = sorted(
+        (v for v in range(n) if values[v] != UNASSIGNED),
+        key=values.__getitem__,
+        reverse=True,
+    )
+    for v in order:
+        mine = values[v]
         total = 1
-        for u in graph.neighbors(v):
-            if assignment.is_assigned(u) and assignment.layer(u) > assignment.layer(v):
+        for j in range(indptr[v], indptr[v + 1]):
+            u = indices[j]
+            # Unassigned neighbors compare greater but contribute count 0.
+            if values[u] > mine:
                 total += counts[u]
         counts[v] = total
-    return counts
+    return {v: counts[v] for v in range(n)}
 
 
 def lemma_2_4_upper_bound(assignment: PartialLayerAssignment) -> int:

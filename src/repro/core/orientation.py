@@ -25,7 +25,7 @@ from dataclasses import dataclass, field
 
 from repro.core.full_assignment import LayerAssignmentRun, complete_layer_assignment
 from repro.core.partitioning import random_edge_partition
-from repro.errors import ParameterError
+from repro.errors import GraphError, ParameterError
 from repro.graph.arboricity import arboricity_upper_bound
 from repro.graph.graph import Graph
 from repro.graph.hpartition import HPartition
@@ -56,6 +56,32 @@ class OrientationRun:
 def _orient_from_run(graph: Graph, run: LayerAssignmentRun) -> tuple[Orientation, HPartition]:
     partition = run.to_hpartition()
     return partition.to_orientation(), partition
+
+
+def _check_merged_covers(graph: Graph, merged: Orientation | None) -> Orientation:
+    """Lemma 2.1 invariant: the oriented parts cover every input edge exactly once.
+
+    Edge-disjointness is already enforced by :meth:`Orientation.merge_with`
+    (it rejects overlapping parts), so the only remaining failure mode is a
+    partition that *misses* edges — which would silently produce an
+    orientation of a subgraph.  Rather than trying to "repair" such a merge
+    (the old fallback re-wrapped the incomplete direction map and crashed with
+    a confusing coverage error), we fail loudly with the actual invariant that
+    broke.
+    """
+    if merged is None:
+        if graph.num_edges == 0:
+            return Orientation(graph, {})
+        raise GraphError(
+            f"edge partition produced no oriented parts although the graph has "
+            f"{graph.num_edges} edges"
+        )
+    if merged.graph != graph:
+        raise GraphError(
+            f"edge partition does not cover the input graph exactly: the merged "
+            f"orientation spans {merged.graph.num_edges} of {graph.num_edges} edges"
+        )
+    return merged
 
 
 def orient(
@@ -146,17 +172,15 @@ def orient(
     per_part_k = max(2, int(math.ceil(2 * log_n)))
     for part in edge_partition.parts:
         if part.num_edges == 0:
+            # Empty parts happen whenever the part count exceeds the edge
+            # count; they contribute nothing and are simply skipped.
             continue
         run = complete_layer_assignment(part, k=per_part_k, delta=delta, cluster=cluster)
         partition_runs.append(run)
         part_orientation, _ = _orient_from_run(part, run)
         merged = part_orientation if merged is None else merged.merge_with(part_orientation)
 
-    if merged is None:
-        merged = Orientation(graph, {})
-    elif set(merged.graph.edges) != set(graph.edges):
-        # Parts with zero edges were skipped; rebuild over the full edge set.
-        merged = Orientation(graph, dict(merged.direction))
+    merged = _check_merged_covers(graph, merged)
 
     return OrientationRun(
         orientation=merged,

@@ -71,7 +71,11 @@ def random_edge_partition(
     buckets: list[list] = [[] for _ in range(parts_count)]
     for edge in graph.edges:
         buckets[rng.randrange(parts_count)].append(edge)
-    parts = [Graph(graph.num_vertices, bucket) for bucket in buckets]
+    # Each bucket inherits the canonical sorted order from graph.edges, so
+    # the parts can be assembled through the trusted fast path.
+    parts = [
+        Graph._from_canonical_sorted(graph.num_vertices, bucket) for bucket in buckets
+    ]
     return EdgePartition(parts=parts)
 
 

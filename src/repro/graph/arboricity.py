@@ -107,24 +107,18 @@ def greedy_peeling_layers(graph: Graph, threshold: int) -> list[list[int]]:
     if threshold < 0:
         raise ValueError("threshold must be non-negative")
     n = graph.num_vertices
-    degree = list(graph.degrees)
-    removed = [False] * n
-    remaining = n
-    layers: list[list[int]] = []
-    while remaining > 0:
-        peel = [v for v in range(n) if not removed[v] and degree[v] <= threshold]
-        if not peel:
+    layer_arr, rounds_used = graph.peel_layers(threshold)
+    layers: list[list[int]] = [[] for _ in range(rounds_used)]
+    stuck: list[int] = []
+    for v in range(n):
+        layer = layer_arr[v]
+        if layer:
+            layers[layer - 1].append(v)
+        else:
             # Cannot make progress with this threshold; dump the rest.
-            layers.append([v for v in range(n) if not removed[v]])
-            break
-        layers.append(peel)
-        for v in peel:
-            removed[v] = True
-        remaining -= len(peel)
-        for v in peel:
-            for w in graph.neighbors(v):
-                if not removed[w]:
-                    degree[w] -= 1
+            stuck.append(v)
+    if stuck:
+        layers.append(stuck)
     return layers
 
 

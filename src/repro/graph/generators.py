@@ -109,7 +109,7 @@ def complete_ary_tree(branching: int, num_vertices: int) -> Graph:
     if branching < 2:
         raise GraphError("branching must be at least 2")
     edges = [((i - 1) // branching, i) for i in range(1, num_vertices)]
-    return Graph(max(num_vertices, 1), edges)
+    return Graph(max(num_vertices, 0), edges)
 
 
 def deep_hierarchy(

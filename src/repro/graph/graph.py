@@ -1,21 +1,41 @@
-"""Immutable undirected graph used throughout the reproduction.
+"""Immutable undirected graph stored in compressed sparse row (CSR) form.
 
 The MPC and LOCAL simulators, the core algorithms of the paper, and the
-baselines all consume the same :class:`Graph` type defined here.  The class is
-intentionally small: vertices are integers ``0 .. n-1`` and the edge set is a
-set of unordered pairs.  All derived structures (adjacency lists, degrees) are
-computed once at construction time and never mutated afterwards, which keeps
-the simulators honest — an algorithm cannot "cheat" by editing the input in
-place; it must produce explicit outputs (orientations, colorings, layerings).
+baselines all consume the same :class:`Graph` type defined here.  Vertices are
+integers ``0 .. n-1``.  Internally the graph is array-backed:
 
-The class stores adjacency as sorted tuples so iteration order is
+* ``_edge_u`` / ``_edge_v`` — the canonical ``(min, max)`` edge list as two
+  parallel ``array('l')`` columns, sorted lexicographically.  Edge ``i`` of
+  the graph is ``(_edge_u[i], _edge_v[i])``; orientations and the MPC loaders
+  address edges by this index.  Built once at construction, never mutated.
+* ``_indptr`` / ``_indices`` — flat ``array('l')`` CSR adjacency: the
+  neighbors of ``v`` are ``_indices[_indptr[v] : _indptr[v+1]]``, sorted
+  ascending.  Materialised lazily on first adjacency access and then frozen —
+  derived graphs (partition parts, merged orientation graphs) often only need
+  the edge columns.
+* ``_edge_index`` — hash map from canonical edge to its index, giving O(1)
+  edge membership (``in``) and O(1) edge-id lookup; also built lazily.
+
+All public accessors are source-compatible with the original tuple-of-tuples
+representation (``edges`` and ``neighbors`` still return tuples; both are
+materialised lazily and memoised).  Hot paths — induced/edge subgraphs, the
+peeling kernel, connected components — walk the flat arrays directly instead
+of scanning Python object structures, which is what lets the layering and
+orientation pipelines scale to 10^5-vertex inputs.
+
+The graph is immutable, which keeps the simulators honest — an algorithm
+cannot "cheat" by editing the input in place; it must produce explicit outputs
+(orientations, colorings, layerings).  Iteration order everywhere is
 deterministic, which matters for reproducibility of the randomized algorithms
 (they consume randomness only through explicitly passed generators).
 """
 
 from __future__ import annotations
 
+from array import array
+from bisect import bisect_right
 from collections.abc import Iterable, Iterator, Sequence
+from operator import itemgetter
 from typing import Optional
 
 from repro.errors import GraphError
@@ -55,34 +75,116 @@ class Graph:
     to obtain fresh graphs.
     """
 
-    __slots__ = ("_n", "_edges", "_adjacency", "_degrees")
+    __slots__ = (
+        "_n",
+        "_indptr",
+        "_indices",
+        "_edge_u",
+        "_edge_v",
+        "_edge_index",
+        "_edges_cache",
+        "_neighbor_cache",
+        "_degrees_cache",
+    )
 
     def __init__(self, num_vertices: int, edges: Iterable[Edge] = ()) -> None:
         if num_vertices < 0:
             raise GraphError("num_vertices must be non-negative")
-        self._n = int(num_vertices)
-
-        edge_set: set[Edge] = set()
-        adjacency: list[list[int]] = [[] for _ in range(self._n)]
+        n = int(num_vertices)
+        canonical: list[Edge] = []
+        seen: set[Edge] = set()
         for u, v in edges:
             u = int(u)
             v = int(v)
-            if not (0 <= u < self._n and 0 <= v < self._n):
+            if not (0 <= u < n and 0 <= v < n):
                 raise GraphError(
-                    f"edge ({u}, {v}) references a vertex outside 0..{self._n - 1}"
+                    f"edge ({u}, {v}) references a vertex outside 0..{n - 1}"
                 )
             e = normalize_edge(u, v)
-            if e in edge_set:
+            if e in seen:
                 raise GraphError(f"duplicate edge {e}")
-            edge_set.add(e)
-            adjacency[e[0]].append(e[1])
-            adjacency[e[1]].append(e[0])
+            seen.add(e)
+            canonical.append(e)
+        canonical.sort()
+        self._n = n
+        self._assemble(canonical)
 
-        self._edges: tuple[Edge, ...] = tuple(sorted(edge_set))
-        self._adjacency: tuple[tuple[int, ...], ...] = tuple(
-            tuple(sorted(neighbors)) for neighbors in adjacency
+    @classmethod
+    def _from_canonical_sorted(cls, num_vertices: int, canonical: Iterable[Edge]) -> "Graph":
+        """Internal fast path for trusted input.
+
+        ``canonical`` must already be canonical ``(min, max)`` edges, sorted
+        lexicographically, without duplicates, and within ``0..n-1``.  Used by
+        subgraph extraction, edge unions and the random edge partition, which
+        all derive their edges from an existing graph's canonical edge list.
+        """
+        self = object.__new__(cls)
+        self._n = int(num_vertices)
+        self._assemble(canonical if isinstance(canonical, list) else list(canonical))
+        return self
+
+    @classmethod
+    def _from_columns(cls, num_vertices: int, edge_u: array, edge_v: array) -> "Graph":
+        """Internal fast path from already-built canonical sorted edge columns."""
+        self = object.__new__(cls)
+        self._n = int(num_vertices)
+        self._init_columns(edge_u, edge_v)
+        return self
+
+    def _assemble(self, canonical: list[Edge]) -> None:
+        """Store the canonical edge columns; the CSR arrays build lazily."""
+        self._init_columns(
+            array("l", map(itemgetter(0), canonical)),
+            array("l", map(itemgetter(1), canonical)),
         )
-        self._degrees: tuple[int, ...] = tuple(len(a) for a in self._adjacency)
+
+    def _init_columns(self, edge_u: array, edge_v: array) -> None:
+        self._edge_u = edge_u
+        self._edge_v = edge_v
+        # The adjacency arrays and the edge hash index are built on first use
+        # and memoised — derived graphs (subgraphs, partition parts, merged
+        # orientation graphs) frequently only need the edge columns.
+        self._edge_index = None
+        self._indptr = None
+        self._indices = None
+        self._edges_cache: Optional[tuple[Edge, ...]] = None
+        self._neighbor_cache: Optional[list[Optional[tuple[int, ...]]]] = None
+        self._degrees_cache: Optional[tuple[int, ...]] = None
+
+    def _build_csr(self) -> None:
+        """Materialise the CSR adjacency from the edge columns (once).
+
+        Each vertex's slice is [smaller neighbors asc | larger neighbors asc],
+        which is fully ascending because edges are stored sorted: the larger
+        ("forward") half of every slice is a contiguous run of ``_edge_v``
+        located by bisection and appended as a C-level block copy, while the
+        smaller ("backward") half is gathered by one bucket-append pass.
+        """
+        n = self._n
+        edge_u = self._edge_u
+        edge_v = self._edge_v
+        m = len(edge_u)
+        backward: list[list[int]] = [[] for _ in range(n)]
+        for u, v in zip(edge_u, edge_v):
+            backward[v].append(u)
+        indices: list[int] = []
+        extend = indices.extend
+        indptr = [0] * (n + 1)
+        position = 0
+        filled = 0
+        for v in range(n):
+            smaller = backward[v]
+            if smaller:
+                extend(smaller)
+                filled += len(smaller)
+            if position < m and edge_u[position] == v:
+                end = bisect_right(edge_u, v, position)
+                extend(edge_v[position:end])
+                filled += end - position
+                position = end
+            indptr[v + 1] = filled
+        self._indptr = array("l", indptr)
+        self._indices = array("l", indices)
 
     # ------------------------------------------------------------------ #
     # Basic accessors
@@ -96,7 +198,7 @@ class Graph:
     @property
     def num_edges(self) -> int:
         """Number of edges ``m``."""
-        return len(self._edges)
+        return len(self._edge_u)
 
     @property
     def vertices(self) -> range:
@@ -106,24 +208,76 @@ class Graph:
     @property
     def edges(self) -> tuple[Edge, ...]:
         """All edges in canonical ``(min, max)`` form, sorted."""
-        return self._edges
+        cached = self._edges_cache
+        if cached is None:
+            cached = self._edges_cache = tuple(zip(self._edge_u, self._edge_v))
+        return cached
+
+    @property
+    def edge_endpoints(self) -> tuple[array, array]:
+        """The edge list as two parallel ``array('l')`` columns ``(u[], v[])``.
+
+        Edge ``i`` is ``(u[i], v[i])`` with ``u[i] < v[i]``; the order matches
+        :attr:`edges`.  Callers must not mutate the arrays.
+        """
+        return self._edge_u, self._edge_v
+
+    @property
+    def edge_ids(self) -> dict[Edge, int]:
+        """Hash map from canonical edge to its index in :attr:`edges`.
+
+        Gives O(1) edge membership and edge-id lookup; built lazily and
+        memoised.  Callers must not mutate the mapping.
+        """
+        cached = self._edge_index
+        if cached is None:
+            cached = self._edge_index = {e: i for i, e in enumerate(self.edges)}
+        return cached
+
+    @property
+    def csr_indptr(self) -> array:
+        """CSR offsets: neighbors of ``v`` live at ``csr_indices[csr_indptr[v]:csr_indptr[v+1]]``."""
+        if self._indptr is None:
+            self._build_csr()
+        return self._indptr
+
+    @property
+    def csr_indices(self) -> array:
+        """Flat CSR neighbor array (sorted within each vertex's slice)."""
+        if self._indices is None:
+            self._build_csr()
+        return self._indices
 
     def neighbors(self, v: int) -> tuple[int, ...]:
-        """Sorted tuple of neighbors of ``v``."""
-        return self._adjacency[v]
+        """Sorted tuple of neighbors of ``v`` (materialised lazily from the CSR slice)."""
+        cache = self._neighbor_cache
+        if cache is None:
+            cache = self._neighbor_cache = [None] * self._n
+        result = cache[v]
+        if result is None:
+            indptr = self.csr_indptr
+            result = cache[v] = tuple(self.csr_indices[indptr[v] : indptr[v + 1]])
+        return result
 
     def degree(self, v: int) -> int:
         """Degree of vertex ``v``."""
-        return self._degrees[v]
+        indptr = self.csr_indptr
+        return indptr[v + 1] - indptr[v]
 
     @property
     def degrees(self) -> tuple[int, ...]:
         """Tuple of all vertex degrees, indexed by vertex id."""
-        return self._degrees
+        cached = self._degrees_cache
+        if cached is None:
+            indptr = self.csr_indptr
+            cached = self._degrees_cache = tuple(
+                indptr[i + 1] - indptr[i] for i in range(self._n)
+            )
+        return cached
 
     def max_degree(self) -> int:
         """Maximum degree Δ of the graph (0 for the empty graph)."""
-        return max(self._degrees, default=0)
+        return max(self.degrees, default=0)
 
     def average_degree(self) -> float:
         """Average degree ``2m / n`` (0.0 for the empty graph)."""
@@ -132,16 +286,14 @@ class Graph:
         return 2.0 * self.num_edges / self._n
 
     def has_edge(self, u: int, v: int) -> bool:
-        """Whether the edge ``{u, v}`` is present."""
+        """Whether the edge ``{u, v}`` is present (O(1) hash lookup)."""
         return (u, v) in self
 
     def __contains__(self, edge: Edge) -> bool:
         u, v = edge
-        if u == v or not (0 <= u < self._n and 0 <= v < self._n):
-            return False
-        # adjacency tuples are sorted, but degrees are small enough that a
-        # linear scan is fine and avoids building an auxiliary index.
-        return v in self._adjacency[u]
+        if u > v:
+            u, v = v, u
+        return (u, v) in self.edge_ids
 
     def __iter__(self) -> Iterator[int]:
         return iter(range(self._n))
@@ -152,10 +304,14 @@ class Graph:
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Graph):
             return NotImplemented
-        return self._n == other._n and self._edges == other._edges
+        return (
+            self._n == other._n
+            and self._edge_u == other._edge_u
+            and self._edge_v == other._edge_v
+        )
 
     def __hash__(self) -> int:
-        return hash((self._n, self._edges))
+        return hash((self._n, self.edges))
 
     def __repr__(self) -> str:
         return f"Graph(n={self._n}, m={self.num_edges})"
@@ -170,7 +326,8 @@ class Graph:
         The returned :class:`InducedSubgraph` relabels the kept vertices to
         ``0 .. len(subset)-1`` but remembers the mapping back to the original
         ids, which the partitioning lemmas (Lemma 2.2) and the iterative layer
-        assignment (Lemma 3.14) need.
+        assignment (Lemma 3.14) need.  Extraction walks only the kept
+        vertices' adjacency slices — O(Σ_{v kept} deg(v)) instead of O(m).
         """
         return InducedSubgraph.from_parent(self, vertex_subset)
 
@@ -184,30 +341,47 @@ class Graph:
         """Return a graph on the same vertex set containing only ``edge_subset``.
 
         Used by the random edge partitioning of Lemma 2.1: each part keeps all
-        vertices but only its share of the edges.
+        vertices but only its share of the edges.  Membership is validated
+        through the O(1) edge hash set, so the extraction is linear in the
+        subset size rather than O(|subset|·Δ).
         """
-        normalized = [normalize_edge(u, v) for u, v in edge_subset]
-        missing = [e for e in normalized if e not in self]
+        edge_index = self.edge_ids
+        normalized: list[Edge] = []
+        chosen: set[Edge] = set()
+        missing: list[Edge] = []
+        for u, v in edge_subset:
+            e = normalize_edge(u, v)
+            if e not in edge_index:
+                missing.append(e)
+                continue
+            if e in chosen:
+                raise GraphError(f"duplicate edge {e}")
+            chosen.add(e)
+            normalized.append(e)
         if missing:
             raise GraphError(f"edges {missing[:3]}... are not present in the graph")
-        return Graph(self._n, normalized)
+        normalized.sort()
+        return Graph._from_canonical_sorted(self._n, normalized)
 
     def connected_components(self) -> list[list[int]]:
-        """Connected components as lists of vertex ids (BFS, iterative)."""
-        seen = [False] * self._n
+        """Connected components as lists of vertex ids (BFS over the CSR arrays)."""
+        indptr = self.csr_indptr
+        indices = self.csr_indices
+        seen = bytearray(self._n)
         components: list[list[int]] = []
         for start in range(self._n):
             if seen[start]:
                 continue
-            seen[start] = True
+            seen[start] = 1
             component = [start]
             frontier = [start]
             while frontier:
                 next_frontier: list[int] = []
                 for u in frontier:
-                    for w in self._adjacency[u]:
+                    for j in range(indptr[u], indptr[u + 1]):
+                        w = indices[j]
                         if not seen[w]:
-                            seen[w] = True
+                            seen[w] = 1
                             component.append(w)
                             next_frontier.append(w)
                 frontier = next_frontier
@@ -218,6 +392,67 @@ class Graph:
         """Whether the graph is acyclic (a forest)."""
         # A graph is a forest iff m = n - (#components).
         return self.num_edges == self._n - len(self.connected_components())
+
+    # ------------------------------------------------------------------ #
+    # Peeling kernel
+    # ------------------------------------------------------------------ #
+
+    def peel_layers(self, threshold: int, max_rounds: int | None = None) -> tuple[array, int]:
+        """Round-synchronous peeling kernel shared by the layering pipelines.
+
+        In every round, all vertices whose *remaining* degree is at most
+        ``threshold`` are removed simultaneously; the round index (1-based) is
+        the vertex's layer.  This is the Barenboim–Elkin process underlying
+        Lemma 3.13's auxiliary assignment ``ℓ_G``, the coreness guesses, and
+        the Lemma 3.15 low-degree peel.
+
+        Returns ``(layers, rounds_used)`` where ``layers`` is a flat
+        ``array('l')`` with ``layers[v] == 0`` for vertices never peeled
+        (possible only when the threshold is below ``2λ - 1`` or
+        ``max_rounds`` cut the process short).
+
+        The implementation is frontier-based (a bucket queue keyed by round):
+        a vertex enters the next round's frontier the moment its remaining
+        degree first drops to the threshold, so the total work is O(n + m)
+        regardless of the number of rounds — the O(rounds · n) rescan of the
+        naive formulation is gone.
+        """
+        if threshold < 0:
+            raise GraphError("threshold must be non-negative")
+        indptr = self.csr_indptr
+        indices = self.csr_indices
+        degree = list(self.degrees)
+        layers = [0] * self._n
+        frontier = [v for v, d in enumerate(degree) if d <= threshold]
+        for v in frontier:
+            layers[v] = 1
+        rounds_used = 0
+        while frontier and (max_rounds is None or rounds_used < max_rounds):
+            rounds_used += 1
+            next_round = rounds_used + 1
+            next_frontier: list[int] = []
+            append = next_frontier.append
+            for v in frontier:
+                # Iterating a materialised slice keeps the inner loop at
+                # C speed; only the per-neighbor bookkeeping is Python.
+                # A neighbor is stamped with its (future) layer the moment
+                # its remaining degree crosses the threshold, so subsequent
+                # removals skip it with a single check.
+                for w in indices[indptr[v] : indptr[v + 1]]:
+                    if layers[w] == 0:
+                        d = degree[w] - 1
+                        if d == threshold:
+                            layers[w] = next_round
+                            append(w)
+                        else:
+                            degree[w] = d
+            frontier = next_frontier
+        if frontier:
+            # max_rounds cut the process short; the queued wave was stamped
+            # with a round that never ran, so un-assign it.
+            for v in frontier:
+                layers[v] = 0
+        return array("l", layers), rounds_used
 
     # ------------------------------------------------------------------ #
     # Construction helpers
@@ -237,11 +472,34 @@ class Graph:
         return cls(num_vertices, ())
 
     def union_edges(self, other: "Graph") -> "Graph":
-        """Union of the edge sets of two graphs on the same vertex set."""
+        """Union of the edge sets of two graphs on the same vertex set.
+
+        Both canonical edge lists are sorted, so the union is a linear merge.
+        """
         if other.num_vertices != self._n:
             raise GraphError("union_edges requires graphs on the same vertex set")
-        combined = set(self._edges) | set(other.edges)
-        return Graph(self._n, combined)
+        a = self.edges
+        b = other.edges
+        merged: list[Edge] = []
+        i = j = 0
+        la, lb = len(a), len(b)
+        while i < la and j < lb:
+            ea, eb = a[i], b[j]
+            if ea < eb:
+                merged.append(ea)
+                i += 1
+            elif eb < ea:
+                merged.append(eb)
+                j += 1
+            else:
+                merged.append(ea)
+                i += 1
+                j += 1
+        if i < la:
+            merged.extend(a[i:])
+        if j < lb:
+            merged.extend(b[j:])
+        return Graph._from_canonical_sorted(self._n, merged)
 
 
 class InducedSubgraph(Graph):
@@ -265,17 +523,28 @@ class InducedSubgraph(Graph):
     @classmethod
     def from_parent(cls, parent: Graph, vertex_subset: Iterable[int]) -> "InducedSubgraph":
         kept = sorted(set(int(v) for v in vertex_subset))
-        for v in kept:
-            if not (0 <= v < parent.num_vertices):
-                raise GraphError(f"vertex {v} is not a vertex of the parent graph")
-        local_of = {p: i for i, p in enumerate(kept)}
-        kept_set = set(kept)
-        edges = [
-            (local_of[u], local_of[v])
-            for (u, v) in parent.edges
-            if u in kept_set and v in kept_set
-        ]
-        return cls(len(kept), edges, kept)
+        if kept and (kept[0] < 0 or kept[-1] >= parent.num_vertices):
+            offender = kept[0] if kept[0] < 0 else kept[-1]
+            raise GraphError(f"vertex {offender} is not a vertex of the parent graph")
+        local_of = [-1] * parent.num_vertices
+        for i, p in enumerate(kept):
+            local_of[p] = i
+        indptr = parent.csr_indptr
+        indices = parent.csr_indices
+        # Walk only the kept vertices' adjacency slices; each kept edge is
+        # seen once from its smaller endpoint, already in canonical order.
+        edges: list[Edge] = []
+        append = edges.append
+        for i, p in enumerate(kept):
+            for w in indices[indptr[p] : indptr[p + 1]]:
+                if w > p:
+                    lw = local_of[w]
+                    if lw >= 0:
+                        append((i, lw))
+        sub = cls._from_canonical_sorted(len(kept), edges)
+        sub._to_parent = tuple(kept)
+        sub._to_local = {p: i for i, p in enumerate(kept)}
+        return sub
 
     def to_parent(self, local_vertex: int) -> int:
         """Parent id of a local vertex."""

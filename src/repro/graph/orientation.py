@@ -5,15 +5,69 @@ paper's Theorem 1.1 computes orientations with maximum outdegree
 ``O(λ · log log n)``; the baselines compute ``(2+ε)λ`` orientations.  Both are
 represented by this class, so the validators and benchmark reporting treat
 them uniformly.
+
+Internally the chosen heads are stored as a flat ``array('l')`` indexed by the
+graph's canonical edge index (see :attr:`repro.graph.graph.Graph.edge_ids`);
+the public ``direction`` attribute is a read-only :class:`Mapping` view over
+that array, so existing callers that treat it as a dict keep working while
+``merge_with`` and the constructors avoid materialising per-edge dicts.
 """
 
 from __future__ import annotations
 
-from collections.abc import Iterable, Mapping
+from array import array
+from collections.abc import Iterable, Iterator, Mapping
 from dataclasses import dataclass, field
 
 from repro.errors import InvalidOrientationError
 from repro.graph.graph import Edge, Graph, normalize_edge
+
+
+class _EdgeHeadView(Mapping):
+    """Read-only ``canonical edge -> head vertex`` view over a heads array."""
+
+    __slots__ = ("_graph", "_heads")
+
+    def __init__(self, graph: Graph, heads: array) -> None:
+        self._graph = graph
+        self._heads = heads
+
+    def __getitem__(self, edge: Edge) -> int:
+        index = self._graph.edge_ids.get(edge)
+        if index is None:
+            raise KeyError(edge)
+        return self._heads[index]
+
+    def __iter__(self) -> Iterator[Edge]:
+        return iter(self._graph.edges)
+
+    def __len__(self) -> int:
+        return len(self._heads)
+
+    def __contains__(self, edge: object) -> bool:
+        return edge in self._graph.edge_ids
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, _EdgeHeadView):
+            return (
+                self._heads == other._heads
+                and self._graph.edges == other._graph.edges
+            )
+        if isinstance(other, Mapping):
+            if len(other) != len(self._heads):
+                return False
+            try:
+                return all(
+                    other[e] == h for e, h in zip(self._graph.edges, self._heads)
+                )
+            except KeyError:
+                return False
+        return NotImplemented
+
+    __hash__ = None  # mutable-adjacent view; mirrors dict's unhashability
+
+    def __repr__(self) -> str:
+        return repr(dict(zip(self._graph.edges, self._heads)))
 
 
 @dataclass(frozen=True)
@@ -31,35 +85,41 @@ class Orientation:
     _outdegree: tuple[int, ...] = field(init=False, repr=False, compare=False, default=())
 
     def __post_init__(self) -> None:
-        expected = set(self.graph.edges)
-        provided = set(self.direction.keys())
-        if provided != expected:
-            missing = expected - provided
-            extra = provided - expected
+        graph = self.graph
+        m = graph.num_edges
+        edge_ids = graph.edge_ids
+        heads = array("l", [0]) * m
+        covered = 0
+        extra = 0
+        for e, head in self.direction.items():
+            index = edge_ids.get(e)
+            if index is None:
+                extra += 1
+                continue
+            heads[index] = head
+            covered += 1
+        if extra or covered != m:
             raise InvalidOrientationError(
                 f"orientation does not cover the edge set exactly "
-                f"(missing {len(missing)}, extra {len(extra)})"
+                f"(missing {m - covered}, extra {extra})"
             )
-        outdegree = [0] * self.graph.num_vertices
-        for (u, v), head in self.direction.items():
-            if head not in (u, v):
-                raise InvalidOrientationError(
-                    f"edge {(u, v)} oriented toward {head}, which is not an endpoint"
-                )
-            tail = u if head == v else v
-            outdegree[tail] += 1
-        object.__setattr__(self, "_outdegree", tuple(outdegree))
+        object.__setattr__(self, "direction", _EdgeHeadView(graph, heads))
+        object.__setattr__(self, "_outdegree", _tally_outdegrees(graph, heads))
 
     # ------------------------------------------------------------------ #
 
+    @property
+    def _heads(self) -> array:
+        return self.direction._heads
+
     def head(self, u: int, v: int) -> int:
         """The head (target) of the edge ``{u, v}``."""
-        return self.direction[normalize_edge(u, v)]
+        return self._heads[self.graph.edge_ids[normalize_edge(u, v)]]
 
     def tail(self, u: int, v: int) -> int:
         """The tail (source) of the edge ``{u, v}``."""
         e = normalize_edge(u, v)
-        head = self.direction[e]
+        head = self._heads[self.graph.edge_ids[e]]
         return e[0] if head == e[1] else e[1]
 
     def is_oriented_from(self, u: int, v: int) -> bool:
@@ -95,16 +155,23 @@ class Orientation:
         arbitrary tie-breaking may contain cycles inside a layer.  The
         property is used by the scheduling example and by tests.
         """
-        n = self.graph.num_vertices
+        graph = self.graph
+        n = graph.num_vertices
+        heads = self._heads
+        edge_u, edge_v = graph.edge_endpoints
+        out_adjacency: list[list[int]] = [[] for _ in range(n)]
         indegree = [0] * n
-        for (u, v), head in self.direction.items():
+        for i in range(len(heads)):
+            head = heads[i]
+            tail = edge_u[i] if head == edge_v[i] else edge_v[i]
+            out_adjacency[tail].append(head)
             indegree[head] += 1
         queue = [v for v in range(n) if indegree[v] == 0]
         seen = 0
         while queue:
             v = queue.pop()
             seen += 1
-            for w in self.out_neighbors(v):
+            for w in out_adjacency[v]:
                 indegree[w] -= 1
                 if indegree[w] == 0:
                     queue.append(w)
@@ -115,9 +182,27 @@ class Orientation:
     # ------------------------------------------------------------------ #
 
     @classmethod
+    def _from_heads(
+        cls, graph: Graph, heads: array, outdegree: tuple[int, ...] | None = None
+    ) -> "Orientation":
+        """Internal fast path: ``heads[i]`` is the head of edge ``i``.
+
+        Coverage is guaranteed by construction; endpoint validity is checked
+        by the outdegree tally unless the caller supplies an already-verified
+        ``outdegree`` tuple (e.g. the sum of two merged parts' tallies).
+        """
+        self = object.__new__(cls)
+        object.__setattr__(self, "graph", graph)
+        object.__setattr__(self, "direction", _EdgeHeadView(graph, heads))
+        if outdegree is None:
+            outdegree = _tally_outdegrees(graph, heads)
+        object.__setattr__(self, "_outdegree", outdegree)
+        return self
+
+    @classmethod
     def from_head_map(cls, graph: Graph, head_of: Mapping[Edge, int]) -> "Orientation":
         """Build from a mapping of canonical edge -> head vertex."""
-        return cls(graph, dict(head_of))
+        return cls(graph, head_of)
 
     @classmethod
     def from_vertex_order(cls, graph: Graph, rank: Mapping[int, int] | Iterable[int]) -> "Orientation":
@@ -127,16 +212,17 @@ class Orientation:
         rank of each vertex.  Ties are broken toward the larger vertex id,
         matching the paper's "break ties by identifier" convention.
         """
-        if not isinstance(rank, Mapping):
-            rank = {v: r for v, r in enumerate(rank)}
-        direction: dict[Edge, int] = {}
-        for (u, v) in graph.edges:
-            ru, rv = rank[u], rank[v]
-            if ru < rv or (ru == rv and u < v):
-                direction[(u, v)] = v
-            else:
-                direction[(u, v)] = u
-        return cls(graph, direction)
+        if isinstance(rank, Mapping):
+            lookup = rank.__getitem__
+        else:
+            lookup = list(rank).__getitem__
+        edge_u, edge_v = graph.edge_endpoints
+        heads = array("l")
+        append = heads.append
+        for u, v in zip(edge_u, edge_v):
+            # u < v in canonical form, so rank ties resolve toward v.
+            append(v if lookup(u) <= lookup(v) else u)
+        return cls._from_heads(graph, heads)
 
     @classmethod
     def from_layering(cls, graph: Graph, layer_of: Mapping[int, int]) -> "Orientation":
@@ -145,25 +231,81 @@ class Orientation:
         Edges inside a layer are oriented toward the larger id.  This is
         exactly how Theorem 1.1 turns an H-partition into an orientation.
         """
-        return cls.from_vertex_order(graph, {v: layer_of[v] for v in graph.vertices})
+        return cls.from_vertex_order(graph, [layer_of[v] for v in graph.vertices])
 
     def merge_with(self, other: "Orientation") -> "Orientation":
         """Union of two orientations of edge-disjoint graphs on the same vertex set.
 
         Used by Theorem 1.1 when λ ≫ log n: each random edge part is oriented
-        separately and the orientations are combined.
+        separately and the orientations are combined.  The merge is a linear
+        pass over the union's edge index — no per-edge dicts are built.
         """
         if other.graph.num_vertices != self.graph.num_vertices:
             raise InvalidOrientationError("cannot merge orientations over different vertex sets")
-        overlap = set(self.direction) & set(other.direction)
+        # Both canonical edge lists are sorted, so edges and heads merge in a
+        # single two-pointer walk with no hash lookups; overlapping edges are
+        # detected as they are encountered.
+        a_edges = self.graph.edges
+        b_edges = other.graph.edges
+        a_heads = self._heads
+        b_heads = other._heads
+        a_u, a_v = self.graph.edge_endpoints
+        b_u, b_v = other.graph.edge_endpoints
+        la, lb = len(a_edges), len(b_edges)
+        edge_u = array("l")
+        edge_v = array("l")
+        heads = array("l")
+        i = j = 0
+        overlap = 0
+        while i < la and j < lb:
+            ea, eb = a_edges[i], b_edges[j]
+            if ea < eb:
+                edge_u.append(ea[0])
+                edge_v.append(ea[1])
+                heads.append(a_heads[i])
+                i += 1
+            elif eb < ea:
+                edge_u.append(eb[0])
+                edge_v.append(eb[1])
+                heads.append(b_heads[j])
+                j += 1
+            else:
+                overlap += 1
+                i += 1
+                j += 1
         if overlap:
             raise InvalidOrientationError(
-                f"cannot merge orientations sharing {len(overlap)} edges"
+                f"cannot merge orientations sharing {overlap} edges"
             )
-        merged_graph = self.graph.union_edges(other.graph)
-        direction = dict(self.direction)
-        direction.update(other.direction)
-        return Orientation(merged_graph, direction)
+        if i < la:
+            edge_u.extend(a_u[i:])
+            edge_v.extend(a_v[i:])
+            heads.extend(a_heads[i:])
+        if j < lb:
+            edge_u.extend(b_u[j:])
+            edge_v.extend(b_v[j:])
+            heads.extend(b_heads[j:])
+        merged_graph = Graph._from_columns(self.graph.num_vertices, edge_u, edge_v)
+        # Edge-disjoint union: the merged outdegrees are the per-vertex sums
+        # of the (already endpoint-checked) part tallies.
+        outdegree = tuple(x + y for x, y in zip(self._outdegree, other._outdegree))
+        return Orientation._from_heads(merged_graph, heads, outdegree=outdegree)
+
+
+def _tally_outdegrees(graph: Graph, heads: array) -> tuple[int, ...]:
+    """Single pass over the edge columns: outdegree per vertex + endpoint check."""
+    edge_u, edge_v = graph.edge_endpoints
+    outdegree = [0] * graph.num_vertices
+    for u, v, head in zip(edge_u, edge_v, heads):
+        if head == v:
+            outdegree[u] += 1
+        elif head == u:
+            outdegree[v] += 1
+        else:
+            raise InvalidOrientationError(
+                f"edge {(u, v)} oriented toward {head}, which is not an endpoint"
+            )
+    return tuple(outdegree)
 
 
 def validate_outdegree_bound(orientation: Orientation, bound: int) -> None:

@@ -161,28 +161,13 @@ def peeling_layers_reference(graph: Graph, threshold: int) -> HPartition:
 
     Used by tests to check that the LOCAL simulation and the direct
     computation agree, and by the analysis of Lemma 3.13 (the auxiliary
-    assignment ``ℓ_G``).
+    assignment ``ℓ_G``).  Delegates to the shared frontier peeling kernel;
+    vertices the process never removes (threshold too small) are dumped into
+    one final layer so the output is complete.
     """
-    n = graph.num_vertices
-    degree = list(graph.degrees)
-    removed = [False] * n
-    layer_of: dict[int, int] = {}
-    current_layer = 1
-    remaining = n
-    while remaining > 0:
-        peel = [v for v in range(n) if not removed[v] and degree[v] <= threshold]
-        if not peel:
-            for v in range(n):
-                if not removed[v]:
-                    layer_of[v] = current_layer
-            break
-        for v in peel:
-            layer_of[v] = current_layer
-            removed[v] = True
-        remaining -= len(peel)
-        for v in peel:
-            for w in graph.neighbors(v):
-                if not removed[w]:
-                    degree[w] -= 1
-        current_layer += 1
+    layers, rounds_used = graph.peel_layers(threshold)
+    stuck_layer = rounds_used + 1
+    layer_of = {
+        v: (layers[v] if layers[v] else stuck_layer) for v in graph.vertices
+    }
     return HPartition(graph, layer_of)

@@ -259,12 +259,24 @@ class MPCCluster:
 
         Models the arbitrary initial distribution of the input: edge ``(u, v)``
         is stored on the machine owning the edge's index, and every vertex id
-        is stored on the machine owning the vertex.
+        is stored on the machine owning the vertex.  Placement is batched per
+        machine — one store call per machine instead of one per key — which
+        keeps loading linear with a small constant even for 10^5-edge inputs.
+        The memory observation at the end sees the same totals (stores only
+        ever grow), so the recorded peaks are unchanged.
         """
-        for v in graph.vertices:
-            self.store_at_key(v, 1, tag=tag)
-        for index, (_u, _v) in enumerate(graph.edges):
-            self.store_at_key(graph.num_vertices + index, 2, tag=tag)
+        machine_of = self.config.machine_of
+        words_by_machine: dict[int, int] = {}
+        for v in range(graph.num_vertices):
+            machine_id = machine_of(v)
+            words_by_machine[machine_id] = words_by_machine.get(machine_id, 0) + 1
+        base = graph.num_vertices
+        for index in range(graph.num_edges):
+            machine_id = machine_of(base + index)
+            words_by_machine[machine_id] = words_by_machine.get(machine_id, 0) + 2
+        for machine_id, words in words_by_machine.items():
+            self.machine(machine_id).store(words, tag=tag, enforce=self.enforce_limits)
+        self._observe_memory()
 
     def snapshot(self) -> dict[str, float]:
         """Summary of the execution so far (for the experiment harness)."""

@@ -91,8 +91,16 @@ class MPCConfig:
         return int(self.global_memory_factor * (self.num_edges + self.num_vertices + 1) * slack)
 
     def num_machines(self) -> int:
-        """Number of machines needed so that M·S covers the global memory budget."""
-        return max(1, -(-self.global_memory_words() // self.words_per_machine))
+        """Number of machines needed so that M·S covers the global memory budget.
+
+        Memoised (the config is frozen) because :meth:`machine_of` calls this
+        once per placed key, which made graph loading quadratic in practice.
+        """
+        cached = getattr(self, "_num_machines_cache", None)
+        if cached is None:
+            cached = max(1, -(-self.global_memory_words() // self.words_per_machine))
+            object.__setattr__(self, "_num_machines_cache", cached)
+        return cached
 
     def machine_of(self, key: int) -> int:
         """Deterministic placement of a key (vertex/edge id) onto a machine.

@@ -131,6 +131,48 @@ class TestClaim23MinCombine:
         del rng, threshold
 
 
+class TestFromPeelingNumLayers:
+    def test_num_layers_matches_deepest_layer(self):
+        """Regression: path(6) at threshold 2 peels everything in one round,
+        so the declared num_layers must be 1, not 2 (the seed reported the
+        loop counter one past the deepest layer, inflating every L-derived
+        round bound)."""
+        graph = generators.path(6)
+        assignment = PartialLayerAssignment.from_peeling(graph, threshold=2)
+        assert all(assignment.layer(v) == 1 for v in graph.vertices)
+        assert assignment.num_layers == 1
+
+    def test_num_layers_on_deep_tree(self):
+        graph = generators.complete_ary_tree(3, 40)
+        assignment = PartialLayerAssignment.from_peeling(graph, threshold=3)
+        deepest = max(
+            assignment.layer(v) for v in graph.vertices if assignment.is_assigned(v)
+        )
+        assert assignment.num_layers == deepest
+
+    def test_num_layers_at_least_one_when_nothing_assigned(self, triangle):
+        # Threshold 0 peels nothing from a triangle; num_layers clamps to 1.
+        assignment = PartialLayerAssignment.from_peeling(triangle, threshold=0)
+        assert assignment.assigned_vertices() == []
+        assert assignment.num_layers == 1
+
+    def test_explicit_num_layers_is_respected(self):
+        graph = generators.path(6)
+        assignment = PartialLayerAssignment.from_peeling(graph, threshold=2, num_layers=5)
+        assert assignment.num_layers == 5
+
+    @settings(max_examples=40, deadline=None)
+    @given(graphs(max_vertices=16), st.integers(min_value=0, max_value=8))
+    def test_num_layers_invariant_property(self, graph, threshold):
+        """Whenever anything is assigned, num_layers equals the max assigned layer."""
+        assignment = PartialLayerAssignment.from_peeling(graph, threshold=threshold)
+        assigned = assignment.assigned_vertices()
+        if assigned:
+            assert assignment.num_layers == max(assignment.layer(v) for v in assigned)
+        else:
+            assert assignment.num_layers == 1
+
+
 class TestPathCounts:
     def test_single_vertex_paths(self):
         g = Graph(1)

@@ -9,10 +9,12 @@ from repro.analysis.validators import (
     validate_round_complexity,
 )
 from repro.core.orientation import orient, orientation_outdegree_bound
-from repro.errors import ParameterError
+from repro.core.partitioning import EdgePartition
+from repro.errors import GraphError, ParameterError
 from repro.graph import generators
 from repro.graph.arboricity import arboricity_bounds
 from repro.graph.graph import Graph
+from repro.graph.orientation import Orientation
 from repro.mpc.cluster import MPCCluster
 from repro.mpc.config import MPCConfig
 
@@ -110,3 +112,53 @@ class TestRoundsAndBranches:
     def test_orientation_from_layering_is_acyclic(self, union_forest_graph):
         run = orient(union_forest_graph, seed=0)
         assert run.orientation.is_acyclic()
+
+
+class TestMergedCoverageInvariant:
+    """Regression tests for the merged-orientation fallback in ``orient``.
+
+    The seed code tried to "repair" a merge that missed edges by re-wrapping
+    the incomplete direction map in ``Orientation(graph, ...)``, which can
+    only raise ``InvalidOrientationError`` — a confusing crash instead of a
+    diagnosis.  The replacement checks the Lemma 2.1 invariant (every input
+    edge lands in exactly one oriented part) and fails with a clear error.
+    """
+
+    def test_zero_edge_parts_are_skipped_and_coverage_holds(self):
+        # Path on 4 vertices has 3 edges; forcing the partition branch with a
+        # large explicit k yields ceil(k / log2 n) = 4 parts, so at least one
+        # part must be empty and the zero-edge-part path is exercised.
+        graph = generators.path(4)
+        run = orient(graph, k=8, seed=1, force_edge_partitioning=True)
+        assert run.num_parts > graph.num_edges  # pigeonhole: some part is empty
+        assert set(run.orientation.direction.keys()) == set(graph.edges)
+
+    def test_missing_edges_raise_clear_invariant_error(self, monkeypatch):
+        """If the edge partition drops an edge, orient must report the broken
+        Lemma 2.1 invariant (on the seed this surfaced as an
+        InvalidOrientationError from the repair attempt instead)."""
+        import repro.core.orientation as orientation_module
+
+        graph = generators.path(4)
+
+        def lossy_partition(g, arboricity_bound, rng=None, seed=None, num_parts=None):
+            return EdgePartition(parts=[Graph(g.num_vertices, g.edges[:-1])])
+
+        monkeypatch.setattr(orientation_module, "random_edge_partition", lossy_partition)
+        with pytest.raises(GraphError, match="does not cover"):
+            orient(graph, k=8, seed=1, force_edge_partitioning=True)
+
+    def test_all_parts_empty_with_nonempty_graph_raises(self):
+        from repro.core.orientation import _check_merged_covers
+
+        graph = generators.path(3)
+        with pytest.raises(GraphError, match="no oriented parts"):
+            _check_merged_covers(graph, None)
+
+    def test_empty_graph_yields_empty_orientation(self):
+        from repro.core.orientation import _check_merged_covers
+
+        graph = Graph(3)
+        merged = _check_merged_covers(graph, None)
+        assert isinstance(merged, Orientation)
+        assert merged.max_outdegree() == 0

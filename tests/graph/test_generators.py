@@ -51,6 +51,32 @@ class TestDeterministicFamilies:
         with pytest.raises(GraphError):
             generators.complete_ary_tree(1, 10)
 
+    def test_complete_ary_tree_zero_vertices_is_empty(self):
+        """Regression: n=0 used to return a spurious 1-vertex graph."""
+        g = generators.complete_ary_tree(3, 0)
+        assert g.num_vertices == 0
+        assert g.num_edges == 0
+
+    def test_zero_vertex_generators_return_empty_graphs(self):
+        """Every generator that accepts n=0 must return the empty graph."""
+        cases = [
+            generators.complete_ary_tree(2, 0),
+            generators.deep_hierarchy(0, seed=1),
+            generators.random_tree(0, seed=1),
+            generators.random_forest(0, num_trees=1, seed=1),
+            generators.union_of_random_forests(0, arboricity=2, seed=1),
+            generators.gnp_random_graph(0, 0.5, seed=1),
+            generators.gnm_random_graph(0, 0, seed=1),
+            generators.chung_lu_power_law(0, seed=1),
+            generators.bounded_degree_random_graph(0, 3, seed=1),
+            generators.complete_graph(0),
+            generators.complete_bipartite(0, 0),
+            generators.path(0),
+        ]
+        for g in cases:
+            assert g.num_vertices == 0
+            assert g.num_edges == 0
+
 
 class TestRandomTreesAndForests:
     def test_random_tree_is_tree(self):
