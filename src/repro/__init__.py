@@ -10,6 +10,8 @@ The package is organised as:
   machinery of Sections 2–4).
 * :mod:`repro.baselines` — prior-work baselines used for comparison.
 * :mod:`repro.analysis` — validators, statistics and report generation.
+* :mod:`repro.stream` — streaming subsystem: dynamic graphs under edge churn
+  with incremental orientation/coloring maintenance.
 * :mod:`repro.experiments` — workloads and the experiment harness behind the
   benchmark suite.
 
@@ -34,19 +36,25 @@ from repro.graph.hpartition import HPartition
 from repro.graph.orientation import Orientation
 from repro.mpc.cluster import MPCCluster
 from repro.mpc.config import MPCConfig
+from repro.stream.dynamic_graph import DynamicGraph
+from repro.stream.service import StreamingService
+from repro.stream.updates import UpdateBatch
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Coloring",
     "ColoringRun",
     "CorenessResult",
+    "DynamicGraph",
     "Graph",
     "HPartition",
     "MPCCluster",
     "MPCConfig",
     "Orientation",
     "OrientationRun",
+    "StreamingService",
+    "UpdateBatch",
     "__version__",
     "approximate_coreness",
     "color",

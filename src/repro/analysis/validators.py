@@ -186,6 +186,36 @@ def validate_tree_mappings(graph: Graph, trees: dict[int, TreeView]) -> Validati
 
 
 # --------------------------------------------------------------------------- #
+# Streaming maintenance claims
+# --------------------------------------------------------------------------- #
+
+
+def validate_streaming_outdegree(
+    max_outdegree: int, arboricity: int, num_vertices: int, constant: float = 8.0
+) -> ValidationReport:
+    """Streaming maintenance: max outdegree ≤ constant · λ · log log n.
+
+    The flip-path invariant keeps the maintained outdegree at most
+    ``flip_slack`` (default 4) times the arboricity estimate, the amortised
+    quality check keeps the estimate within a factor 2 of the current
+    degeneracy (≤ 2λ), and a Theorem 1.1 fallback rebuild can realise the
+    static ``O(λ log log n)`` bound — the envelope is therefore the same
+    shape (and constant) as :func:`validate_orientation_quality`.  The much
+    tighter run-time invariant ``max_outdegree ≤ flip_slack · λ̂`` is enforced
+    directly by :meth:`repro.stream.service.StreamingService.verify`.
+    """
+    loglog = max(math.log2(max(math.log2(max(num_vertices, 4)), 2.0)), 1.0)
+    allowed = constant * max(arboricity, 1) * loglog
+    return ValidationReport(
+        name="streaming-outdegree",
+        passed=max_outdegree <= allowed,
+        measured=float(max_outdegree),
+        allowed=float(allowed),
+        details={"arboricity": float(arboricity), "loglog_n": loglog},
+    )
+
+
+# --------------------------------------------------------------------------- #
 # MPC resource claims
 # --------------------------------------------------------------------------- #
 

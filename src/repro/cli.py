@@ -17,6 +17,11 @@ Commands
 ``generate``
     Emit an edge list from one of the built-in graph families (useful for
     piping into the other commands or external tools).
+``stream``
+    Generate a streaming trace (uniform churn / sliding window / densifying
+    core), maintain the orientation and coloring incrementally through the
+    :class:`~repro.stream.service.StreamingService`, and print per-batch
+    maintenance metrics plus a summary.
 
 Every command accepts ``--seed`` for reproducibility and ``--output`` to write
 the main artifact to a file instead of stdout.
@@ -41,6 +46,8 @@ from repro.graph.io import (
     read_edge_list,
     write_text,
 )
+from repro.stream.service import StreamingService
+from repro.stream.workloads import generate_trace, stream_family_names
 
 
 def _emit(content: str, output: str | None) -> None:
@@ -94,6 +101,29 @@ def build_parser() -> argparse.ArgumentParser:
     generate_parser.add_argument("--seed", type=int, default=0)
     generate_parser.add_argument("--arboricity", type=int, default=4)
     generate_parser.add_argument("--output", help="write the edge list to this file")
+
+    stream_parser = subparsers.add_parser(
+        "stream", help="maintain orientation/coloring incrementally over a streaming trace"
+    )
+    stream_parser.add_argument("family", choices=sorted(stream_family_names()))
+    stream_parser.add_argument("num_vertices", type=int)
+    stream_parser.add_argument("--batches", type=int, default=10, help="number of update batches")
+    stream_parser.add_argument("--batch-size", type=int, default=200, help="updates per batch")
+    stream_parser.add_argument("--seed", type=int, default=0)
+    stream_parser.add_argument("--delta", type=float, default=0.5, help="memory exponent δ (default 0.5)")
+    stream_parser.add_argument(
+        "--arboricity", type=int, default=3, help="initial arboricity (uniform_churn only)"
+    )
+    stream_parser.add_argument(
+        "--window", type=int, default=None, help="live-edge window (sliding_window only)"
+    )
+    stream_parser.add_argument(
+        "--core-size", type=int, default=None, help="adversarial core size (densifying_core only)"
+    )
+    stream_parser.add_argument("--output", help="write the per-batch metrics to this file")
+    stream_parser.add_argument(
+        "--quiet", action="store_true", help="suppress the human-readable summary on stderr"
+    )
     return parser
 
 
@@ -117,6 +147,57 @@ def main(argv: Sequence[str] | None = None) -> int:
         lines = [f"# vertices {graph.num_vertices}"]
         lines.extend(f"{u} {v}" for u, v in graph.edges)
         _emit("\n".join(lines), args.output)
+        return 0
+
+    if args.command == "stream":
+        params: dict[str, object] = {
+            "num_batches": args.batches,
+            "batch_size": args.batch_size,
+        }
+        if args.family == "uniform_churn":
+            params["arboricity"] = args.arboricity
+        if args.family == "sliding_window" and args.window is not None:
+            params["window"] = args.window
+        if args.family == "densifying_core":
+            # Default core: 32 vertices, clamped so tiny graphs still work.
+            params["core_size"] = (
+                args.core_size
+                if args.core_size is not None
+                else max(2, min(32, args.num_vertices))
+            )
+        trace = generate_trace(args.family, args.num_vertices, seed=args.seed, **params)
+        service = StreamingService(trace.initial, delta=args.delta, seed=args.seed)
+        header = (
+            "batch inserts deletes flips recolors rebuilds compactions "
+            "rounds m max_outdegree colors"
+        )
+        lines = [f"# {header}"]
+        for batch in trace.batches:
+            report = service.apply(batch)
+            lines.append(
+                f"{report.batch_index} {report.num_inserts} {report.num_deletes} "
+                f"{report.flips} {report.recolors} {report.rebuilds} "
+                f"{report.compactions} {report.rounds} {report.num_edges} "
+                f"{report.max_outdegree} {report.num_colors}"
+            )
+        service.verify()
+        _emit("\n".join(lines), args.output)
+        summary = service.summary
+        final = summary.final_report()
+        _summary(
+            [
+                f"n={trace.initial.num_vertices} initial_m={trace.initial.num_edges} "
+                f"final_m={final.num_edges}",
+                f"updates: {summary.total_updates} in {summary.num_batches} batches",
+                f"flips: {summary.total_flips} ({summary.amortised_flips:.3f}/update), "
+                f"recolors: {summary.total_recolors}, rebuilds: {summary.total_rebuilds}, "
+                f"compactions: {summary.total_compactions}",
+                f"final max outdegree: {final.max_outdegree} (cap {final.outdegree_cap})",
+                f"final colors: {final.num_colors}",
+                f"simulated MPC rounds: {service.cluster.stats.num_rounds}",
+            ],
+            args.quiet,
+        )
         return 0
 
     graph = read_edge_list(args.graph)

@@ -8,6 +8,7 @@ from repro.experiments.harness import (
     sweep,
 )
 from repro.experiments.registry import ExperimentSpec, all_experiments, get_experiment
+from repro.experiments.streaming import run_streaming_experiment
 from repro.experiments.workloads import (
     Workload,
     dense_sweep,
@@ -29,6 +30,7 @@ __all__ = [
     "run_coloring_experiment",
     "run_orientation_experiment",
     "run_round_scaling_experiment",
+    "run_streaming_experiment",
     "standard_suite",
     "sweep",
     "union_forest_sweep",

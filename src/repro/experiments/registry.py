@@ -18,6 +18,7 @@ from repro.experiments.workloads import (
     standard_suite,
     union_forest_sweep,
 )
+from repro.stream.workloads import streaming_suite
 
 
 @dataclass(frozen=True)
@@ -60,6 +61,13 @@ def _e6_workloads() -> tuple[Workload, ...]:
 
 def _e7_workloads() -> tuple[Workload, ...]:
     return tuple(forests_sweep(sizes=(256, 1024, 4096), seed=7))
+
+
+def _s1_workloads() -> tuple:
+    # StreamWorkload duck-types Workload (name/family/size/seed/params,
+    # materialize/describe); its materialize() yields a StreamTrace instead of
+    # a Graph, which the S1 runner consumes.
+    return tuple(streaming_suite(seed=8))
 
 
 _REGISTRY: dict[str, ExperimentSpec] = {
@@ -111,6 +119,14 @@ _REGISTRY: dict[str, ExperimentSpec] = {
         bench_module="benchmarks/bench_e7_forests.py",
         workloads=_e7_workloads(),
         columns=("workload", "n", "outdeg_general", "outdeg_forest", "colors_general", "colors_forest", "rounds_general", "rounds_forest"),
+    ),
+    "S1": ExperimentSpec(
+        experiment_id="S1",
+        claim="Streaming: incremental orientation/coloring maintenance keeps max outdegree O(λ) under edge churn, ≥5x faster than recompute-per-batch",
+        bench_module="benchmarks/bench_s1_streaming.py",
+        workloads=_s1_workloads(),
+        notes="Dynamic extension beyond the paper: Brodal–Fagerberg flip paths with a Theorem 1.1 fallback rebuild.",
+        columns=("workload", "n", "m", "lambda_hi", "updates", "flips", "recolors", "rebuilds", "rounds", "final_max_outdegree", "outdegree_bound", "final_colors", "proper"),
     ),
 }
 

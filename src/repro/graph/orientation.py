@@ -134,6 +134,17 @@ class Orientation:
         """Vertices ``w`` such that the edge ``{w, v}`` is oriented ``w -> v``."""
         return [w for w in self.graph.neighbors(v) if self.is_oriented_from(w, v)]
 
+    def iter_directed_edges(self) -> Iterator[tuple[int, int]]:
+        """Yield every edge as an ordered ``(tail, head)`` pair.
+
+        One linear pass over the edge columns — the efficient public way to
+        consume the whole orientation (the ``direction`` mapping view costs a
+        hash lookup per edge).  Order matches :attr:`Graph.edges`.
+        """
+        edge_u, edge_v = self.graph.edge_endpoints
+        for u, v, head in zip(edge_u, edge_v, self._heads):
+            yield (u, head) if head == v else (v, head)
+
     def outdegree(self, v: int) -> int:
         """Outdegree of vertex ``v``."""
         return self._outdegree[v]

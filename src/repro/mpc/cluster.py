@@ -29,6 +29,23 @@ The simulator performs the data placement for real — each key lives on a
 specific machine and its storage is accounted there — so violating the
 ``n^δ`` local-memory constraint raises an exception rather than going
 unnoticed.
+
+**Dynamic update batches** (:mod:`repro.stream`) extend the same accounting
+to streaming workloads.  A batch of edge insertions/deletions is charged as
+one communication round whose messages route each 2-word update between the
+machines owning the edge's endpoints (oversized batches split into
+``⌈volume/S⌉`` rounds exactly like any other exchange).  The incremental
+repair work inside a batch is charged through the two standard channels
+above: flip-path repair and palette repair are each one aggregation-primitive
+round per batch in which they occur (labels ``stream:flip-repair`` /
+``stream:recolor``), journal compaction is one sorting-primitive round per
+occurrence (``stream:compact``), and a quality-fallback rebuild simply runs
+the full Theorem 1.1 pipeline against the *same* cluster, so its rounds and
+memory land in this ledger (labels ``stream:rebuild:*`` plus the static
+pipeline's own labels).  Extending the model with a new dynamic primitive
+means choosing one of these channels: real data movement goes through
+:meth:`MPCCluster.communication_round`; classical constant-round plumbing
+goes through :meth:`MPCCluster.charge_rounds` with a descriptive label.
 """
 
 from __future__ import annotations
@@ -128,8 +145,9 @@ class MPCCluster:
         Models large distributed objects (e.g. the collection of all tree
         views, whose *total* size is bounded by ``O(nB)`` while no single
         machine needs to hold more than its even share plus one object).  The
-        even share is enforced against each machine's capacity; the global
-        budget check still applies through :meth:`_observe_memory`.
+        even share is enforced against each machine's capacity (honoring
+        ``enforce_limits``, like every other store); the global budget check
+        still applies through :meth:`_observe_memory`.
         """
         if total_words < 0:
             raise SimulationError("total_words must be non-negative")
@@ -140,7 +158,7 @@ class MPCCluster:
             if remaining <= 0:
                 break
             chunk = min(share, remaining)
-            self.machine(machine_id).store(chunk, tag=tag, enforce=False)
+            self.machine(machine_id).store(chunk, tag=tag, enforce=self.enforce_limits)
             remaining -= chunk
         self._observe_memory()
 

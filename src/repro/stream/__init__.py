@@ -1,0 +1,61 @@
+"""Streaming subsystem: dynamic graphs with incremental maintenance.
+
+The static pipeline (Theorems 1.1/1.2) computes an orientation or coloring of
+a frozen graph from scratch.  This package serves the *dynamic* workload
+class: the graph changes under a stream of edge insertions and deletions and
+the bounded-outdegree orientation (and a proper coloring) must be
+*maintained*, not recomputed.
+
+* :mod:`repro.stream.dynamic_graph` — :class:`DynamicGraph`, a mutable overlay
+  (add journal + deletion tombstones) over the immutable CSR
+  :class:`~repro.graph.graph.Graph`, with amortised compaction back into CSR
+  so all read-path kernels keep working on snapshots.
+* :mod:`repro.stream.orientation` — :class:`IncrementalOrientation`,
+  Brodal–Fagerberg-style flip-path maintenance of a max-outdegree ``O(λ)``
+  orientation, with a full Theorem 1.1 rebuild as quality fallback.
+* :mod:`repro.stream.coloring` — :class:`IncrementalColoring`, repair-only
+  recoloring of vertices whose palette an insertion invalidates.
+* :mod:`repro.stream.updates` — update/batch value objects and per-batch
+  metric reports.
+* :mod:`repro.stream.service` — :class:`StreamingService`, the batch API that
+  applies updates, charges them through :class:`~repro.mpc.cluster.MPCCluster`
+  rounds, and reports per-batch metrics.
+* :mod:`repro.stream.workloads` — streaming trace generators (uniform churn,
+  sliding window, densifying-core adversary) and the :class:`StreamWorkload`
+  descriptions used by the experiment registry.
+"""
+
+from repro.stream.coloring import IncrementalColoring
+from repro.stream.dynamic_graph import DynamicGraph
+from repro.stream.orientation import IncrementalOrientation
+from repro.stream.service import StreamingService
+from repro.stream.updates import BatchReport, EdgeUpdate, StreamSummary, UpdateBatch
+from repro.stream.workloads import (
+    StreamTrace,
+    StreamWorkload,
+    densifying_core_trace,
+    generate_trace,
+    sliding_window_trace,
+    stream_family_names,
+    streaming_suite,
+    uniform_churn_trace,
+)
+
+__all__ = [
+    "BatchReport",
+    "DynamicGraph",
+    "EdgeUpdate",
+    "IncrementalColoring",
+    "IncrementalOrientation",
+    "StreamSummary",
+    "StreamTrace",
+    "StreamWorkload",
+    "StreamingService",
+    "UpdateBatch",
+    "densifying_core_trace",
+    "generate_trace",
+    "sliding_window_trace",
+    "stream_family_names",
+    "streaming_suite",
+    "uniform_churn_trace",
+]

@@ -1,0 +1,252 @@
+"""A mutable edge-churn overlay over the immutable CSR :class:`Graph`.
+
+The CSR :class:`~repro.graph.graph.Graph` is deliberately immutable — the
+simulators rely on algorithms producing explicit outputs rather than editing
+their input.  Streaming workloads still need mutation, so
+:class:`DynamicGraph` layers a small journal on top of a frozen base graph:
+
+* **added edges** live in an insertion-ordered journal (``dict`` used as an
+  ordered set) plus a per-vertex delta adjacency;
+* **deleted base edges** are tombstoned in a set (deleting a journal edge
+  simply drops it from the journal);
+* every read (``has_edge``, ``degree``, ``neighbors``) merges the base CSR
+  view with the overlay in O(overlay) extra work.
+
+Once the journal grows past ``compaction_fraction · m`` (at least
+``min_compaction_journal`` entries), the overlay is **compacted**: the
+surviving edge set is merged back into a fresh CSR graph in one linear pass
+and the journal resets.  Compaction is therefore amortised O(1) words of CSR
+rebuild per update, and — crucially — every existing read-path kernel
+(``peel_layers``, ``induced_subgraph``, degeneracy, orientation merge, the MPC
+loaders) keeps working unchanged on the compacted :meth:`snapshot`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.errors import GraphError
+from repro.graph.graph import Edge, Graph, normalize_edge
+
+
+class DynamicGraph:
+    """A graph on a fixed vertex set ``0..n-1`` under edge insertions/deletions.
+
+    Parameters
+    ----------
+    base:
+        Initial (immutable) graph; the vertex universe is fixed to its size.
+    compaction_fraction:
+        Compact once the journal exceeds this fraction of the current edge
+        count (amortises the CSR rebuild over the updates that caused it).
+    min_compaction_journal:
+        Never compact before the journal has at least this many entries
+        (avoids thrashing on tiny graphs).
+    """
+
+    __slots__ = (
+        "_base",
+        "_n",
+        "_added",
+        "_added_adj",
+        "_removed",
+        "_delta_degree",
+        "_num_edges",
+        "compaction_fraction",
+        "min_compaction_journal",
+        "num_compactions",
+        "total_updates",
+    )
+
+    def __init__(
+        self,
+        base: Graph,
+        compaction_fraction: float = 0.25,
+        min_compaction_journal: int = 64,
+    ) -> None:
+        if compaction_fraction <= 0:
+            raise GraphError("compaction_fraction must be positive")
+        if min_compaction_journal < 1:
+            raise GraphError("min_compaction_journal must be at least 1")
+        self._base = base
+        self._n = base.num_vertices
+        self._added: dict[Edge, None] = {}
+        self._added_adj: dict[int, set[int]] = {}
+        self._removed: set[Edge] = set()
+        self._delta_degree: dict[int, int] = {}
+        self._num_edges = base.num_edges
+        self.compaction_fraction = compaction_fraction
+        self.min_compaction_journal = min_compaction_journal
+        self.num_compactions = 0
+        self.total_updates = 0
+
+    @classmethod
+    def empty(cls, num_vertices: int, **kwargs) -> "DynamicGraph":
+        """A dynamic graph with ``num_vertices`` vertices and no edges."""
+        return cls(Graph.empty(num_vertices), **kwargs)
+
+    # ------------------------------------------------------------------ #
+    # Read path
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices ``n`` (fixed at construction)."""
+        return self._n
+
+    @property
+    def num_edges(self) -> int:
+        """Number of currently live edges."""
+        return self._num_edges
+
+    @property
+    def vertices(self) -> range:
+        """The vertex set, as a ``range`` object."""
+        return range(self._n)
+
+    @property
+    def base(self) -> Graph:
+        """The frozen CSR graph beneath the overlay (advances on compaction)."""
+        return self._base
+
+    @property
+    def journal_size(self) -> int:
+        """Number of overlay entries (added edges + tombstones)."""
+        return len(self._added) + len(self._removed)
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether the edge ``{u, v}`` is currently live."""
+        e = normalize_edge(u, v)
+        if e in self._added:
+            return True
+        if e in self._removed:
+            return False
+        return e in self._base
+
+    def degree(self, v: int) -> int:
+        """Current degree of vertex ``v`` (base degree plus overlay delta)."""
+        return self._base.degree(v) + self._delta_degree.get(v, 0)
+
+    def neighbors(self, v: int) -> tuple[int, ...]:
+        """Sorted tuple of the current neighbors of ``v``."""
+        removed = self._removed
+        if removed:
+            base_part = [
+                w for w in self._base.neighbors(v)
+                if (normalize_edge(v, w)) not in removed
+            ]
+        else:
+            base_part = list(self._base.neighbors(v))
+        extra = self._added_adj.get(v)
+        if extra:
+            base_part.extend(extra)
+            base_part.sort()
+        return tuple(base_part)
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate over the live edges in canonical sorted order."""
+        added = sorted(self._added)
+        removed = self._removed
+        edge_u, edge_v = self._base.edge_endpoints
+        i = 0
+        la = len(added)
+        for e in zip(edge_u, edge_v):
+            if e in removed:
+                continue
+            while i < la and added[i] < e:
+                yield added[i]
+                i += 1
+            yield e
+        while i < la:
+            yield added[i]
+            i += 1
+
+    # ------------------------------------------------------------------ #
+    # Write path
+    # ------------------------------------------------------------------ #
+
+    def _check_vertex_range(self, u: int, v: int) -> None:
+        if not (0 <= u < self._n and 0 <= v < self._n):
+            raise GraphError(f"edge ({u}, {v}) references a vertex outside 0..{self._n - 1}")
+
+    def _bump_degree(self, u: int, v: int, delta: int) -> None:
+        for x in (u, v):
+            updated = self._delta_degree.get(x, 0) + delta
+            if updated:
+                self._delta_degree[x] = updated
+            else:
+                self._delta_degree.pop(x, None)
+
+    def add_edge(self, u: int, v: int) -> None:
+        """Insert the edge ``{u, v}``; raises :class:`GraphError` if already live."""
+        self._check_vertex_range(u, v)
+        e = normalize_edge(u, v)
+        if e in self._removed:
+            self._removed.discard(e)
+        elif e in self._added or e in self._base:
+            raise GraphError(f"edge {e} is already present")
+        else:
+            self._added[e] = None
+            self._added_adj.setdefault(e[0], set()).add(e[1])
+            self._added_adj.setdefault(e[1], set()).add(e[0])
+        self._bump_degree(e[0], e[1], 1)
+        self._num_edges += 1
+        self.total_updates += 1
+        self._maybe_compact()
+
+    def remove_edge(self, u: int, v: int) -> None:
+        """Delete the edge ``{u, v}``; raises :class:`GraphError` if not live."""
+        self._check_vertex_range(u, v)
+        e = normalize_edge(u, v)
+        if e in self._added:
+            del self._added[e]
+            self._added_adj[e[0]].discard(e[1])
+            self._added_adj[e[1]].discard(e[0])
+        elif e in self._base and e not in self._removed:
+            self._removed.add(e)
+        else:
+            raise GraphError(f"edge {e} is not present")
+        self._bump_degree(e[0], e[1], -1)
+        self._num_edges -= 1
+        self.total_updates += 1
+        self._maybe_compact()
+
+    # ------------------------------------------------------------------ #
+    # Compaction / snapshots
+    # ------------------------------------------------------------------ #
+
+    def snapshot(self) -> Graph:
+        """The current edge set as an immutable CSR :class:`Graph`.
+
+        When the overlay is empty this is the base graph itself (O(1));
+        otherwise it is a fresh graph built by one linear merge of the
+        tombstone-filtered base edge columns with the sorted journal.
+        """
+        if not self._added and not self._removed:
+            return self._base
+        return Graph._from_canonical_sorted(self._n, list(self.edges()))
+
+    def compact(self) -> Graph:
+        """Fold the overlay into a fresh CSR base graph and reset the journal."""
+        if self._added or self._removed:
+            self._base = self.snapshot()
+            self._added.clear()
+            self._added_adj.clear()
+            self._removed.clear()
+            self._delta_degree.clear()
+            self.num_compactions += 1
+        return self._base
+
+    def _maybe_compact(self) -> None:
+        threshold = max(
+            self.min_compaction_journal,
+            int(self.compaction_fraction * max(self._num_edges, 1)),
+        )
+        if self.journal_size > threshold:
+            self.compact()
+
+    def __repr__(self) -> str:
+        return (
+            f"DynamicGraph(n={self._n}, m={self._num_edges}, "
+            f"journal={self.journal_size}, compactions={self.num_compactions})"
+        )

@@ -1,0 +1,239 @@
+"""The streaming service API: batched updates with MPC round accounting.
+
+:class:`StreamingService` is the dynamic counterpart of the one-shot
+``orient()``/``color()`` entry points.  It owns the full maintained state —
+a :class:`~repro.stream.dynamic_graph.DynamicGraph`, an
+:class:`~repro.stream.orientation.IncrementalOrientation` and an
+:class:`~repro.stream.coloring.IncrementalColoring` — and accepts
+:class:`~repro.stream.updates.UpdateBatch` objects.
+
+MPC accounting (see :mod:`repro.mpc.cluster` for the model):
+
+* delivering a batch is one communication round — every update ``{u, v}`` is
+  a 2-word message from the machine owning ``u`` to the machine owning ``v``
+  (oversized batches split into ⌈volume/S⌉ rounds as usual);
+* flip-path repair and recoloring are each charged one aggregation round per
+  batch in which they occur (the flips/recolors of a batch are independent
+  pointer updates, resolvable by one constant-round primitive);
+* a quality-fallback rebuild runs the full Theorem 1.1 pipeline *against the
+  service's cluster*, so its rounds land in the same ledger (labels
+  ``stream:rebuild:*``);
+* compaction is a sorting primitive over the journal, one round per
+  occurrence;
+* the live graph itself is stored as an evenly spread distributed object
+  (tag ``stream-graph``, 1 word per vertex + 2 per edge), re-registered at
+  every batch boundary — so growth under insertions shows up in the memory
+  peaks and can trip the ``n^δ``/global-budget checks like any static load.
+
+Batches are **atomic**: the whole batch is validated against the current
+graph (net of in-batch effects) before any state or ledger is touched, so an
+illegal update raises :class:`~repro.errors.GraphError` and leaves the
+service exactly as it was.
+
+Per-batch costs and structure quality are returned as
+:class:`~repro.stream.updates.BatchReport` rows.
+"""
+
+from __future__ import annotations
+
+from repro.errors import GraphError
+from repro.graph.graph import Graph, normalize_edge
+from repro.mpc.cluster import MPCCluster
+from repro.mpc.config import MPCConfig
+from repro.stream.coloring import IncrementalColoring
+from repro.stream.dynamic_graph import DynamicGraph
+from repro.stream.orientation import IncrementalOrientation
+from repro.stream.updates import BatchReport, StreamSummary, UpdateBatch
+
+
+class StreamingService:
+    """Applies update batches while maintaining orientation + coloring.
+
+    Parameters
+    ----------
+    initial:
+        The graph at stream start (may be empty).
+    delta:
+        Memory exponent for the simulated cluster (when none is supplied).
+    flip_slack, quality_interval, seed:
+        Forwarded to :class:`IncrementalOrientation`.
+    cluster:
+        Optional pre-built cluster; a fresh one sized for ``initial`` is
+        created (and loaded) when omitted.
+    maintain_coloring:
+        Disable to maintain only the orientation (benchmarks isolating the
+        flip path).
+    """
+
+    def __init__(
+        self,
+        initial: Graph,
+        delta: float = 0.5,
+        flip_slack: int = 4,
+        quality_interval: int = 1024,
+        seed: int = 0,
+        cluster: MPCCluster | None = None,
+        maintain_coloring: bool = True,
+    ) -> None:
+        if cluster is None:
+            cluster = MPCCluster(MPCConfig.for_graph(initial, delta=delta))
+        self.cluster = cluster
+        self.dynamic = DynamicGraph(initial)
+        self._account_graph_storage()
+        self.orientation = IncrementalOrientation(
+            self.dynamic,
+            flip_slack=flip_slack,
+            quality_interval=quality_interval,
+            delta=delta,
+            seed=seed,
+            cluster=cluster,
+        )
+        self.coloring = IncrementalColoring(self.dynamic) if maintain_coloring else None
+        self.summary = StreamSummary()
+
+    # ------------------------------------------------------------------ #
+    # Batch application
+    # ------------------------------------------------------------------ #
+
+    def _account_graph_storage(self) -> None:
+        """Register the live graph's words in the cluster's memory ledger.
+
+        The dynamic graph is one distributed object of ``n + 2m`` words; the
+        standard primitives keep such objects evenly spread, so each batch
+        boundary re-registers the current size under one tag.  Growth under
+        insertions therefore raises the observed peaks (and the enforcement
+        checks) exactly like a static load of the same graph would.
+        """
+        self.cluster.release_tag_everywhere("stream-graph")
+        words = self.dynamic.num_vertices + 2 * self.dynamic.num_edges
+        self.cluster.store_spread(words, tag="stream-graph")
+
+    def _validate_batch(self, batch: UpdateBatch) -> None:
+        """Reject the whole batch (before any mutation) if any update is illegal."""
+        n = self.dynamic.num_vertices
+        pending: dict[tuple[int, int], bool] = {}
+        for index, update in enumerate(batch.updates):
+            if not (0 <= update.u < n and 0 <= update.v < n):
+                raise GraphError(
+                    f"batch update #{index}: edge ({update.u}, {update.v}) "
+                    f"references a vertex outside 0..{n - 1}"
+                )
+            e = normalize_edge(update.u, update.v)
+            live = pending.get(e)
+            if live is None:
+                live = self.dynamic.has_edge(*e)
+            if update.is_insert and live:
+                raise GraphError(f"batch update #{index}: insert of live edge {e}")
+            if not update.is_insert and not live:
+                raise GraphError(f"batch update #{index}: delete of dead edge {e}")
+            pending[e] = update.is_insert
+
+    def apply(self, batch: UpdateBatch) -> BatchReport:
+        """Apply one batch atomically; returns the per-batch metric report."""
+        self._validate_batch(batch)
+        orientation = self.orientation
+        coloring = self.coloring
+        dynamic = self.dynamic
+        cluster = self.cluster
+
+        flips_before = orientation.flips
+        rebuilds_before = orientation.rebuilds
+        recolors_before = coloring.recolors if coloring is not None else 0
+        compactions_before = dynamic.num_compactions
+        rounds_before = cluster.stats.num_rounds
+
+        # One communication round delivers the whole batch: each update is a
+        # 2-word message routed between the machines owning its endpoints.
+        if len(batch):
+            cluster.communication_round(
+                [(update.u, update.v, 2) for update in batch.updates],
+                label="stream:batch",
+            )
+
+        for update in batch.updates:
+            if update.is_insert:
+                dynamic.add_edge(update.u, update.v)
+                orientation.insert(update.u, update.v)
+                if coloring is not None:
+                    coloring.handle_insert(update.u, update.v)
+            else:
+                dynamic.remove_edge(update.u, update.v)
+                orientation.delete(update.u, update.v)
+                if coloring is not None:
+                    coloring.handle_delete(update.u, update.v)
+
+        # Amortised quality maintenance at the batch boundary; a rebuild here
+        # also refreshes the coloring (the rebuild recomputed everything).
+        orientation.ensure_quality()
+        if coloring is not None and orientation.rebuilds > rebuilds_before:
+            coloring.refresh(dynamic.snapshot())
+
+        flips = orientation.flips - flips_before
+        recolors = (coloring.recolors - recolors_before) if coloring is not None else 0
+        compactions = dynamic.num_compactions - compactions_before
+        if flips:
+            cluster.charge_rounds(1, label="stream:flip-repair")
+        if recolors:
+            cluster.charge_rounds(1, label="stream:recolor")
+        if compactions:
+            cluster.charge_rounds(compactions, label="stream:compact")
+        self._account_graph_storage()
+
+        report = BatchReport(
+            batch_index=self.summary.num_batches,
+            num_inserts=batch.num_inserts,
+            num_deletes=batch.num_deletes,
+            flips=flips,
+            recolors=recolors,
+            rebuilds=orientation.rebuilds - rebuilds_before,
+            compactions=dynamic.num_compactions - compactions_before,
+            rounds=cluster.stats.num_rounds - rounds_before,
+            num_edges=dynamic.num_edges,
+            journal_size=dynamic.journal_size,
+            max_outdegree=orientation.max_outdegree(),
+            outdegree_cap=orientation.outdegree_cap,
+            num_colors=coloring.num_colors() if coloring is not None else 0,
+        )
+        self.summary.add(report)
+        return report
+
+    def apply_all(self, batches) -> StreamSummary:
+        """Apply a sequence of batches; returns the aggregated summary."""
+        for batch in batches:
+            self.apply(batch)
+        return self.summary
+
+    # ------------------------------------------------------------------ #
+    # Consistency checks (tests / validators)
+    # ------------------------------------------------------------------ #
+
+    def verify(self) -> None:
+        """Check every maintained invariant; raises :class:`GraphError` on drift.
+
+        * the orientation covers the live edge set exactly, with every
+          oriented edge live;
+        * ``max_outdegree ≤ outdegree_cap``;
+        * the coloring (when maintained) is proper on the live edge set.
+        """
+        dynamic = self.dynamic
+        orientation = self.orientation
+        oriented = orientation.oriented_edge_count()
+        if oriented != dynamic.num_edges:
+            raise GraphError(
+                f"orientation drift: {oriented} oriented edges vs {dynamic.num_edges} live"
+            )
+        for u, v in dynamic.edges():
+            orientation.head(u, v)  # raises if the edge is unoriented
+        worst = orientation.max_outdegree()
+        if worst > orientation.outdegree_cap:
+            raise GraphError(
+                f"outdegree {worst} exceeds maintained cap {orientation.outdegree_cap}"
+            )
+        if self.coloring is not None and not self.coloring.is_proper():
+            raise GraphError("maintained coloring is not proper")
+
+    def __repr__(self) -> str:
+        return (
+            f"StreamingService(m={self.dynamic.num_edges}, "
+            f"batches={self.summary.num_batches}, rounds={self.cluster.stats.num_rounds})"
+        )

@@ -1,0 +1,177 @@
+"""Value objects for streaming updates and per-batch metric reports.
+
+An :class:`EdgeUpdate` is a single insert (``+``) or delete (``-``) of one
+edge; an :class:`UpdateBatch` is the unit the service API accepts and the
+unit the MPC accounting charges rounds for.  :class:`BatchReport` records
+what maintaining the structures through one batch actually cost (flips,
+recolors, rebuilds, compactions, simulated rounds), and
+:class:`StreamSummary` aggregates reports across a whole trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import GraphError
+
+INSERT = "+"
+DELETE = "-"
+
+
+@dataclass(frozen=True)
+class EdgeUpdate:
+    """One edge insertion (``op == '+'``) or deletion (``op == '-'``)."""
+
+    op: str
+    u: int
+    v: int
+
+    def __post_init__(self) -> None:
+        if self.op not in (INSERT, DELETE):
+            raise GraphError(f"unknown update op {self.op!r} (expected '+' or '-')")
+        if self.u == self.v:
+            raise GraphError(f"self loop ({self.u}, {self.v}) is not allowed")
+
+    @property
+    def is_insert(self) -> bool:
+        return self.op == INSERT
+
+
+@dataclass(frozen=True)
+class UpdateBatch:
+    """An ordered batch of edge updates, applied atomically by the service."""
+
+    updates: tuple[EdgeUpdate, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "updates", tuple(self.updates))
+
+    def __len__(self) -> int:
+        return len(self.updates)
+
+    @property
+    def num_inserts(self) -> int:
+        return sum(1 for update in self.updates if update.is_insert)
+
+    @property
+    def num_deletes(self) -> int:
+        return len(self.updates) - self.num_inserts
+
+    @classmethod
+    def from_ops(cls, ops) -> "UpdateBatch":
+        """Build from an iterable of ``(op, u, v)`` triples."""
+        return cls(tuple(EdgeUpdate(op, int(u), int(v)) for op, u, v in ops))
+
+
+@dataclass
+class BatchReport:
+    """What one batch cost, and where the maintained structures ended up."""
+
+    batch_index: int
+    num_inserts: int
+    num_deletes: int
+    flips: int
+    recolors: int
+    rebuilds: int
+    compactions: int
+    rounds: int
+    num_edges: int
+    journal_size: int
+    max_outdegree: int
+    outdegree_cap: int
+    num_colors: int
+
+    @property
+    def num_updates(self) -> int:
+        return self.num_inserts + self.num_deletes
+
+    @property
+    def amortised_flips(self) -> float:
+        """Flips per update in this batch (the amortised-work measure)."""
+        return self.flips / max(self.num_updates, 1)
+
+    def as_dict(self) -> dict[str, float]:
+        """Flat dictionary for the reporting layer."""
+        return {
+            "batch": float(self.batch_index),
+            "inserts": float(self.num_inserts),
+            "deletes": float(self.num_deletes),
+            "flips": float(self.flips),
+            "recolors": float(self.recolors),
+            "rebuilds": float(self.rebuilds),
+            "compactions": float(self.compactions),
+            "rounds": float(self.rounds),
+            "m": float(self.num_edges),
+            "journal": float(self.journal_size),
+            "max_outdegree": float(self.max_outdegree),
+            "outdegree_cap": float(self.outdegree_cap),
+            "colors": float(self.num_colors),
+        }
+
+
+@dataclass
+class StreamSummary:
+    """Aggregate of all batch reports of one streamed trace."""
+
+    reports: list[BatchReport] = field(default_factory=list)
+
+    def add(self, report: BatchReport) -> None:
+        self.reports.append(report)
+
+    @property
+    def num_batches(self) -> int:
+        return len(self.reports)
+
+    @property
+    def total_updates(self) -> int:
+        return sum(r.num_updates for r in self.reports)
+
+    @property
+    def total_flips(self) -> int:
+        return sum(r.flips for r in self.reports)
+
+    @property
+    def total_recolors(self) -> int:
+        return sum(r.recolors for r in self.reports)
+
+    @property
+    def total_rebuilds(self) -> int:
+        return sum(r.rebuilds for r in self.reports)
+
+    @property
+    def total_compactions(self) -> int:
+        return sum(r.compactions for r in self.reports)
+
+    @property
+    def total_rounds(self) -> int:
+        return sum(r.rounds for r in self.reports)
+
+    @property
+    def amortised_flips(self) -> float:
+        """Flips per update across the whole trace."""
+        return self.total_flips / max(self.total_updates, 1)
+
+    def final_report(self) -> BatchReport:
+        if not self.reports:
+            raise GraphError("no batches have been applied yet")
+        return self.reports[-1]
+
+    def as_dict(self) -> dict[str, float]:
+        """Flat dictionary of trace-level aggregates for the reporting layer."""
+        summary = {
+            "batches": float(self.num_batches),
+            "updates": float(self.total_updates),
+            "flips": float(self.total_flips),
+            "recolors": float(self.total_recolors),
+            "rebuilds": float(self.total_rebuilds),
+            "compactions": float(self.total_compactions),
+            "rounds": float(self.total_rounds),
+            "amortised_flips": self.amortised_flips,
+        }
+        if self.reports:
+            final = self.final_report()
+            summary["final_max_outdegree"] = float(final.max_outdegree)
+            summary["final_outdegree_cap"] = float(final.outdegree_cap)
+            summary["final_colors"] = float(final.num_colors)
+            summary["final_m"] = float(final.num_edges)
+        return summary

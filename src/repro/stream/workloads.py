@@ -1,0 +1,297 @@
+"""Streaming trace generators and workload descriptions.
+
+A :class:`StreamTrace` is a reproducible dynamic-graph instance: an initial
+graph plus an ordered sequence of :class:`~repro.stream.updates.UpdateBatch`
+batches.  Three adversaries cover the regimes the maintenance theory cares
+about:
+
+* :func:`uniform_churn_trace` — stationary density: every batch deletes
+  random live edges and inserts random absent ones in equal measure.  The
+  arboricity stays flat, so the flip path should do all the work and the
+  Theorem 1.1 fallback should never fire.
+* :func:`sliding_window_trace` — only the most recent ``window`` edges are
+  live (the classical turnstile/window model).  Heavy deletion pressure makes
+  the arboricity estimate go stale-high, exercising the amortised
+  ``ensure_quality`` rebuild-down path.
+* :func:`densifying_core_trace` — an adversary keeps inserting edges inside a
+  small vertex core, driving ``λ`` up until the flip search saturates and the
+  maintainer must fall back to the full static pipeline (rebuild-up path).
+
+Every generator is deterministic given its seed.  :class:`StreamWorkload`
+mirrors :class:`repro.experiments.workloads.Workload` (name / family / size /
+seed / params, ``materialize()``/``describe()``), so the experiment registry
+can sweep streaming workloads exactly like static ones.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.errors import GraphError
+from repro.graph.generators import union_of_random_forests
+from repro.graph.graph import Edge, Graph, normalize_edge
+from repro.stream.updates import DELETE, INSERT, EdgeUpdate, UpdateBatch
+
+
+@dataclass(frozen=True)
+class StreamTrace:
+    """A reproducible dynamic-graph instance: initial graph + update batches."""
+
+    name: str
+    initial: Graph
+    batches: tuple[UpdateBatch, ...]
+
+    @property
+    def num_updates(self) -> int:
+        return sum(len(batch) for batch in self.batches)
+
+
+class _EdgeSampler:
+    """The live edge set with O(1) membership, add, remove and uniform sample."""
+
+    def __init__(self, edges=()) -> None:
+        self._edges: list[Edge] = list(edges)
+        self._index: dict[Edge, int] = {e: i for i, e in enumerate(self._edges)}
+
+    def __len__(self) -> int:
+        return len(self._edges)
+
+    def __contains__(self, e: Edge) -> bool:
+        return e in self._index
+
+    def add(self, e: Edge) -> None:
+        self._index[e] = len(self._edges)
+        self._edges.append(e)
+
+    def remove(self, e: Edge) -> None:
+        i = self._index.pop(e)
+        last = self._edges.pop()
+        if last != e:
+            self._edges[i] = last
+            self._index[last] = i
+
+    def sample(self, rng: random.Random) -> Edge:
+        return self._edges[rng.randrange(len(self._edges))]
+
+    def sample_absent(self, rng: random.Random, n: int) -> Edge:
+        """Uniformly random canonical edge not currently live."""
+        if n < 2:
+            raise GraphError("need at least 2 vertices to insert an edge")
+        if len(self._edges) >= n * (n - 1) // 2:
+            raise GraphError("no absent edge to insert: the graph is complete")
+        while True:
+            u = rng.randrange(n)
+            v = rng.randrange(n)
+            if u == v:
+                continue
+            e = normalize_edge(u, v)
+            if e not in self._index:
+                return e
+
+
+def _churn_step(live: _EdgeSampler, rng: random.Random, num_vertices: int) -> EdgeUpdate:
+    """One balanced churn update: delete a random live edge or insert a random
+    absent one with equal probability (forced to whichever side is possible
+    when the graph is empty or complete)."""
+    saturated = len(live) >= num_vertices * (num_vertices - 1) // 2
+    if len(live) and (saturated or rng.random() < 0.5):
+        e = live.sample(rng)
+        live.remove(e)
+        return EdgeUpdate(DELETE, *e)
+    e = live.sample_absent(rng, num_vertices)
+    live.add(e)
+    return EdgeUpdate(INSERT, *e)
+
+
+def uniform_churn_trace(
+    num_vertices: int,
+    arboricity: int = 3,
+    num_batches: int = 10,
+    batch_size: int = 200,
+    seed: int = 0,
+) -> StreamTrace:
+    """Stationary churn: each update deletes a random live edge or inserts a
+    random absent one with equal probability, so the density stays flat."""
+    base = union_of_random_forests(num_vertices, arboricity=arboricity, seed=seed)
+    rng = random.Random(seed + 0x5EED)
+    live = _EdgeSampler(base.edges)
+    batches: list[UpdateBatch] = []
+    for _ in range(num_batches):
+        updates = [_churn_step(live, rng, num_vertices) for _ in range(batch_size)]
+        batches.append(UpdateBatch(tuple(updates)))
+    return StreamTrace(
+        name=f"uniform-churn-{num_vertices}", initial=base, batches=tuple(batches)
+    )
+
+
+def sliding_window_trace(
+    num_vertices: int,
+    window: int = 512,
+    num_batches: int = 10,
+    batch_size: int = 200,
+    seed: int = 0,
+) -> StreamTrace:
+    """Window model: each batch inserts fresh edges and expires the oldest.
+
+    The initial graph holds ``window`` random edges; each batch appends
+    ``batch_size`` new random edges and deletes however many oldest edges
+    exceed the window, keeping exactly ``window`` edges live at batch ends.
+    """
+    max_edges = num_vertices * (num_vertices - 1) // 2
+    if window + batch_size > max_edges:
+        raise GraphError(
+            f"window ({window}) + batch_size ({batch_size}) exceeds the "
+            f"{max_edges} possible edges on {num_vertices} vertices"
+        )
+    rng = random.Random(seed + 0x51D)
+    live = _EdgeSampler()
+    fifo: list[Edge] = []
+    while len(live) < window:
+        e = live.sample_absent(rng, num_vertices)
+        live.add(e)
+        fifo.append(e)
+    initial = Graph(num_vertices, sorted(fifo))
+    oldest = 0
+    batches: list[UpdateBatch] = []
+    for _ in range(num_batches):
+        updates: list[EdgeUpdate] = []
+        for _ in range(batch_size):
+            e = live.sample_absent(rng, num_vertices)
+            live.add(e)
+            fifo.append(e)
+            updates.append(EdgeUpdate(INSERT, *e))
+        while len(live) > window:
+            e = fifo[oldest]
+            oldest += 1
+            if e in live:
+                live.remove(e)
+                updates.append(EdgeUpdate(DELETE, *e))
+        batches.append(UpdateBatch(tuple(updates)))
+    return StreamTrace(
+        name=f"sliding-window-{num_vertices}", initial=initial, batches=tuple(batches)
+    )
+
+
+def densifying_core_trace(
+    num_vertices: int,
+    core_size: int = 32,
+    num_batches: int = 10,
+    batch_size: int = 200,
+    background_fraction: float = 0.25,
+    seed: int = 0,
+) -> StreamTrace:
+    """Adversarial densification: most inserts land inside a small core.
+
+    Starting from a sparse forest, each batch spends
+    ``(1 - background_fraction)`` of its updates inserting edges among the
+    first ``core_size`` vertices (until the core is a clique) and the rest on
+    uniform background churn.  The core's arboricity grows like
+    ``core_edges / core_size``, eventually saturating the flip search and
+    forcing Theorem 1.1 fallback rebuilds.
+    """
+    if core_size > num_vertices:
+        raise GraphError("core_size cannot exceed num_vertices")
+    base = union_of_random_forests(num_vertices, arboricity=1, seed=seed)
+    rng = random.Random(seed + 0xC0DE)
+    live = _EdgeSampler(base.edges)
+    core_candidates = [
+        (u, v) for u in range(core_size) for v in range(u + 1, core_size)
+    ]
+    rng.shuffle(core_candidates)
+    core_pointer = 0
+    batches: list[UpdateBatch] = []
+    for _ in range(num_batches):
+        updates: list[EdgeUpdate] = []
+        core_budget = int(batch_size * (1.0 - background_fraction))
+        while core_budget > 0 and core_pointer < len(core_candidates):
+            e = core_candidates[core_pointer]
+            core_pointer += 1
+            if e in live:
+                continue
+            live.add(e)
+            updates.append(EdgeUpdate(INSERT, *e))
+            core_budget -= 1
+        while len(updates) < batch_size:
+            updates.append(_churn_step(live, rng, num_vertices))
+        batches.append(UpdateBatch(tuple(updates)))
+    return StreamTrace(
+        name=f"densifying-core-{num_vertices}", initial=base, batches=tuple(batches)
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Workload descriptions (registry-compatible)
+# --------------------------------------------------------------------------- #
+
+_FAMILIES = {
+    "uniform_churn": uniform_churn_trace,
+    "sliding_window": sliding_window_trace,
+    "densifying_core": densifying_core_trace,
+}
+
+
+def stream_family_names() -> tuple[str, ...]:
+    """Names of the available streaming trace families."""
+    return tuple(sorted(_FAMILIES))
+
+
+def generate_trace(family: str, num_vertices: int, seed: int = 0, **params) -> StreamTrace:
+    """Generate a trace by family name (mirrors ``generators.generate``)."""
+    try:
+        generator = _FAMILIES[family]
+    except KeyError:
+        raise GraphError(
+            f"unknown streaming family {family!r}; available: {stream_family_names()}"
+        ) from None
+    return generator(num_vertices, seed=seed, **params)
+
+
+@dataclass(frozen=True)
+class StreamWorkload:
+    """A reproducible streaming instance description (registry-compatible)."""
+
+    name: str
+    family: str
+    num_vertices: int
+    seed: int = 0
+    params: tuple[tuple[str, object], ...] = field(default_factory=tuple)
+
+    def materialize(self) -> StreamTrace:
+        """Generate the trace described by this workload."""
+        return generate_trace(
+            self.family, self.num_vertices, seed=self.seed, **dict(self.params)
+        )
+
+    def describe(self) -> str:
+        """One-line description for tables."""
+        extras = ", ".join(f"{key}={value}" for key, value in self.params)
+        suffix = f" ({extras})" if extras else ""
+        return f"{self.family} n={self.num_vertices}{suffix}"
+
+
+def streaming_suite(seed: int = 0) -> list[StreamWorkload]:
+    """The default streaming sweep used by experiment S1."""
+    return [
+        StreamWorkload(
+            name="uniform-churn-1024",
+            family="uniform_churn",
+            num_vertices=1024,
+            seed=seed,
+            params=(("arboricity", 3), ("num_batches", 8), ("batch_size", 200)),
+        ),
+        StreamWorkload(
+            name="sliding-window-1024",
+            family="sliding_window",
+            num_vertices=1024,
+            seed=seed,
+            params=(("window", 1024), ("num_batches", 8), ("batch_size", 200)),
+        ),
+        StreamWorkload(
+            name="densifying-core-512",
+            family="densifying_core",
+            num_vertices=512,
+            seed=seed,
+            params=(("core_size", 48), ("num_batches", 8), ("batch_size", 150)),
+        ),
+    ]

@@ -31,6 +31,14 @@ class TestConstruction:
         assert orientation.outdegree(1) == 1
         assert orientation.max_outdegree() == 1
 
+    def test_iter_directed_edges_matches_heads(self, triangle):
+        orientation = Orientation(triangle, {(0, 1): 1, (0, 2): 0, (1, 2): 2})
+        directed = list(orientation.iter_directed_edges())
+        assert directed == [(0, 1), (2, 0), (1, 2)]  # edge-column order
+        for (u, v), (tail, head) in zip(triangle.edges, directed):
+            assert {tail, head} == {u, v}
+            assert orientation.head(u, v) == head
+
 
 class TestFromVertexOrderAndLayering:
     def test_from_vertex_order_orients_upward(self, small_path):

@@ -77,9 +77,29 @@ class TestStorage:
         with pytest.raises(SimulationError):
             cluster.store_spread(-1)
 
+    def test_store_spread_enforces_per_machine_capacity(self):
+        """Regression: the even share must be checked against each machine's
+        capacity (the docstring always promised it; the code stored with
+        enforce=False)."""
+        from repro.errors import MemoryLimitExceeded
+
+        cluster = make_cluster()
+        oversized = cluster.num_machines * (cluster.words_per_machine + 1)
+        with pytest.raises(MemoryLimitExceeded):
+            cluster.store_spread(oversized, tag="too-big")
+
+    def test_store_spread_enforcement_respects_enforce_limits_flag(self):
+        cluster = make_cluster(enforce_limits=False)
+        oversized = cluster.num_machines * (cluster.words_per_machine + 1)
+        cluster.store_spread(oversized, tag="measured")  # must not raise
+        assert cluster.peak_machine_memory() > cluster.words_per_machine
+
     def test_global_memory_enforcement_optional(self):
+        # enforce_limits=False isolates the global check: with per-machine
+        # enforcement on, store_spread would trip MemoryLimitExceeded first.
         cluster = MPCCluster(
             MPCConfig(num_vertices=32, num_edges=32, delta=0.5),
+            enforce_limits=False,
             enforce_global_memory=True,
         )
         with pytest.raises(GlobalMemoryExceeded):
@@ -113,3 +133,38 @@ class TestGraphLoading:
         assert snap["rounds"] == 2.0
         assert snap["num_machines"] == float(cluster.num_machines)
         assert snap["words_per_machine"] == float(cluster.words_per_machine)
+
+
+class TestSnapshotAccounting:
+    """Focused coverage for MPCCluster.snapshot(): round labels, peak-memory
+    observation and oversized-split accounting (previously only exercised
+    incidentally through the pipelines)."""
+
+    def test_snapshot_tracks_peak_memory_observation(self):
+        cluster = make_cluster()
+        cluster.store_at_key(3, 40, tag="spike")
+        cluster.release_at_key(3, 40, tag="spike")
+        cluster.store_at_key(3, 5, tag="steady")
+        snap = cluster.snapshot()
+        assert snap["peak_machine_memory_words"] == 40.0
+        assert snap["peak_global_memory_words"] == 40.0
+        assert snap["global_budget_words"] == float(cluster.config.global_memory_words())
+
+    def test_oversized_split_charges_extra_labelled_rounds(self):
+        cluster = make_cluster(n=64, m=64)
+        capacity = cluster.words_per_machine
+        rounds = cluster.communication_round([(0, 1, capacity * 3)], label="bulk")
+        labels = cluster.stats.rounds_by_label
+        assert labels["bulk"] == 1
+        assert labels["bulk:oversized-split"] == rounds - 1
+        snap = cluster.snapshot()
+        assert snap["rounds"] == float(rounds)
+        assert snap["max_round_volume"] == float(capacity * 3)
+
+    def test_round_labels_accumulate_across_sources(self):
+        cluster = make_cluster()
+        cluster.communication_round([(0, 1, 2)], label="exchange")
+        cluster.charge_rounds(3, label="primitive")
+        cluster.communication_round([(1, 2, 1)], label="exchange")
+        assert cluster.stats.rounds_by_label == {"exchange": 2, "primitive": 3}
+        assert cluster.snapshot()["rounds"] == 5.0

@@ -49,3 +49,44 @@ class TestRoundStats:
             "peak_machine_memory_words",
             "peak_global_memory_words",
         }
+
+    def test_record_round_returns_indexed_record(self):
+        stats = RoundStats()
+        first = stats.record_round("setup", 4, 2, 3)
+        second = stats.record_round("setup", 6, 6, 1)
+        assert (first.index, second.index) == (0, 1)
+        assert first.label == "setup"
+        assert second.words_sent == 6
+        assert second.max_machine_sent == 6
+        assert second.max_machine_received == 1
+
+    def test_summary_values_reflect_records(self):
+        stats = RoundStats()
+        stats.record_round("a", 10, 5, 7)
+        stats.record_round("b", 3, 3, 3)
+        stats.observe_memory(12, 80)
+        summary = stats.summary()
+        assert summary["rounds"] == 2.0
+        assert summary["total_words_sent"] == 13.0
+        assert summary["max_round_volume"] == 10.0
+        assert summary["peak_machine_memory_words"] == 12.0
+        assert summary["peak_global_memory_words"] == 80.0
+
+    def test_empty_stats_edge_cases(self):
+        stats = RoundStats()
+        assert stats.num_rounds == 0
+        assert stats.total_words_sent == 0
+        assert stats.max_round_volume == 0
+        assert stats.summary()["rounds"] == 0.0
+
+    def test_merge_is_non_destructive(self):
+        a = RoundStats()
+        a.record_round("x", 1, 1, 1)
+        b = RoundStats()
+        b.record_round("y", 2, 2, 2)
+        merged = a.merge(b)
+        merged.record_round("z", 3, 3, 3)
+        assert a.num_rounds == 1
+        assert b.num_rounds == 1
+        assert a.rounds_by_label == {"x": 1}
+        assert merged.num_rounds == 3

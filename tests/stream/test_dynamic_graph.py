@@ -1,0 +1,171 @@
+"""Tests for the DynamicGraph overlay, including the snapshot property test."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.generators import union_of_random_forests
+from repro.graph.graph import Graph
+from repro.stream.dynamic_graph import DynamicGraph
+
+
+class TestBasics:
+    def test_empty(self):
+        dg = DynamicGraph.empty(5)
+        assert dg.num_vertices == 5
+        assert dg.num_edges == 0
+        assert dg.journal_size == 0
+        assert not dg.has_edge(0, 1)
+
+    def test_add_and_remove(self):
+        dg = DynamicGraph.empty(4)
+        dg.add_edge(2, 0)
+        assert dg.has_edge(0, 2)
+        assert dg.has_edge(2, 0)
+        assert dg.num_edges == 1
+        assert dg.degree(0) == 1
+        assert dg.degree(2) == 1
+        assert dg.neighbors(0) == (2,)
+        dg.remove_edge(0, 2)
+        assert not dg.has_edge(0, 2)
+        assert dg.num_edges == 0
+        assert dg.degree(0) == 0
+
+    def test_duplicate_add_rejected(self):
+        dg = DynamicGraph(Graph(3, [(0, 1)]))
+        with pytest.raises(GraphError):
+            dg.add_edge(0, 1)
+        dg.add_edge(1, 2)
+        with pytest.raises(GraphError):
+            dg.add_edge(2, 1)
+
+    def test_remove_missing_rejected(self):
+        dg = DynamicGraph(Graph(3, [(0, 1)]))
+        with pytest.raises(GraphError):
+            dg.remove_edge(1, 2)
+        dg.remove_edge(0, 1)
+        with pytest.raises(GraphError):
+            dg.remove_edge(0, 1)
+
+    def test_self_loop_and_range_rejected(self):
+        dg = DynamicGraph.empty(3)
+        with pytest.raises(GraphError):
+            dg.add_edge(1, 1)
+        with pytest.raises(GraphError):
+            dg.add_edge(0, 3)
+        with pytest.raises(GraphError):
+            dg.remove_edge(-1, 0)
+
+    def test_tombstone_and_readd(self):
+        base = Graph(3, [(0, 1), (1, 2)])
+        dg = DynamicGraph(base)
+        dg.remove_edge(0, 1)
+        assert not dg.has_edge(0, 1)
+        assert dg.journal_size == 1
+        dg.add_edge(0, 1)  # resurrect the tombstoned base edge
+        assert dg.has_edge(0, 1)
+        assert dg.journal_size == 0
+        assert dg.snapshot() is base  # no overlay -> base returned as-is
+
+    def test_neighbors_merge_base_and_overlay(self):
+        base = Graph(5, [(0, 1), (0, 2), (0, 3)])
+        dg = DynamicGraph(base)
+        dg.remove_edge(0, 2)
+        dg.add_edge(0, 4)
+        assert dg.neighbors(0) == (1, 3, 4)
+        assert dg.degree(0) == 3
+
+    def test_edges_iterates_sorted_canonical(self):
+        base = Graph(6, [(1, 2), (3, 4)])
+        dg = DynamicGraph(base)
+        dg.add_edge(0, 5)
+        dg.add_edge(2, 3)
+        dg.remove_edge(3, 4)
+        assert list(dg.edges()) == [(0, 5), (1, 2), (2, 3)]
+
+
+class TestCompaction:
+    def test_compaction_triggers_and_resets_journal(self):
+        dg = DynamicGraph.empty(100, min_compaction_journal=16)
+        rng = random.Random(1)
+        for _ in range(200):
+            u, v = rng.randrange(100), rng.randrange(100)
+            if u != v and not dg.has_edge(u, v):
+                dg.add_edge(u, v)
+        assert dg.num_compactions > 0
+        assert dg.journal_size <= max(16, dg.num_edges // 4) + 1
+
+    def test_compact_preserves_edge_set(self):
+        base = union_of_random_forests(64, arboricity=2, seed=3)
+        dg = DynamicGraph(base)
+        expected = set(base.edges)
+        for e in list(expected)[:10]:
+            dg.remove_edge(*e)
+            expected.discard(e)
+        dg.add_edge(0, 63)
+        expected.add((0, 63))
+        compacted = dg.compact()
+        assert set(compacted.edges) == expected
+        assert dg.journal_size == 0
+        assert dg.base is compacted
+
+    def test_read_path_kernels_work_on_snapshot(self):
+        """The compacted snapshot is a full CSR Graph: peeling, induced
+        subgraphs and degeneracy all run unchanged."""
+        dg = DynamicGraph(union_of_random_forests(128, arboricity=3, seed=5))
+        rng = random.Random(7)
+        live = set(dg.base.edges)
+        for _ in range(300):
+            if live and rng.random() < 0.5:
+                e = live.pop()
+                dg.remove_edge(*e)
+            else:
+                u, v = rng.randrange(128), rng.randrange(128)
+                if u != v and not dg.has_edge(u, v):
+                    dg.add_edge(u, v)
+                    live.add((min(u, v), max(u, v)))
+        snapshot = dg.snapshot()
+        layers, rounds = snapshot.peel_layers(threshold=6)
+        assert rounds >= 1
+        sub = snapshot.induced_subgraph(range(64))
+        assert sub.num_vertices == 64
+        assert snapshot.num_edges == dg.num_edges
+
+
+class TestSnapshotProperty:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_snapshot_equals_surviving_edge_set_after_1k_interleaved_ops(self, seed):
+        """Acceptance property: after ≥1k random interleaved inserts/deletes,
+        the compacted snapshot equals the CSR graph built from the surviving
+        edge set."""
+        n = 96
+        rng = random.Random(seed)
+        base = union_of_random_forests(n, arboricity=2, seed=seed)
+        dg = DynamicGraph(base, min_compaction_journal=32)
+        mirror = set(base.edges)
+        pool = sorted(mirror)
+        for step in range(1200):
+            if mirror and rng.random() < 0.48:
+                e = pool[rng.randrange(len(pool))]
+                if e not in mirror:
+                    continue
+                mirror.discard(e)
+                dg.remove_edge(*e)
+            else:
+                u, v = rng.randrange(n), rng.randrange(n)
+                if u == v:
+                    continue
+                e = (min(u, v), max(u, v))
+                if e in mirror:
+                    continue
+                mirror.add(e)
+                pool.append(e)
+                dg.add_edge(*e)
+            if step % 400 == 199:  # also check mid-stream, not only at the end
+                assert dg.snapshot() == Graph(n, sorted(mirror))
+        assert dg.num_edges == len(mirror)
+        assert dg.compact() == Graph(n, sorted(mirror))
+        assert dg.num_compactions > 0

@@ -1,0 +1,132 @@
+"""Tests for the streaming trace generators and the S1 experiment wiring."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GraphError
+from repro.experiments.registry import get_experiment
+from repro.experiments.streaming import run_streaming_experiment
+from repro.graph.arboricity import arboricity_upper_bound
+from repro.graph.graph import normalize_edge
+from repro.stream.workloads import (
+    StreamWorkload,
+    densifying_core_trace,
+    generate_trace,
+    sliding_window_trace,
+    stream_family_names,
+    streaming_suite,
+    uniform_churn_trace,
+)
+
+
+def replay(trace) -> set:
+    """Apply a trace to a mirror edge set, asserting every update is legal."""
+    live = set(trace.initial.edges)
+    for batch in trace.batches:
+        for update in batch.updates:
+            e = normalize_edge(update.u, update.v)
+            if update.is_insert:
+                assert e not in live, f"illegal insert of live edge {e}"
+                live.add(e)
+            else:
+                assert e in live, f"illegal delete of dead edge {e}"
+                live.discard(e)
+    return live
+
+
+class TestTraceLegality:
+    @pytest.mark.parametrize("family", sorted(stream_family_names()))
+    def test_every_family_emits_legal_traces(self, family):
+        trace = generate_trace(family, 128, seed=9, num_batches=6, batch_size=80)
+        live = replay(trace)
+        assert trace.num_updates > 0
+        assert len(live) >= 0  # replay() already asserted per-update legality
+
+    def test_traces_are_deterministic(self):
+        a = uniform_churn_trace(64, num_batches=3, batch_size=40, seed=4)
+        b = uniform_churn_trace(64, num_batches=3, batch_size=40, seed=4)
+        assert a.batches == b.batches
+        assert a.initial == b.initial
+        c = uniform_churn_trace(64, num_batches=3, batch_size=40, seed=5)
+        assert a.batches != c.batches
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(GraphError):
+            generate_trace("no_such_family", 64)
+
+    def test_tiny_saturated_graph_does_not_hang(self):
+        """Regression: on K2 every edge slot is full, so churn must fall back
+        to deletions instead of spinning forever looking for an absent edge."""
+        replay(generate_trace("uniform_churn", 2, seed=0, num_batches=2, batch_size=4))
+        replay(generate_trace("densifying_core", 2, seed=0, num_batches=2,
+                              batch_size=4, core_size=2))
+
+    def test_sliding_window_rejects_infeasible_window(self):
+        with pytest.raises(GraphError):
+            sliding_window_trace(4, window=10, num_batches=1, batch_size=5, seed=0)
+
+
+class TestFamilyShapes:
+    def test_sliding_window_keeps_exactly_window_edges(self):
+        window = 150
+        trace = sliding_window_trace(128, window=window, num_batches=5,
+                                     batch_size=60, seed=1)
+        assert trace.initial.num_edges == window
+        live = set(trace.initial.edges)
+        for batch in trace.batches:
+            for update in batch.updates:
+                e = normalize_edge(update.u, update.v)
+                live.add(e) if update.is_insert else live.discard(e)
+            assert len(live) == window  # every batch ends exactly at the window
+
+    def test_densifying_core_grows_arboricity(self):
+        trace = densifying_core_trace(128, core_size=32, num_batches=8,
+                                      batch_size=100, seed=2)
+        from repro.graph.graph import Graph
+
+        final_live = replay(trace)
+        initial_lambda = arboricity_upper_bound(trace.initial)
+        final_lambda = arboricity_upper_bound(Graph(128, sorted(final_live)))
+        assert final_lambda > 2 * initial_lambda
+
+    def test_uniform_churn_keeps_density_flat(self):
+        trace = uniform_churn_trace(128, arboricity=3, num_batches=6,
+                                    batch_size=100, seed=3)
+        final_live = replay(trace)
+        initial_m = trace.initial.num_edges
+        assert abs(len(final_live) - initial_m) < initial_m  # no blow-up
+
+
+class TestWorkloadDescriptions:
+    def test_stream_workload_materializes_and_describes(self):
+        workload = StreamWorkload(
+            name="t", family="uniform_churn", num_vertices=64, seed=1,
+            params=(("num_batches", 2), ("batch_size", 30)),
+        )
+        trace = workload.materialize()
+        assert trace.initial.num_vertices == 64
+        assert len(trace.batches) == 2
+        assert "uniform_churn" in workload.describe()
+
+    def test_streaming_suite_covers_all_families(self):
+        families = {w.family for w in streaming_suite()}
+        assert families == set(stream_family_names())
+
+    def test_s1_registered(self):
+        spec = get_experiment("S1")
+        assert spec.bench_module.endswith("bench_s1_streaming.py")
+        assert len(spec.workloads) >= 3
+
+    def test_run_streaming_experiment_row(self):
+        workload = StreamWorkload(
+            name="small", family="uniform_churn", num_vertices=96, seed=6,
+            params=(("num_batches", 3), ("batch_size", 50), ("arboricity", 2)),
+        )
+        row = run_streaming_experiment(workload)
+        data = row.as_dict()
+        assert data["n"] == 96
+        assert data["updates"] == 150.0
+        assert data["proper"] == 1.0
+        assert data["outdegree_ok"] == 1.0
+        assert data["rounds"] > 0

@@ -1,0 +1,50 @@
+"""Smoke test: every script in examples/ must run on tiny inputs.
+
+The examples are the repo's live documentation; as the API grows they are the
+first thing to silently rot.  Each script takes an optional ``num_vertices``
+as its first argument, so running them all at n=200 keeps the whole smoke
+pass under a few seconds while still exercising the real entry points
+(orientation, coloring, layering, densest subgraph, streaming service).
+
+New example scripts are picked up automatically — the parametrisation globs
+the directory.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+SRC_DIR = Path(__file__).resolve().parent.parent / "src"
+SMALL_N = "200"
+
+example_scripts = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_is_populated():
+    assert len(example_scripts) >= 5
+
+
+@pytest.mark.parametrize("script", example_scripts, ids=lambda p: p.name)
+def test_example_runs_on_tiny_input(script: Path):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC_DIR) + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    result = subprocess.run(
+        [sys.executable, str(script), SMALL_N],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert result.returncode == 0, (
+        f"{script.name} exited with {result.returncode}\n"
+        f"stdout:\n{result.stdout[-2000:]}\nstderr:\n{result.stderr[-2000:]}"
+    )
+    assert result.stdout.strip(), f"{script.name} produced no output"
