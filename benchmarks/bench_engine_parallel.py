@@ -1,0 +1,166 @@
+"""Engine — parallel Lemma 2.1 orientation and batch-parallel flip repair.
+
+The superstep engine's acceptance bar (ISSUE 3): with 4 process workers,
+large-λ ``orient()`` on a 100k-vertex dense workload must be **≥ 2× faster**
+than the serial path, with engine results (orientation heads, rounds)
+byte-identical to ``workers=1``.  The same module pins the batch-parallel
+flip-repair path of the streaming service against its serial counterpart —
+identical maintained state (heads, colors, rounds) for any worker count,
+with the wall-clock ratio reported (thread backend: the GIL bounds the
+speedup, so only identity is asserted).
+
+Workload: a union of 12 random spanning forests on 100k vertices
+(m ≈ 1.2M, λ ≤ 12) pushed through the Lemma 2.1 branch with an explicit
+``k = 256`` — ``⌈k / log2 n⌉ = 16`` parts, four even waves for 4 workers.
+The explicit ``k`` pins the part count, so the serial/parallel comparison
+runs the exact same partition.
+
+Run directly (``python benchmarks/bench_engine_parallel.py``) for a table,
+or through pytest (``pytest benchmarks/bench_engine_parallel.py``).  The
+speedup assertion needs real cores and is skipped on hosts with fewer than
+4 CPUs (the identity assertions always run).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.core.orientation import orient
+from repro.engine import PROCESS, ParallelExecutor
+from repro.graph.generators import union_of_random_forests
+from repro.stream.service import StreamingService
+from repro.stream.workloads import uniform_churn_trace
+
+NUM_VERTICES = 100_000
+ARBORICITY = 12
+EXPLICIT_K = 256  # forces ⌈k / log2 n⌉ = 16 Lemma 2.1 parts at this scale
+WORKERS = 4
+ORIENT_SPEEDUP_TARGET = 2.0
+
+STREAM_BATCHES = 4
+STREAM_BATCH_SIZE = 2_000
+
+
+def _available_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux hosts
+        return os.cpu_count() or 1
+
+
+def _make_graph():
+    return union_of_random_forests(NUM_VERTICES, arboricity=ARBORICITY, seed=42)
+
+
+def _orient_once(graph, executor):
+    start = time.perf_counter()
+    run = orient(
+        graph,
+        k=EXPLICIT_K,
+        seed=7,
+        force_edge_partitioning=True,
+        executor=executor,
+    )
+    return time.perf_counter() - start, run
+
+
+def run_orientation_benchmark() -> dict[str, float]:
+    graph = _make_graph()
+    serial_s, serial_run = _orient_once(graph, ParallelExecutor(workers=1))
+    parallel_s, parallel_run = _orient_once(
+        graph, ParallelExecutor(workers=WORKERS, backend=PROCESS)
+    )
+    identical = (
+        serial_run.orientation.direction == parallel_run.orientation.direction
+        and serial_run.rounds == parallel_run.rounds
+        and serial_run.max_outdegree == parallel_run.max_outdegree
+    )
+    return {
+        "num_parts": float(serial_run.num_parts),
+        "serial_s": serial_s,
+        "parallel_s": parallel_s,
+        "speedup": serial_s / parallel_s,
+        "rounds": float(serial_run.rounds),
+        "max_outdegree": float(serial_run.max_outdegree),
+        "identical": 1.0 if identical else 0.0,
+    }
+
+
+def _stream_once(trace, workers):
+    service = StreamingService(trace.initial, seed=0, workers=workers)
+    start = time.perf_counter()
+    summary = service.apply_all(trace.batches)
+    elapsed = time.perf_counter() - start
+    service.verify()
+    state = (
+        tuple(tuple(sorted(out)) for out in service.orientation._out),
+        tuple(service.coloring._colors),
+        service.cluster.stats.num_rounds,
+        summary.total_flips,
+    )
+    return elapsed, state, summary
+
+
+def run_repair_benchmark() -> dict[str, float]:
+    trace = uniform_churn_trace(
+        NUM_VERTICES,
+        arboricity=4,
+        num_batches=STREAM_BATCHES,
+        batch_size=STREAM_BATCH_SIZE,
+        seed=42,
+    )
+    serial_s, serial_state, _ = _stream_once(trace, workers=1)
+    parallel_s, parallel_state, summary = _stream_once(trace, workers=WORKERS)
+    groups = sum(report.conflict_groups for report in summary.reports)
+    parallel_groups = sum(report.parallel_groups for report in summary.reports)
+    return {
+        "serial_s": serial_s,
+        "parallel_s": parallel_s,
+        "speedup": serial_s / parallel_s,
+        "conflict_groups": float(groups),
+        "parallel_groups": float(parallel_groups),
+        "identical": 1.0 if serial_state == parallel_state else 0.0,
+    }
+
+
+def test_parallel_orientation_identical_and_faster():
+    results = run_orientation_benchmark()
+    assert results["identical"] == 1.0, results
+    if _available_cpus() < WORKERS:
+        pytest.skip(
+            f"host has {_available_cpus()} CPUs; the {ORIENT_SPEEDUP_TARGET}x "
+            f"bar needs {WORKERS} real cores (identity already verified)"
+        )
+    assert results["speedup"] >= ORIENT_SPEEDUP_TARGET, (
+        f"parallel large-λ orient only {results['speedup']:.2f}x faster than "
+        f"serial (target {ORIENT_SPEEDUP_TARGET}x): {results}"
+    )
+
+
+def test_batch_parallel_repair_identical():
+    results = run_repair_benchmark()
+    assert results["identical"] == 1.0, results
+    assert results["parallel_groups"] > 0  # the parallel phase actually ran
+
+
+if __name__ == "__main__":
+    print(
+        f"engine parallel: n={NUM_VERTICES}, m≈{NUM_VERTICES * ARBORICITY}, "
+        f"k={EXPLICIT_K}, workers={WORKERS}, cpus={_available_cpus()}"
+    )
+    for title, rows, target in (
+        ("large-λ orientation (process backend)", run_orientation_benchmark(), ORIENT_SPEEDUP_TARGET),
+        ("batch-parallel flip repair (thread backend)", run_repair_benchmark(), None),
+    ):
+        print(f"\n{title}")
+        width = max(len(key) for key in rows)
+        for key, value in rows.items():
+            print(f"  {key:<{width}}  {value:,.4f}")
+        if target is not None:
+            verdict = "PASS" if rows["speedup"] >= target else "FAIL"
+            if _available_cpus() < WORKERS:
+                verdict += f" n/a ({_available_cpus()} CPUs < {WORKERS})"
+            print(f"  speedup target: {target}x -> {verdict}")

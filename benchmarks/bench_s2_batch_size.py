@@ -1,0 +1,74 @@
+"""S2 — windowed streaming: batch size vs. amortised MPC rounds per update.
+
+Delivering an update batch costs one communication round regardless of its
+size (until the batch outgrows the per-machine memory ``S``), while the
+repair primitives are charged per batch in which they occur — so at a fixed
+total update budget, batching more updates together should drive the
+amortised rounds/update down roughly like ``1/batch_size`` without hurting
+the maintained quality.  The S2 registry suite fixes the window (512 edges
+on 512 vertices) and the insert budget, sweeping only the batch size.
+
+Checks:
+
+* amortised rounds/update decreases monotonically along the sweep and the
+  largest batch size is ≥ 4× cheaper per update than the smallest;
+* the maintained max outdegree stays within the streaming O(λ) envelope for
+  every batch size (batching must not degrade quality).
+
+Run directly (``python benchmarks/bench_s2_batch_size.py``) for the table,
+or through pytest (``pytest benchmarks/bench_s2_batch_size.py``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import record_row
+from repro.experiments.registry import get_experiment
+from repro.experiments.streaming import run_batch_size_experiment
+
+SPEC = get_experiment("S2")
+SWEEP_SPEEDUP_TARGET = 4.0
+
+_ROWS: list[dict] = []
+
+
+@pytest.mark.parametrize("workload", SPEC.workloads, ids=lambda w: w.name)
+def test_s2_batch_size_row(benchmark, workload):
+    row = benchmark.pedantic(
+        run_batch_size_experiment, args=(workload,), rounds=1, iterations=1
+    )
+    data = row.as_dict()
+    record_row("S2 — " + SPEC.claim, SPEC.columns, data)
+    benchmark.extra_info.update(
+        {key: data[key] for key in ("batch_size", "rounds_per_update", "flips")}
+    )
+    _ROWS.append(data)
+    assert data["updates"] > 0
+
+
+def test_s2_amortised_rounds_fall_with_batch_size():
+    """The sweep's point: bigger batches amortise the round cost away."""
+    rows = sorted(
+        (run_batch_size_experiment(workload).as_dict() for workload in SPEC.workloads),
+        key=lambda data: data["batch_size"],
+    )
+    per_update = [data["rounds_per_update"] for data in rows]
+    assert all(a >= b for a, b in zip(per_update, per_update[1:])), per_update
+    assert per_update[0] / max(per_update[-1], 1e-9) >= SWEEP_SPEEDUP_TARGET
+    # Batching must not cost quality: same envelope at every batch size.
+    caps = {data["final_max_outdegree"] for data in rows}
+    assert max(caps) <= min(data["outdegree_cap"] for data in rows)
+
+
+def main() -> None:
+    from repro.analysis.reporting import Table
+
+    table = Table(title="S2 — " + SPEC.claim, columns=list(SPEC.columns))
+    for workload in SPEC.workloads:
+        table.add_row(run_batch_size_experiment(workload).as_dict())
+    table.print()
+
+
+if __name__ == "__main__":
+    main()

@@ -22,9 +22,16 @@ Commands
     core), maintain the orientation and coloring incrementally through the
     :class:`~repro.stream.service.StreamingService`, and print per-batch
     maintenance metrics plus a summary.
+``experiment``
+    Run a registered experiment sweep (E1/E2/E3/S1/S2) through its harness
+    runner and print the result table (ASCII, or Markdown with
+    ``--markdown``).
 
 Every command accepts ``--seed`` for reproducibility and ``--output`` to write
-the main artifact to a file instead of stdout.
+the main artifact to a file instead of stdout.  ``orient``, ``stream`` and
+``experiment`` also accept ``--workers N`` — host-side parallelism for the
+superstep engine (Lemma 2.1 part orientation, batch-parallel flip repair);
+results are identical for any worker count.
 """
 
 from __future__ import annotations
@@ -49,12 +56,24 @@ from repro.graph.io import (
 from repro.stream.service import StreamingService
 from repro.stream.workloads import generate_trace, stream_family_names
 
+RUNNABLE_EXPERIMENTS = ("E1", "E2", "E3", "S1", "S2")
+
 
 def _emit(content: str, output: str | None) -> None:
     if output:
         write_text(content, output)
     else:
         print(content)
+
+
+def _add_workers_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="superstep-engine workers (default 1 = serial; results are "
+        "identical for any worker count)",
+    )
 
 
 def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
@@ -76,6 +95,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     orient_parser = subparsers.add_parser("orient", help="compute an O(λ log log n) orientation")
     _add_common_arguments(orient_parser)
+    _add_workers_argument(orient_parser)
 
     color_parser = subparsers.add_parser("color", help="compute an O(λ log log n) coloring")
     _add_common_arguments(color_parser)
@@ -124,6 +144,28 @@ def build_parser() -> argparse.ArgumentParser:
     stream_parser.add_argument(
         "--quiet", action="store_true", help="suppress the human-readable summary on stderr"
     )
+    _add_workers_argument(stream_parser)
+
+    experiment_parser = subparsers.add_parser(
+        "experiment", help="run a registered experiment sweep and print its table"
+    )
+    experiment_parser.add_argument(
+        "experiment_id",
+        choices=sorted(RUNNABLE_EXPERIMENTS),
+        help="experiment to run (experiments with bespoke benchmarks run via benchmarks/)",
+    )
+    experiment_parser.add_argument("--seed", type=int, default=0)
+    experiment_parser.add_argument(
+        "--delta", type=float, default=0.5, help="memory exponent δ (default 0.5)"
+    )
+    experiment_parser.add_argument(
+        "--markdown", action="store_true", help="emit the table as Markdown instead of ASCII"
+    )
+    experiment_parser.add_argument("--output", help="write the table to this file")
+    experiment_parser.add_argument(
+        "--quiet", action="store_true", help="suppress the human-readable summary on stderr"
+    )
+    _add_workers_argument(experiment_parser)
     return parser
 
 
@@ -166,7 +208,9 @@ def main(argv: Sequence[str] | None = None) -> int:
                 else max(2, min(32, args.num_vertices))
             )
         trace = generate_trace(args.family, args.num_vertices, seed=args.seed, **params)
-        service = StreamingService(trace.initial, delta=args.delta, seed=args.seed)
+        service = StreamingService(
+            trace.initial, delta=args.delta, seed=args.seed, workers=args.workers
+        )
         header = (
             "batch inserts deletes flips recolors rebuilds compactions "
             "rounds m max_outdegree colors"
@@ -181,6 +225,7 @@ def main(argv: Sequence[str] | None = None) -> int:
                 f"{report.max_outdegree} {report.num_colors}"
             )
         service.verify()
+        service.close()
         _emit("\n".join(lines), args.output)
         summary = service.summary
         final = summary.final_report()
@@ -200,10 +245,31 @@ def main(argv: Sequence[str] | None = None) -> int:
         )
         return 0
 
+    if args.command == "experiment":
+        from repro.analysis.reporting import Table
+        from repro.experiments.registry import get_experiment, get_runner
+
+        spec = get_experiment(args.experiment_id)
+        runner = get_runner(args.experiment_id)
+        table = Table(title=f"{spec.experiment_id}: {spec.claim}", columns=list(spec.columns))
+        for workload in spec.workloads:
+            row = runner(workload, delta=args.delta, seed=args.seed, workers=args.workers)
+            table.add_row(row.as_dict())
+        _emit(table.to_markdown() if args.markdown else table.to_ascii(), args.output)
+        _summary(
+            [
+                f"experiment {spec.experiment_id}: {len(spec.workloads)} workloads, "
+                f"workers={args.workers}",
+                f"claim: {spec.claim}",
+            ],
+            args.quiet,
+        )
+        return 0
+
     graph = read_edge_list(args.graph)
 
     if args.command == "orient":
-        run = orient(graph, delta=args.delta, seed=args.seed)
+        run = orient(graph, delta=args.delta, seed=args.seed, workers=args.workers)
         _emit(format_orientation(run.orientation), args.output)
         _summary(
             [

@@ -13,6 +13,17 @@ Pipeline (see the proof of Theorem 1.1):
    ``⌈k / log n⌉`` parts, orient each part with the layering pipeline (each
    part has arboricity ``O(log n)`` w.h.p.), and merge the orientations.
 
+The Lemma 2.1 parts are *independent*: the paper orients them simultaneously
+on the shared cluster, so their layering rounds coincide rather than add.
+The large-λ branch therefore fans the parts out through the superstep engine
+(:class:`repro.engine.ParallelExecutor`) — each part runs against its own
+sub-ledger (:meth:`repro.mpc.cluster.MPCCluster.fork`) and the fold charges
+rounds as max-over-parts — and combines the part orientations as a balanced
+merge tree, charging ``⌈log2 L⌉`` extra rounds (label ``merge-orientations``).
+Results are identical for any worker count and backend: the parts are fixed
+by the partition RNG before the fan-out and each part's layering pipeline is
+deterministic.
+
 The output's maximum outdegree is ``O(λ · log log n)`` — experiment E1
 measures the realised constant.
 """
@@ -25,6 +36,7 @@ from dataclasses import dataclass, field
 
 from repro.core.full_assignment import LayerAssignmentRun, complete_layer_assignment
 from repro.core.partitioning import random_edge_partition
+from repro.engine import ParallelExecutor
 from repro.errors import GraphError, ParameterError
 from repro.graph.arboricity import arboricity_upper_bound
 from repro.graph.graph import Graph
@@ -56,6 +68,43 @@ class OrientationRun:
 def _orient_from_run(graph: Graph, run: LayerAssignmentRun) -> tuple[Orientation, HPartition]:
     partition = run.to_hpartition()
     return partition.to_orientation(), partition
+
+
+def _orient_part_task(
+    part: Graph, k: int, delta: float, ledger: MPCCluster | None
+) -> tuple[LayerAssignmentRun, Orientation, object]:
+    """Orient one Lemma 2.1 part against its own sub-ledger.
+
+    Module-level so the process backend can pickle it by reference; returns
+    the sub-ledger's stats (not the cluster) because that is all the parent
+    needs for the parallel fold.
+    """
+    run = complete_layer_assignment(part, k=k, delta=delta, cluster=ledger)
+    part_orientation, _ = _orient_from_run(part, run)
+    return run, part_orientation, (ledger.stats if ledger is not None else None)
+
+
+def _merge_orientation_tree(
+    orientations: list[Orientation], cluster: MPCCluster
+) -> Orientation | None:
+    """Combine part orientations as a balanced binary merge tree.
+
+    Each tree level merges disjoint pairs simultaneously (one constant-round
+    aggregation per level in the model), so ``L`` parts cost ``⌈log2 L⌉``
+    rounds instead of the ``L - 1`` a left fold would charge.  The result is
+    independent of the merge shape — the merged head map is the union of the
+    (edge-disjoint) part maps — which the determinism tests pin down.
+    """
+    level = list(orientations)
+    while len(level) > 1:
+        next_level = [
+            level[i].merge_with(level[i + 1]) for i in range(0, len(level) - 1, 2)
+        ]
+        if len(level) % 2:
+            next_level.append(level[-1])
+        level = next_level
+        cluster.charge_rounds(1, label="merge-orientations")
+    return level[0] if level else None
 
 
 def _check_merged_covers(graph: Graph, merged: Orientation | None) -> Orientation:
@@ -92,6 +141,8 @@ def orient(
     seed: int | None = None,
     cluster: MPCCluster | None = None,
     force_edge_partitioning: bool | None = None,
+    workers: int = 1,
+    executor: ParallelExecutor | None = None,
 ) -> OrientationRun:
     """Compute an ``O(λ log log n)``-outdegree orientation (Theorem 1.1).
 
@@ -115,6 +166,14 @@ def orient(
         when omitted so every run reports round/memory statistics.
     force_edge_partitioning:
         Override the automatic branch selection (used by tests/ablations).
+    workers:
+        Host-side parallelism for the large-λ branch: the Lemma 2.1 parts
+        fan out through a :class:`~repro.engine.ParallelExecutor` with this
+        many workers (1 = serial; the round accounting is max-over-parts
+        either way).  Results are identical for any worker count.
+    executor:
+        Optional pre-built executor (overrides ``workers``); tests use it to
+        pin a specific backend.
     """
     if graph.num_vertices == 0:
         empty = Orientation(graph, {})
@@ -165,21 +224,31 @@ def orient(
             cluster=cluster,
         )
 
-    # Large-λ branch: Lemma 2.1 edge partitioning, orient each part, merge.
+    # Large-λ branch: Lemma 2.1 edge partitioning, orient all parts in
+    # parallel supersteps (each on its own sub-ledger), balanced-tree merge.
     edge_partition = random_edge_partition(graph, arboricity_bound=k, rng=rng)
     cluster.charge_rounds(1, label="edge-partition")
-    merged: Orientation | None = None
     per_part_k = max(2, int(math.ceil(2 * log_n)))
-    for part in edge_partition.parts:
-        if part.num_edges == 0:
-            # Empty parts happen whenever the part count exceeds the edge
-            # count; they contribute nothing and are simply skipped.
-            continue
-        run = complete_layer_assignment(part, k=per_part_k, delta=delta, cluster=cluster)
-        partition_runs.append(run)
-        part_orientation, _ = _orient_from_run(part, run)
-        merged = part_orientation if merged is None else merged.merge_with(part_orientation)
-
+    # Empty parts happen whenever the part count exceeds the edge count;
+    # they contribute nothing and are simply skipped.
+    parts = [part for part in edge_partition.parts if part.num_edges]
+    owns_executor = executor is None
+    if owns_executor:
+        executor = ParallelExecutor(workers=workers)
+    try:
+        results = executor.map(
+            _orient_part_task,
+            [(part, per_part_k, delta, cluster.fork()) for part in parts],
+            total_work=sum(part.num_edges for part in parts),
+        )
+    finally:
+        if owns_executor:
+            executor.close()
+    partition_runs.extend(run for run, _orientation, _stats in results)
+    cluster.merge_parallel([stats for _run, _orientation, stats in results])
+    merged = _merge_orientation_tree(
+        [part_orientation for _run, part_orientation, _stats in results], cluster
+    )
     merged = _check_merged_covers(graph, merged)
 
     return OrientationRun(

@@ -1,0 +1,34 @@
+"""Superstep execution engine for parallel MPC task fan-out.
+
+Public surface:
+
+* :class:`~repro.engine.executor.ParallelExecutor` — serial / thread /
+  process backends with a determinism contract and serial auto-pick.
+* :func:`~repro.engine.executor.derive_seed` /
+  :func:`~repro.engine.executor.seed_stream` — per-task RNG streams.
+* :class:`~repro.engine.ledger.SubLedger` — the fork/merge accounting
+  protocol implemented by :class:`repro.mpc.cluster.MPCCluster`.
+"""
+
+from repro.engine.executor import (
+    BACKENDS,
+    PROCESS,
+    SERIAL,
+    THREAD,
+    ParallelExecutor,
+    derive_seed,
+    seed_stream,
+)
+from repro.engine.ledger import SubLedger, fork_ledgers
+
+__all__ = [
+    "BACKENDS",
+    "PROCESS",
+    "SERIAL",
+    "THREAD",
+    "ParallelExecutor",
+    "SubLedger",
+    "derive_seed",
+    "fork_ledgers",
+    "seed_stream",
+]

@@ -1,0 +1,168 @@
+"""The superstep execution engine: run independent MPC tasks concurrently.
+
+The paper's round bounds rest on work happening *in parallel across
+machines*: the Lemma 2.1 edge-partition parts are oriented simultaneously,
+and a batch of vertex-disjoint flip repairs resolves in one superstep.  The
+simulator previously walked such task lists in a sequential Python loop,
+which both ran one-task-at-a-time on the host and charged each task's rounds
+cumulatively on the shared cluster — overstating round complexity relative
+to the model being simulated.
+
+:class:`ParallelExecutor` is the one execution layer both the static and the
+streaming pipelines now share.  It runs a list of independent tasks through
+one of three backends:
+
+* ``serial`` — a plain loop in the calling process (the reference semantics);
+* ``thread`` — :class:`concurrent.futures.ThreadPoolExecutor`, for tasks that
+  mutate *disjoint* slices of shared state (batch-parallel flip repair);
+* ``process`` — :class:`concurrent.futures.ProcessPoolExecutor`, for
+  CPU-bound pure-Python tasks on picklable inputs (Lemma 2.1 part
+  orientation).  Task callables must be module-level functions.
+
+**Determinism contract.**  Results are identical for *any* worker count and
+any backend: tasks receive no shared mutable state (or provably disjoint
+state), task results are returned in submission order, and randomness is
+consumed only through per-task seed streams derived with :func:`derive_seed`
+— never through a generator shared across tasks.
+
+**Auto-picking serial.**  Spawning a pool costs more than small inputs are
+worth.  When the backend is left unset (``backend=None``), the executor runs
+serially unless there are at least two tasks, at least two workers, and the
+caller-reported ``total_work`` clears :attr:`serial_work_threshold`; only
+then does it use the process backend (the engine's tasks are CPU-bound).
+An explicitly requested backend is always honored, which is what the
+determinism tests use to pin each backend down on tiny inputs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Sequence
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Any
+
+from repro.errors import ParameterError
+
+SERIAL = "serial"
+THREAD = "thread"
+PROCESS = "process"
+BACKENDS = (SERIAL, THREAD, PROCESS)
+
+_MASK64 = (1 << 64) - 1
+
+
+def derive_seed(base_seed: int | None, index: int) -> int:
+    """Deterministic per-task seed: splitmix64 of ``(base_seed, index)``.
+
+    Tasks must not share one RNG (consumption order would then depend on the
+    schedule); instead each task gets its own stream seeded by its *position*
+    in the task list, so any worker count replays identical randomness.
+    """
+    x = ((0 if base_seed is None else base_seed) + 0x9E3779B97F4A7C15 * (index + 1)) & _MASK64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return (x ^ (x >> 31)) & _MASK64
+
+
+def seed_stream(base_seed: int | None, count: int) -> list[int]:
+    """``count`` independent per-task seeds derived from one base seed."""
+    if count < 0:
+        raise ParameterError("count must be non-negative")
+    return [derive_seed(base_seed, index) for index in range(count)]
+
+
+class ParallelExecutor:
+    """Runs independent tasks concurrently, preserving submission order.
+
+    Parameters
+    ----------
+    workers:
+        Maximum number of concurrent workers (1 means serial).
+    backend:
+        ``"serial"``, ``"thread"``, ``"process"``, or ``None`` to auto-pick:
+        serial for tiny inputs, process otherwise (see module docstring).
+    serial_work_threshold:
+        Auto-pick cutoff — with ``backend=None``, inputs whose reported
+        ``total_work`` is below this run serially (pool startup would cost
+        more than it buys).
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        backend: str | None = None,
+        serial_work_threshold: int = 20_000,
+    ) -> None:
+        if workers < 1:
+            raise ParameterError("workers must be at least 1")
+        if backend is not None and backend not in BACKENDS:
+            raise ParameterError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
+        self.workers = workers
+        self.backend = backend
+        self.serial_work_threshold = serial_work_threshold
+        # Pools are created lazily on first parallel map and then reused —
+        # callers like the streaming service map once per batch, and paying
+        # pool startup/teardown per call would swamp small batches.
+        self._pools: dict[str, ThreadPoolExecutor | ProcessPoolExecutor] = {}
+
+    def resolve_backend(self, num_tasks: int, total_work: int | None = None) -> str:
+        """The backend a ``map`` call with these dimensions would use."""
+        if self.workers <= 1 or num_tasks <= 1:
+            return SERIAL
+        if self.backend is not None:
+            return self.backend
+        if total_work is not None and total_work < self.serial_work_threshold:
+            return SERIAL
+        return PROCESS
+
+    def map(
+        self,
+        fn: Callable[..., Any],
+        tasks: Iterable[Sequence[Any]],
+        total_work: int | None = None,
+    ) -> list[Any]:
+        """Apply ``fn(*args)`` to every ``args`` tuple; results in task order.
+
+        ``total_work`` is an optional size hint (e.g. total edges across
+        parts) consulted by the auto backend pick.  A failing task's
+        exception propagates as soon as its (in-order) result is collected;
+        the reused pool stays open — still-running sibling tasks finish in
+        the background and the workers are released by :meth:`close`.
+        """
+        task_list = [tuple(args) for args in tasks]
+        backend = self.resolve_backend(len(task_list), total_work)
+        if backend == SERIAL:
+            return [fn(*args) for args in task_list]
+        pool = self._pools.get(backend)
+        if pool is None:
+            pool_cls = ThreadPoolExecutor if backend == THREAD else ProcessPoolExecutor
+            pool = pool_cls(max_workers=self.workers)
+            self._pools[backend] = pool
+        futures = [pool.submit(fn, *args) for args in task_list]
+        return [future.result() for future in futures]
+
+    def close(self) -> None:
+        """Shut down any pools this executor spun up (idempotent).
+
+        Serial-only executors never create a pool, so closing them is free;
+        owners of long-lived executors (services, benchmarks) should close
+        on teardown to release worker processes promptly rather than waiting
+        for garbage collection.
+        """
+        pools, self._pools = self._pools, {}
+        for pool in pools.values():
+            pool.shutdown(wait=True)
+
+    def __enter__(self) -> "ParallelExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC-timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def __repr__(self) -> str:
+        return f"ParallelExecutor(workers={self.workers}, backend={self.backend or 'auto'})"

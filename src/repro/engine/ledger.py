@@ -1,0 +1,60 @@
+"""The sub-ledger protocol: per-task round accounting that merges correctly.
+
+When independent tasks run in parallel on a simulated MPC cluster, charging
+their rounds one after another on the shared ledger counts the *sum* of
+their round complexities — but the model executes parallel tasks in lockstep
+supersteps, so the honest charge is the *maximum*.  The sub-ledger protocol
+makes that merge explicit:
+
+1. before the fan-out, the parent ledger is :meth:`~SubLedger.fork`-ed once
+   per task — each fork shares the parent's provisioning but starts with an
+   empty round/memory record;
+2. each task records all of its rounds, communication, and storage into its
+   own fork (never touching the parent — forks cross process boundaries
+   freely);
+3. after the fan-out, :meth:`~SubLedger.merge_parallel` folds the forks back
+   into the parent, aligning round ``i`` of every task into one superstep:
+
+   * **rounds = max** over the parallel tasks (the superstep count is the
+     longest task's round count); any merge/combination work the caller does
+     afterwards is charged separately on the parent;
+   * per-superstep **communication volume = sum** over tasks (all tasks'
+     round-``i`` messages move in the same superstep) while per-machine
+     send/receive maxima take the max;
+   * **memory = sum** of the forks' peaks (parallel tasks are co-resident on
+     the same machine fleet, so their storage adds — a conservative fold,
+     since different tasks may peak at different times).
+
+:class:`repro.mpc.cluster.MPCCluster` implements the protocol (the round
+arithmetic itself lives on :class:`repro.mpc.metrics.RoundStats`); the engine
+depends only on this interface so future ledgers (e.g. a wall-clock profiler)
+can ride the same executor.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import Protocol, runtime_checkable
+
+
+@runtime_checkable
+class SubLedger(Protocol):
+    """Anything that can account one parallel task and be folded back."""
+
+    def fork(self) -> "SubLedger":
+        """An empty child ledger with the same provisioning as this one."""
+        ...
+
+    def merge_parallel(self, branches: Sequence[object]) -> int:
+        """Fold sibling forks back in as parallel supersteps.
+
+        Returns the number of rounds charged (= the max branch round count).
+        """
+        ...
+
+
+def fork_ledgers(ledger: SubLedger | None, count: int) -> list[SubLedger | None]:
+    """``count`` forks of ``ledger`` (or ``count`` Nones when unledgered)."""
+    if ledger is None:
+        return [None] * count
+    return [ledger.fork() for _ in range(count)]

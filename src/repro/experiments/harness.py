@@ -66,11 +66,16 @@ def run_orientation_experiment(
     delta: float = 0.5,
     seed: int = 0,
     exact_density: bool = False,
+    workers: int = 1,
 ) -> ExperimentRow:
-    """E1: run Theorem 1.1 on a workload and record quality/round metrics."""
+    """E1: run Theorem 1.1 on a workload and record quality/round metrics.
+
+    ``workers`` fans the large-λ Lemma 2.1 parts out through the superstep
+    engine; results are identical for any worker count.
+    """
     graph = workload.materialize()
     row = _base_row(workload, graph, exact_density=exact_density)
-    run = orient(graph, delta=delta, seed=seed)
+    run = orient(graph, delta=delta, seed=seed, workers=workers)
     quality = validate_orientation_quality(
         run.orientation, row.arboricity_upper, graph.num_vertices
     )
@@ -99,8 +104,14 @@ def run_coloring_experiment(
     delta: float = 0.5,
     seed: int = 0,
     exact_density: bool = False,
+    workers: int = 1,
 ) -> ExperimentRow:
-    """E2: run Theorem 1.2 on a workload, with the centralised baselines alongside."""
+    """E2: run Theorem 1.2 on a workload, with the centralised baselines alongside.
+
+    ``workers`` is accepted for runner-signature uniformity (the CLI threads
+    it to every runner); the Theorem 1.2 vertex-partition pipeline is not
+    engine-backed yet, so it is currently unused here.
+    """
     graph = workload.materialize()
     row = _base_row(workload, graph, exact_density=exact_density)
     run = color(graph, delta=delta, seed=seed)
@@ -129,12 +140,13 @@ def run_round_scaling_experiment(
     workload: Workload,
     delta: float = 0.5,
     seed: int = 0,
+    workers: int = 1,
 ) -> ExperimentRow:
     """E3: round counts of ours vs GLM19-style vs LOCAL-in-MPC on one workload."""
     graph = workload.materialize()
     row = _base_row(workload, graph)
     arboricity = row.arboricity_upper
-    ours = orient(graph, delta=delta, seed=seed)
+    ours = orient(graph, delta=delta, seed=seed, workers=workers)
     glm = glm19_orientation(graph, arboricity=arboricity, delta=delta)
     be = barenboim_elkin_in_mpc(graph, arboricity=arboricity, delta=delta)
     row.metrics.update(

@@ -70,6 +70,32 @@ def _s1_workloads() -> tuple:
     return tuple(streaming_suite(seed=8))
 
 
+# S2 sweeps batch size at a fixed insert budget: every workload performs
+# _S2_TOTAL_INSERTS window insertions (plus the matching expiries), only the
+# batching changes — so amortised rounds/update is directly comparable.
+_S2_TOTAL_INSERTS = 3200
+_S2_BATCH_SIZES = (25, 50, 100, 200, 400)
+
+
+def _s2_workloads() -> tuple:
+    from repro.stream.workloads import StreamWorkload
+
+    return tuple(
+        StreamWorkload(
+            name=f"window-512-b{batch_size}",
+            family="sliding_window",
+            num_vertices=512,
+            seed=9,
+            params=(
+                ("window", 512),
+                ("num_batches", _S2_TOTAL_INSERTS // batch_size),
+                ("batch_size", batch_size),
+            ),
+        )
+        for batch_size in _S2_BATCH_SIZES
+    )
+
+
 _REGISTRY: dict[str, ExperimentSpec] = {
     "E1": ExperimentSpec(
         experiment_id="E1",
@@ -128,6 +154,14 @@ _REGISTRY: dict[str, ExperimentSpec] = {
         notes="Dynamic extension beyond the paper: Brodal–Fagerberg flip paths with a Theorem 1.1 fallback rebuild.",
         columns=("workload", "n", "m", "lambda_hi", "updates", "flips", "recolors", "rebuilds", "rounds", "final_max_outdegree", "outdegree_bound", "final_colors", "proper"),
     ),
+    "S2": ExperimentSpec(
+        experiment_id="S2",
+        claim="Streaming batching: at a fixed update budget, amortised MPC rounds/update fall ~1/batch_size while maintained quality stays flat",
+        bench_module="benchmarks/bench_s2_batch_size.py",
+        workloads=_s2_workloads(),
+        notes="Windowed (turnstile) trace; batch delivery is one communication round regardless of size until the batch outgrows S.",
+        columns=("workload", "n", "batch_size", "batches", "updates", "rounds", "rounds_per_update", "flips", "amortised_flips", "rebuilds", "final_max_outdegree"),
+    ),
 }
 
 
@@ -139,3 +173,38 @@ def get_experiment(experiment_id: str) -> ExperimentSpec:
 def all_experiments() -> list[ExperimentSpec]:
     """All registered experiments, in id order."""
     return [_REGISTRY[key] for key in sorted(_REGISTRY)]
+
+
+def get_runner(experiment_id: str):
+    """The harness runner for an experiment id, for CLI-driven sweeps.
+
+    Every returned callable has the uniform signature
+    ``runner(workload, delta=..., seed=..., workers=...) -> ExperimentRow``.
+    Experiments whose tables are produced by bespoke benchmark code rather
+    than a harness runner (E4–E7) raise ``KeyError`` — run their
+    ``bench_module`` instead.  Imported lazily so importing the registry
+    stays cheap and dependency-light.
+    """
+    from repro.experiments.harness import (
+        run_coloring_experiment,
+        run_orientation_experiment,
+        run_round_scaling_experiment,
+    )
+    from repro.experiments.streaming import (
+        run_batch_size_experiment,
+        run_streaming_experiment,
+    )
+
+    runners = {
+        "E1": run_orientation_experiment,
+        "E2": run_coloring_experiment,
+        "E3": run_round_scaling_experiment,
+        "S1": run_streaming_experiment,
+        "S2": run_batch_size_experiment,
+    }
+    if experiment_id not in runners:
+        raise KeyError(
+            f"experiment {experiment_id!r} has no harness runner; regenerate its "
+            f"table via {get_experiment(experiment_id).bench_module}"
+        )
+    return runners[experiment_id]

@@ -1,12 +1,20 @@
-"""Experiment runner for the streaming subsystem (experiment S1).
+"""Experiment runners for the streaming subsystem (experiments S1 and S2).
 
-Runs a :class:`~repro.stream.workloads.StreamWorkload` end to end through the
-:class:`~repro.stream.service.StreamingService`, verifies every maintained
-invariant, and collects one :class:`~repro.experiments.harness.ExperimentRow`
-whose metrics cover both the *cost* of maintenance (flips, recolors,
-rebuilds, compactions, simulated MPC rounds, amortised work) and the *quality*
-of the maintained structures at stream end (max outdegree vs. the O(λ)
-envelope, colors, properness).
+Each runner streams a :class:`~repro.stream.workloads.StreamWorkload` end to
+end through the :class:`~repro.stream.service.StreamingService`, verifies
+every maintained invariant, and collects one
+:class:`~repro.experiments.harness.ExperimentRow`:
+
+* **S1** (:func:`run_streaming_experiment`) covers both the *cost* of
+  maintenance (flips, recolors, rebuilds, compactions, simulated MPC rounds,
+  amortised work) and the *quality* of the maintained structures at stream
+  end (max outdegree vs. the O(λ) envelope, colors, properness).
+* **S2** (:func:`run_batch_size_experiment`) sweeps the *batch size* of a
+  windowed trace at a fixed update budget: delivering a batch costs one
+  communication round regardless of its size (until it outgrows ``S``), so
+  the amortised rounds/update should fall roughly like ``1/batch_size``
+  while the maintained quality stays flat — the table the windowed-batching
+  ROADMAP item asks for.
 """
 
 from __future__ import annotations
@@ -22,12 +30,13 @@ def run_streaming_experiment(
     workload: StreamWorkload,
     delta: float = 0.5,
     seed: int = 0,
+    workers: int = 1,
 ) -> ExperimentRow:
     """S1: stream a trace through the service and record cost/quality metrics."""
     trace = workload.materialize()
-    service = StreamingService(trace.initial, delta=delta, seed=seed)
-    summary = service.apply_all(trace.batches)
-    service.verify()
+    with StreamingService(trace.initial, delta=delta, seed=seed, workers=workers) as service:
+        summary = service.apply_all(trace.batches)
+        service.verify()
 
     snapshot = service.dynamic.snapshot()
     bounds = arboricity_bounds(snapshot, exact_density=False)
@@ -50,6 +59,57 @@ def run_streaming_experiment(
             "outdegree_ok": 1.0 if quality.passed else 0.0,
             "proper": 1.0 if (coloring is None or coloring.is_proper()) else 0.0,
             "initial_m": float(trace.initial.num_edges),
+        }
+    )
+    return row
+
+
+def run_batch_size_experiment(
+    workload: StreamWorkload,
+    delta: float = 0.5,
+    seed: int = 0,
+    workers: int = 1,
+) -> ExperimentRow:
+    """S2: amortised rounds/update of one windowed trace at one batch size.
+
+    The workload's ``batch_size`` param is the swept variable; the registry's
+    S2 suite holds the total update budget fixed while the batch size varies,
+    so rows are directly comparable.  The headline metric is
+    ``rounds_per_update`` — total simulated MPC rounds (delivery + repair
+    primitives + compaction + rebuilds) over total updates.
+    """
+    trace = workload.materialize()
+    with StreamingService(trace.initial, delta=delta, seed=seed, workers=workers) as service:
+        summary = service.apply_all(trace.batches)
+        service.verify()
+
+    snapshot = service.dynamic.snapshot()
+    bounds = arboricity_bounds(snapshot, exact_density=False)
+    updates = max(summary.total_updates, 1)
+    # Per-batch round deltas only: the initial orientation build is the same
+    # for every batch size, so it would just add a constant to every row.
+    rounds = summary.total_rounds
+
+    row = ExperimentRow(
+        workload=workload.describe(),
+        num_vertices=snapshot.num_vertices,
+        num_edges=snapshot.num_edges,
+        arboricity_lower=bounds.lower,
+        arboricity_upper=bounds.upper,
+    )
+    row.metrics.update(
+        {
+            "batch_size": float(dict(workload.params).get("batch_size", 0)),
+            "batches": float(summary.num_batches),
+            "updates": float(summary.total_updates),
+            "rounds": float(rounds),
+            "rounds_per_update": rounds / updates,
+            "flips": float(summary.total_flips),
+            "amortised_flips": summary.amortised_flips,
+            "proactive_flips": float(summary.total_proactive_flips),
+            "rebuilds": float(summary.total_rebuilds),
+            "final_max_outdegree": float(service.orientation.max_outdegree()),
+            "outdegree_cap": float(service.orientation.outdegree_cap),
         }
     )
     return row

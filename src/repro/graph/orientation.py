@@ -244,6 +244,12 @@ class Orientation:
         """
         return cls.from_vertex_order(graph, [layer_of[v] for v in graph.vertices])
 
+    def __reduce__(self):
+        # Ship only the graph (itself reduced to its edge columns) and the
+        # flat heads array; the outdegree tally is recomputed on unpickle —
+        # one O(m) pass, far cheaper than pickling an n-tuple of ints.
+        return (_rebuild_orientation, (self.graph, self._heads))
+
     def merge_with(self, other: "Orientation") -> "Orientation":
         """Union of two orientations of edge-disjoint graphs on the same vertex set.
 
@@ -301,6 +307,11 @@ class Orientation:
         # of the (already endpoint-checked) part tallies.
         outdegree = tuple(x + y for x, y in zip(self._outdegree, other._outdegree))
         return Orientation._from_heads(merged_graph, heads, outdegree=outdegree)
+
+
+def _rebuild_orientation(graph: Graph, heads: array) -> "Orientation":
+    """Unpickle helper for :class:`Orientation` (module-level for pickle)."""
+    return Orientation._from_heads(graph, heads)
 
 
 def _tally_outdegrees(graph: Graph, heads: array) -> tuple[int, ...]:

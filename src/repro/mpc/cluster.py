@@ -46,6 +46,29 @@ pipeline's own labels).  Extending the model with a new dynamic primitive
 means choosing one of these channels: real data movement goes through
 :meth:`MPCCluster.communication_round`; classical constant-round plumbing
 goes through :meth:`MPCCluster.charge_rounds` with a descriptive label.
+
+**Parallel task fan-out** (:mod:`repro.engine`) adds a third channel for
+work that the model executes *simultaneously* — the Lemma 2.1 edge-partition
+parts, vertex-disjoint flip-repair groups.  Charging such tasks sequentially
+on the shared ledger would overstate rounds by a factor of the task count;
+instead each task records into its own **sub-ledger**: :meth:`MPCCluster.fork`
+creates an empty child cluster with identical provisioning, the task runs
+against the child (rounds, communication, and storage all land there — forks
+cross process boundaries freely), and :meth:`MPCCluster.merge_parallel` folds
+the children back into the parent with the model's semantics:
+
+* **rounds = max** over the parallel tasks (round ``i`` of every task is one
+  superstep; the superstep count is the longest task's); any subsequent
+  combination work — e.g. the balanced orientation-merge tree — is charged
+  separately on the parent (label ``merge-orientations``);
+* per-superstep **communication volume = sum** over the tasks, per-machine
+  send/receive peaks = max;
+* **memory = sum** of the children's peaks (parallel tasks are co-resident
+  on the same machine fleet).
+
+The fold itself lives on :meth:`repro.mpc.metrics.RoundStats.merge_parallel`;
+the engine depends only on the :class:`repro.engine.ledger.SubLedger`
+protocol that ``fork``/``merge_parallel`` implement.
 """
 
 from __future__ import annotations
@@ -267,6 +290,41 @@ class MPCCluster:
             raise SimulationError("cannot charge a negative number of rounds")
         for _ in range(count):
             self.stats.record_round(label, 0, 0, 0)
+
+    # ------------------------------------------------------------------ #
+    # Sub-ledgers (parallel task fan-out; see repro.engine.ledger)
+    # ------------------------------------------------------------------ #
+
+    def fork(self) -> "MPCCluster":
+        """An empty child cluster with this cluster's provisioning.
+
+        One parallel task records its rounds, communication, and storage into
+        one fork; :meth:`merge_parallel` folds the forks back.  The child
+        shares the (immutable) config and the enforcement flags but starts
+        with fresh machines and an empty ledger, so it is cheap to create and
+        safe to send to a worker process.
+        """
+        return MPCCluster(
+            self.config,
+            enforce_limits=self.enforce_limits,
+            enforce_global_memory=self.enforce_global_memory,
+        )
+
+    def merge_parallel(self, branches) -> int:
+        """Fold sibling forks back in as parallel supersteps.
+
+        ``branches`` may be :class:`MPCCluster` forks or bare
+        :class:`~repro.mpc.metrics.RoundStats` (what a worker process ships
+        back).  Rounds fold as max-over-tasks, per-superstep volume as the
+        sum, memory peaks as the sum — see the module docstring for the
+        charging model.  Returns the number of rounds charged.
+        """
+        stats = [
+            branch.stats if isinstance(branch, MPCCluster) else branch
+            for branch in branches
+            if branch is not None
+        ]
+        return self.stats.merge_parallel(stats)
 
     # ------------------------------------------------------------------ #
     # Convenience

@@ -71,6 +71,45 @@ class RoundStats:
         self.peak_machine_memory_words = max(self.peak_machine_memory_words, machine_peak_words)
         self.peak_global_memory_words = max(self.peak_global_memory_words, global_words)
 
+    def merge_parallel(self, branches: "list[RoundStats]") -> int:
+        """Fold sibling sub-ledgers in as *parallel* supersteps (in place).
+
+        ``branches`` are the ledgers of tasks that executed concurrently on
+        this cluster.  Round ``i`` of every branch happens in the same
+        superstep, so the fold appends ``max(branch round counts)`` rounds to
+        this ledger where superstep ``i`` carries
+
+        * the label of the *longest* branch's round ``i`` (the critical path
+          names the superstep; ties resolve to the earliest branch),
+        * the **sum** of all branches' round-``i`` communication volumes, and
+        * the **max** of their per-machine send/receive peaks.
+
+        Memory folds as a **sum** of the branches' peaks — parallel tasks
+        are co-resident on the same machine fleet (conservative: branches
+        may peak at different times).  Returns the number of rounds charged.
+        """
+        branches = [branch for branch in branches if branch is not None]
+        if not branches:
+            return 0
+        spine = max(branches, key=lambda branch: branch.num_rounds)
+        depth = spine.num_rounds
+        for index in range(depth):
+            words = 0
+            max_sent = 0
+            max_received = 0
+            for branch in branches:
+                if index < branch.num_rounds:
+                    record = branch.rounds[index]
+                    words += record.words_sent
+                    max_sent = max(max_sent, record.max_machine_sent)
+                    max_received = max(max_received, record.max_machine_received)
+            self.record_round(spine.rounds[index].label, words, max_sent, max_received)
+        self.observe_memory(
+            sum(branch.peak_machine_memory_words for branch in branches),
+            sum(branch.peak_global_memory_words for branch in branches),
+        )
+        return depth
+
     def merge(self, other: "RoundStats") -> "RoundStats":
         """Combine statistics of two sequential executions (rounds add up)."""
         merged = RoundStats()

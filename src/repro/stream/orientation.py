@@ -10,8 +10,12 @@ maximum outdegree stays ``O(λ)`` per update.
   the nearest vertex with spare out-capacity and the whole path is flipped —
   the classical argument shows such flip paths are short (O(log n) for
   ``cap ≥ 2λ``) and their total length is amortised O(log n) per insertion.
-* **Deletion** simply drops the oriented edge; outdegrees only decrease, so
-  the invariant is preserved for free.
+* **Deletion** drops the oriented edge; outdegrees only decrease, so the
+  invariant is preserved for free.  The freed out-slot is then used
+  *proactively*: if some in-neighbor of the freed tail sits exactly at the
+  outdegree cap, one of its in-edges is flipped toward the slot, draining
+  the population of at-cap vertices between rebuilds (so the realised
+  maximum outdegree tracks the current density down, not just the cap).
 * **Fallback.** When no flip path exists (the reachable region is saturated,
   which certifies that the density outgrew the estimate) the maintainer falls
   back to the full Theorem 1.1 pipeline (:func:`repro.core.orientation.orient`)
@@ -25,17 +29,78 @@ times, and after a quality check the cap is at most
 ``2 · flip_slack · degeneracy(G)`` (≤ ``4 · flip_slack · λ(G)``), i.e. O(λ)
 of the current graph, up to the Theorem 1.1 ``log log n`` factor immediately
 after a fallback rebuild.
+
+**Batch-parallel repair.**  :meth:`IncrementalOrientation.apply_batch`
+resolves a whole :class:`~repro.stream.updates.UpdateBatch` at once by
+partitioning it into *conflict groups* — connected components of updates
+sharing an endpoint (:func:`plan_conflict_groups`).  Distinct groups touch
+disjoint vertices, so groups whose updates provably never overflow the cap
+(no flip path can start) mutate disjoint out-sets and resolve concurrently
+through the engine; groups that may need a flip path — which can roam
+anywhere along out-edges — fall back to serial execution, one group at a
+time in deterministic group order, *after* the conflict-free phase.  The
+final structure is identical for any worker count: the parallel phase's
+effects are vertex-disjoint (order-free), and everything order-sensitive is
+serial and deterministically ordered.
 """
 
 from __future__ import annotations
 
 from collections import deque
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
 
+from repro.engine import SERIAL, THREAD
 from repro.errors import GraphError
 from repro.graph.arboricity import arboricity_upper_bound
 from repro.graph.graph import Graph, normalize_edge
 from repro.graph.orientation import Orientation
 from repro.stream.dynamic_graph import DynamicGraph
+
+
+def plan_conflict_groups(updates: Sequence) -> list[list[int]]:
+    """Partition batch updates into vertex-disjoint conflict groups.
+
+    Two updates conflict when they share an endpoint; groups are the
+    connected components of the conflict relation (union–find over the
+    endpoints), so distinct groups touch disjoint vertex sets and their
+    pointer work commutes.  Returns lists of update *indices*, each list in
+    batch order, with groups ordered by their first update's index — a
+    deterministic plan for any input.
+    """
+    parent: dict[int, int] = {}
+
+    def find(x: int) -> int:
+        root = x
+        while parent[root] != root:
+            root = parent[root]
+        while parent[x] != root:
+            parent[x], x = root, parent[x]
+        return root
+
+    for update in updates:
+        for endpoint in (update.u, update.v):
+            if endpoint not in parent:
+                parent[endpoint] = endpoint
+        ru, rv = find(update.u), find(update.v)
+        if ru != rv:
+            parent[rv] = ru
+
+    groups: dict[int, list[int]] = {}
+    for index, update in enumerate(updates):
+        groups.setdefault(find(update.u), []).append(index)
+    return sorted(groups.values(), key=lambda group: group[0])
+
+
+@dataclass(frozen=True)
+class GroupedApplyReport:
+    """What one batch-parallel repair pass did (see ``apply_batch``)."""
+
+    num_updates: int
+    num_groups: int
+    parallel_groups: int
+    serial_groups: int
+    proactive_flips: int
 
 
 class IncrementalOrientation:
@@ -62,6 +127,12 @@ class IncrementalOrientation:
     cluster:
         Optional :class:`~repro.mpc.cluster.MPCCluster`; fallback rebuilds run
         the Theorem 1.1 pipeline against it so their rounds are accounted.
+    proactive_flips:
+        When ``True`` (default), a deletion that frees an out-slot
+        opportunistically flips one in-edge of an at-cap in-neighbor toward
+        the slot, tightening the realised maximum outdegree between
+        rebuilds.  Proactive flips are counted in :attr:`flips` and,
+        separately, in :attr:`opportunistic_flips`.
     """
 
     def __init__(
@@ -73,6 +144,7 @@ class IncrementalOrientation:
         delta: float = 0.5,
         seed: int = 0,
         cluster=None,
+        proactive_flips: bool = True,
     ) -> None:
         if flip_slack < 2:
             raise GraphError("flip_slack must be at least 2 for flip paths to exist")
@@ -82,8 +154,10 @@ class IncrementalOrientation:
         self._delta = delta
         self._seed = seed
         self._cluster = cluster
+        self.proactive_flips = proactive_flips
         self._out: list[set[int]] = [set() for _ in range(dynamic.num_vertices)]
         self.flips = 0
+        self.opportunistic_flips = 0
         self.rebuilds = 0
         self._updates_since_check = 0
         snapshot = dynamic.snapshot()
@@ -138,27 +212,228 @@ class IncrementalOrientation:
     # Updates
     # ------------------------------------------------------------------ #
 
+    @staticmethod
+    def _choose_tail(u: int, v: int, outdeg_u: int, outdeg_v: int) -> int:
+        """The insertion rule: orient out of the smaller outdegree, ``u`` on
+        ties.  One definition shared by ``insert``, the cap-safety precheck,
+        and the batch execution path — the thread-safety proof of the
+        parallel phase requires the precheck and the execution to replay the
+        exact same decisions, so the rule must not be duplicated.
+        """
+        return u if outdeg_u <= outdeg_v else v
+
     def insert(self, u: int, v: int) -> None:
         """Orient a newly inserted edge, flipping a path if the tail saturates."""
         out = self._out
-        if len(out[u]) <= len(out[v]):
-            tail, head = u, v
-        else:
-            tail, head = v, u
+        tail = self._choose_tail(u, v, len(out[u]), len(out[v]))
+        head = v if tail == u else u
         out[tail].add(head)
         if len(out[tail]) > self.outdegree_cap:
             self._repair(tail)
         self._tick()
 
     def delete(self, u: int, v: int) -> None:
-        """Drop a deleted edge from whichever endpoint owns it."""
+        """Drop a deleted edge, then reuse the freed slot proactively."""
         if v in self._out[u]:
             self._out[u].discard(v)
+            freed = u
         elif u in self._out[v]:
             self._out[v].discard(u)
+            freed = v
         else:
             raise GraphError(f"edge {normalize_edge(u, v)} is not oriented")
+        self._proactive_flip(freed)
         self._tick()
+
+    def _proactive_flip(self, freed: int) -> None:
+        """Flip one in-edge of an at-cap in-neighbor toward a freed out-slot.
+
+        The deletion left ``freed`` with spare out-capacity; if some live
+        neighbor ``w`` with the edge oriented ``w → freed`` sits at the
+        outdegree cap, re-orienting that edge to ``freed → w`` drops ``w``
+        strictly below the cap while keeping ``freed`` within it — a length-1
+        flip path run opportunistically instead of waiting for an insertion
+        at ``w`` to force a search.  Scans ``freed``'s dynamic adjacency
+        (O(deg)); picks the smallest such ``w`` for determinism.
+        """
+        if not self.proactive_flips:
+            return
+        out = self._out
+        cap = self.outdegree_cap
+        if len(out[freed]) >= cap:
+            return
+        for w in self._dynamic.neighbors(freed):
+            if freed in out[w] and len(out[w]) >= cap:
+                out[w].discard(freed)
+                out[freed].add(w)
+                self.flips += 1
+                self.opportunistic_flips += 1
+                return
+
+    # ------------------------------------------------------------------ #
+    # Batch-parallel repair (vertex-disjoint conflict groups)
+    # ------------------------------------------------------------------ #
+
+    def apply_batch(self, updates: Iterable, executor=None) -> GroupedApplyReport:
+        """Resolve a whole update batch through conflict-group supersteps.
+
+        The caller must have applied every update of the batch to the
+        dynamic graph already (the :class:`~repro.stream.service.StreamingService`
+        sequences exactly that); this method only maintains the orientation.
+        The batch is split by :func:`plan_conflict_groups`; groups whose
+        updates provably stay under the outdegree cap mutate disjoint
+        out-sets and run concurrently through ``executor`` (thread or serial
+        backend — the shared out-table rules out the process backend), while
+        groups that may need a flip path run serially afterwards in group
+        order.  Deferred proactive flips are swept serially at the end.  The
+        resulting structure is identical for any worker count.
+
+        A mid-batch Theorem 1.1 rebuild (saturated flip search in a serial
+        group) re-orients the *final* batch state in one stroke — the
+        dynamic graph already holds it — after which the remaining updates
+        are no-ops (their edges are already oriented or already gone).
+        """
+        updates = list(updates)
+        if not updates:
+            return GroupedApplyReport(0, 0, 0, 0, 0)
+        groups = plan_conflict_groups(updates)
+        grouped = [[updates[index] for index in group] for group in groups]
+        safe_set = {
+            position
+            for position, group_updates in enumerate(grouped)
+            if self._group_is_cap_safe(group_updates)
+        }
+        safe = sorted(safe_set)
+        unsafe = [position for position in range(len(grouped)) if position not in safe_set]
+
+        rebuilds_before = self.rebuilds
+        freed_by_group: dict[int, list[int]] = {}
+        if safe:
+            tasks = [(grouped[position], False, rebuilds_before) for position in safe]
+            work = sum(len(grouped[position]) for position in safe)
+            # The parallel phase mutates the shared out-table (disjoint
+            # slices), so only in-process backends apply; a process-backend
+            # executor degrades to the serial loop rather than silently
+            # mutating copies in worker processes.
+            if (
+                executor is not None
+                and len(safe) > 1
+                and executor.resolve_backend(len(safe), work) in (SERIAL, THREAD)
+            ):
+                freed_lists = executor.map(self._apply_group, tasks, total_work=work)
+            else:
+                freed_lists = [self._apply_group(*task) for task in tasks]
+            for position, freed in zip(safe, freed_lists):
+                freed_by_group[position] = freed
+        for position in unsafe:
+            freed_by_group[position] = self._apply_group(
+                grouped[position], True, rebuilds_before
+            )
+
+        opportunistic_before = self.opportunistic_flips
+        if self.proactive_flips:
+            for position in range(len(grouped)):
+                for freed in freed_by_group.get(position, ()):
+                    self._proactive_flip(freed)
+
+        self._updates_since_check += len(updates)
+        if self._updates_since_check >= self._quality_threshold():
+            self.ensure_quality()
+        return GroupedApplyReport(
+            num_updates=len(updates),
+            num_groups=len(grouped),
+            parallel_groups=len(safe),
+            serial_groups=len(unsafe),
+            proactive_flips=self.opportunistic_flips - opportunistic_before,
+        )
+
+    def _group_is_cap_safe(self, group_updates: list) -> bool:
+        """Whether a conflict group can never trigger a flip search.
+
+        Replays the group's tail-selection rule against the *current*
+        out-degrees plus in-group deltas (groups are vertex-disjoint, so no
+        other group can move these degrees): if no insertion ever pushes its
+        tail past the cap, repair is impossible and the group's pointer work
+        stays inside its own vertex set — eligible for the parallel phase.
+        """
+        out = self._out
+        cap = self.outdegree_cap
+        delta: dict[int, int] = {}
+        owner: dict[tuple[int, int], int] = {}
+        for update in group_updates:
+            u, v = update.u, update.v
+            edge = normalize_edge(u, v)
+            if update.is_insert:
+                tail = self._choose_tail(
+                    u, v, len(out[u]) + delta.get(u, 0), len(out[v]) + delta.get(v, 0)
+                )
+                delta[tail] = delta.get(tail, 0) + 1
+                owner[edge] = tail
+                if len(out[tail]) + delta[tail] > cap:
+                    return False
+            else:
+                tail = owner.pop(edge, None)
+                if tail is None:
+                    if edge[1] in out[edge[0]]:
+                        tail = edge[0]
+                    elif edge[0] in out[edge[1]]:
+                        tail = edge[1]
+                    else:
+                        return False  # inconsistent state: leave to serial path
+                delta[tail] = delta.get(tail, 0) - 1
+        return True
+
+    def _apply_group(
+        self, group_updates: list, allow_repair: bool, rebuilds_before: int
+    ) -> list[int]:
+        """Apply one conflict group's updates; returns freed tails in order.
+
+        With ``allow_repair=False`` (parallel phase) the group was proved
+        cap-safe, so an overflow would be an engine bug — it raises rather
+        than racing a flip search against sibling groups.  Proactive flips
+        are deferred to the caller's serial sweep because they touch
+        neighbors outside the group.  Inserts of already-oriented edges and
+        deletes of already-unoriented ones are legal only after a mid-batch
+        rebuild fast-forwarded the orientation to the batch-final state
+        (``self.rebuilds > rebuilds_before``); without one they mean the
+        orientation drifted from the live edge set, and the batch path
+        raises exactly like the per-update path does.
+        """
+        freed: list[int] = []
+        for update in group_updates:
+            out = self._out  # re-read: a repair may have rebuilt the table
+            u, v = update.u, update.v
+            if update.is_insert:
+                if v in out[u] or u in out[v]:
+                    if self.rebuilds == rebuilds_before:
+                        raise GraphError(
+                            f"insert of already-oriented edge {normalize_edge(u, v)} "
+                            f"without a mid-batch rebuild: orientation drifted from "
+                            f"the live edge set"
+                        )
+                    continue
+                tail = self._choose_tail(u, v, len(out[u]), len(out[v]))
+                head = v if tail == u else u
+                out[tail].add(head)
+                if len(out[tail]) > self.outdegree_cap:
+                    if not allow_repair:
+                        raise GraphError(
+                            f"cap overflow at vertex {tail} inside a conflict-free "
+                            f"group — the safety precheck is broken"
+                        )
+                    self._repair(tail)
+            else:
+                if v in out[u]:
+                    out[u].discard(v)
+                    freed.append(u)
+                elif u in out[v]:
+                    out[v].discard(u)
+                    freed.append(v)
+                elif self.rebuilds == rebuilds_before:
+                    raise GraphError(
+                        f"edge {normalize_edge(u, v)} is not oriented"
+                    )
+        return freed
 
     def _repair(self, overloaded: int) -> None:
         """BFS along out-edges for spare capacity; flip the path, else rebuild."""

@@ -14,7 +14,12 @@ MPC accounting (see :mod:`repro.mpc.cluster` for the model):
   (oversized batches split into ⌈volume/S⌉ rounds as usual);
 * flip-path repair and recoloring are each charged one aggregation round per
   batch in which they occur (the flips/recolors of a batch are independent
-  pointer updates, resolvable by one constant-round primitive);
+  pointer updates, resolvable by one constant-round primitive);  repair is
+  executed that way too: the batch is split into vertex-disjoint conflict
+  groups (:func:`repro.stream.orientation.plan_conflict_groups`) and the
+  conflict-free groups resolve concurrently through the superstep engine
+  (``workers`` threads), with order-sensitive groups serialised
+  deterministically — results are identical for any worker count;
 * a quality-fallback rebuild runs the full Theorem 1.1 pipeline *against the
   service's cluster*, so its rounds land in the same ledger (labels
   ``stream:rebuild:*``);
@@ -36,6 +41,7 @@ Per-batch costs and structure quality are returned as
 
 from __future__ import annotations
 
+from repro.engine import THREAD, ParallelExecutor
 from repro.errors import GraphError
 from repro.graph.graph import Graph, normalize_edge
 from repro.mpc.cluster import MPCCluster
@@ -63,6 +69,15 @@ class StreamingService:
     maintain_coloring:
         Disable to maintain only the orientation (benchmarks isolating the
         flip path).
+    workers:
+        Host-side parallelism for batch repair: conflict-free update groups
+        resolve concurrently on this many threads (1 = serial).  Results are
+        identical for any worker count.
+    executor:
+        Optional pre-built :class:`~repro.engine.ParallelExecutor`
+        (overrides ``workers``); must use an in-process backend.
+    proactive_flips:
+        Forwarded to :class:`IncrementalOrientation`.
     """
 
     def __init__(
@@ -74,10 +89,16 @@ class StreamingService:
         seed: int = 0,
         cluster: MPCCluster | None = None,
         maintain_coloring: bool = True,
+        workers: int = 1,
+        executor: ParallelExecutor | None = None,
+        proactive_flips: bool = True,
     ) -> None:
         if cluster is None:
             cluster = MPCCluster(MPCConfig.for_graph(initial, delta=delta))
         self.cluster = cluster
+        self._executor = (
+            executor if executor is not None else ParallelExecutor(workers=workers, backend=THREAD)
+        )
         self.dynamic = DynamicGraph(initial)
         self._account_graph_storage()
         self.orientation = IncrementalOrientation(
@@ -87,6 +108,7 @@ class StreamingService:
             delta=delta,
             seed=seed,
             cluster=cluster,
+            proactive_flips=proactive_flips,
         )
         self.coloring = IncrementalColoring(self.dynamic) if maintain_coloring else None
         self.summary = StreamSummary()
@@ -150,16 +172,23 @@ class StreamingService:
                 label="stream:batch",
             )
 
+        # Superstep order: the graph absorbs the whole batch first (so a
+        # mid-batch fallback rebuild sees the batch-final snapshot), then the
+        # orientation resolves the batch as parallel conflict groups, then
+        # the coloring repairs its invalidated endpoints.
         for update in batch.updates:
             if update.is_insert:
                 dynamic.add_edge(update.u, update.v)
-                orientation.insert(update.u, update.v)
-                if coloring is not None:
-                    coloring.handle_insert(update.u, update.v)
             else:
                 dynamic.remove_edge(update.u, update.v)
-                orientation.delete(update.u, update.v)
-                if coloring is not None:
+
+        grouped = orientation.apply_batch(batch.updates, executor=self._executor)
+
+        if coloring is not None:
+            for update in batch.updates:
+                if update.is_insert:
+                    coloring.handle_insert(update.u, update.v)
+                else:
                     coloring.handle_delete(update.u, update.v)
 
         # Amortised quality maintenance at the batch boundary; a rebuild here
@@ -183,6 +212,9 @@ class StreamingService:
             batch_index=self.summary.num_batches,
             num_inserts=batch.num_inserts,
             num_deletes=batch.num_deletes,
+            conflict_groups=grouped.num_groups,
+            parallel_groups=grouped.parallel_groups,
+            proactive_flips=grouped.proactive_flips,
             flips=flips,
             recolors=recolors,
             rebuilds=orientation.rebuilds - rebuilds_before,
@@ -202,6 +234,21 @@ class StreamingService:
         for batch in batches:
             self.apply(batch)
         return self.summary
+
+    def close(self) -> None:
+        """Release the repair executor's worker pool (idempotent).
+
+        With ``workers > 1`` the service lazily spins up a thread pool;
+        sweeps that create one service per workload should close each when
+        done rather than leaving the release to garbage collection.
+        """
+        self._executor.close()
+
+    def __enter__(self) -> "StreamingService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ------------------------------------------------------------------ #
     # Consistency checks (tests / validators)

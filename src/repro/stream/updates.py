@@ -65,7 +65,14 @@ class UpdateBatch:
 
 @dataclass
 class BatchReport:
-    """What one batch cost, and where the maintained structures ended up."""
+    """What one batch cost, and where the maintained structures ended up.
+
+    ``conflict_groups`` / ``parallel_groups`` describe the batch-parallel
+    repair plan: how many vertex-disjoint conflict groups the batch split
+    into and how many of them were cap-safe (resolved concurrently);
+    ``proactive_flips`` counts deletion-triggered opportunistic flips (a
+    subset of ``flips``).
+    """
 
     batch_index: int
     num_inserts: int
@@ -80,6 +87,9 @@ class BatchReport:
     max_outdegree: int
     outdegree_cap: int
     num_colors: int
+    conflict_groups: int = 0
+    parallel_groups: int = 0
+    proactive_flips: int = 0
 
     @property
     def num_updates(self) -> int:
@@ -106,6 +116,9 @@ class BatchReport:
             "max_outdegree": float(self.max_outdegree),
             "outdegree_cap": float(self.outdegree_cap),
             "colors": float(self.num_colors),
+            "conflict_groups": float(self.conflict_groups),
+            "parallel_groups": float(self.parallel_groups),
+            "proactive_flips": float(self.proactive_flips),
         }
 
 
@@ -143,6 +156,10 @@ class StreamSummary:
         return sum(r.compactions for r in self.reports)
 
     @property
+    def total_proactive_flips(self) -> int:
+        return sum(r.proactive_flips for r in self.reports)
+
+    @property
     def total_rounds(self) -> int:
         return sum(r.rounds for r in self.reports)
 
@@ -165,6 +182,7 @@ class StreamSummary:
             "recolors": float(self.total_recolors),
             "rebuilds": float(self.total_rebuilds),
             "compactions": float(self.total_compactions),
+            "proactive_flips": float(self.total_proactive_flips),
             "rounds": float(self.total_rounds),
             "amortised_flips": self.amortised_flips,
         }

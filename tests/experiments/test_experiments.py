@@ -10,7 +10,7 @@ from repro.experiments.harness import (
     run_round_scaling_experiment,
     sweep,
 )
-from repro.experiments.registry import all_experiments, get_experiment
+from repro.experiments.registry import all_experiments, get_experiment, get_runner
 from repro.experiments.workloads import (
     Workload,
     dense_sweep,
@@ -45,7 +45,7 @@ class TestWorkloads:
 class TestRegistry:
     def test_all_experiments_registered(self):
         ids = [spec.experiment_id for spec in all_experiments()]
-        assert ids == ["E1", "E2", "E3", "E4", "E5", "E6", "E7", "S1"]
+        assert ids == ["E1", "E2", "E3", "E4", "E5", "E6", "E7", "S1", "S2"]
 
     def test_every_experiment_has_workloads_and_columns(self):
         for spec in all_experiments():
@@ -57,6 +57,20 @@ class TestRegistry:
         assert get_experiment("E3").experiment_id == "E3"
         with pytest.raises(KeyError):
             get_experiment("E99")
+
+    def test_runner_lookup_covers_harness_backed_experiments(self):
+        for experiment_id in ("E1", "E2", "E3", "S1", "S2"):
+            assert callable(get_runner(experiment_id))
+        with pytest.raises(KeyError, match="bench_e4"):
+            get_runner("E4")
+
+    def test_s2_sweep_holds_the_update_budget_fixed(self):
+        spec = get_experiment("S2")
+        budgets = set()
+        for workload in spec.workloads:
+            params = dict(workload.params)
+            budgets.add(params["num_batches"] * params["batch_size"])
+        assert len(budgets) == 1
 
 
 class TestHarness:

@@ -6,7 +6,7 @@ import pytest
 
 from repro.errors import GraphError
 from repro.experiments.registry import get_experiment
-from repro.experiments.streaming import run_streaming_experiment
+from repro.experiments.streaming import run_batch_size_experiment, run_streaming_experiment
 from repro.graph.arboricity import arboricity_upper_bound
 from repro.graph.graph import normalize_edge
 from repro.stream.workloads import (
@@ -130,3 +130,25 @@ class TestWorkloadDescriptions:
         assert data["proper"] == 1.0
         assert data["outdegree_ok"] == 1.0
         assert data["rounds"] > 0
+
+    def test_s2_registered(self):
+        spec = get_experiment("S2")
+        assert spec.bench_module.endswith("bench_s2_batch_size.py")
+        assert len(spec.workloads) >= 3
+
+    def test_run_batch_size_experiment_amortises_rounds(self):
+        """A bigger batch size must cost fewer amortised rounds/update on
+        the same (small) windowed budget."""
+        rows = []
+        for batch_size in (20, 80):
+            workload = StreamWorkload(
+                name=f"window-b{batch_size}", family="sliding_window",
+                num_vertices=96, seed=5,
+                params=(("window", 160), ("num_batches", 160 // batch_size),
+                        ("batch_size", batch_size)),
+            )
+            rows.append(run_batch_size_experiment(workload).as_dict())
+        small, large = rows
+        assert small["batch_size"] == 20.0 and large["batch_size"] == 80.0
+        assert small["updates"] > 0 and large["updates"] > 0
+        assert large["rounds_per_update"] < small["rounds_per_update"]

@@ -89,3 +89,50 @@ class TestLayersAndCoreness:
         captured = capsys.readouterr()
         assert len(captured.out.strip().splitlines()) == graph.num_vertices
         assert "ratio" in captured.err
+
+
+class TestWorkersAndStream:
+    def test_orient_accepts_workers(self, graph_file, capsys):
+        path, graph = graph_file
+        assert main(["orient", str(path), "--quiet", "--workers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert len(out.strip().splitlines()) == graph.num_edges
+
+    def test_orient_workers_do_not_change_the_output(self, graph_file, capsys):
+        path, _graph = graph_file
+        assert main(["orient", str(path), "--quiet"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["orient", str(path), "--quiet", "--workers", "4"]) == 0
+        assert capsys.readouterr().out == serial
+
+    def test_stream_accepts_workers(self, capsys):
+        assert main([
+            "stream", "uniform_churn", "96", "--batches", "3",
+            "--batch-size", "40", "--quiet", "--workers", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("# batch")
+        assert len(out.strip().splitlines()) == 4  # header + 3 batch rows
+
+
+class TestExperimentCommand:
+    def test_experiment_e3_prints_the_table(self, capsys):
+        # S2's registry sweep is sized for benchmarks; the CLI path is the
+        # same for every id, so exercise the cheapest harness-backed one.
+        assert main(["experiment", "E3", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "rounds_ours" in out
+        assert "union_forests" in out
+
+    def test_experiment_markdown_output(self, tmp_path, capsys):
+        out_path = tmp_path / "table.md"
+        assert main([
+            "experiment", "E3", "--markdown", "--quiet", "--output", str(out_path),
+        ]) == 0
+        content = out_path.read_text()
+        assert content.startswith("### E3")
+        assert "| workload |" in content
+
+    def test_experiment_rejects_unrunnable_ids(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["experiment", "E4"])
