@@ -18,12 +18,15 @@ runs the exact same partition.
 Run directly (``python benchmarks/bench_engine_parallel.py``) for a table,
 or through pytest (``pytest benchmarks/bench_engine_parallel.py``).  The
 speedup assertion needs real cores and is skipped on hosts with fewer than
-4 CPUs (the identity assertions always run).
+4 CPUs (the identity assertions always run).  ``--smoke`` runs the identity
+checks only, on tiny instances — the CI benchmark-smoke job's mode.
 """
 
 from __future__ import annotations
 
+import argparse
 import os
+import sys
 import time
 
 import pytest
@@ -51,15 +54,20 @@ def _available_cpus() -> int:
         return os.cpu_count() or 1
 
 
-def _make_graph():
-    return union_of_random_forests(NUM_VERTICES, arboricity=ARBORICITY, seed=42)
+SMOKE_NUM_VERTICES = 2_000
+SMOKE_K = 64
+SMOKE_STREAM_BATCH_SIZE = 200
 
 
-def _orient_once(graph, executor):
+def _make_graph(num_vertices=NUM_VERTICES):
+    return union_of_random_forests(num_vertices, arboricity=ARBORICITY, seed=42)
+
+
+def _orient_once(graph, k, executor):
     start = time.perf_counter()
     run = orient(
         graph,
-        k=EXPLICIT_K,
+        k=k,
         seed=7,
         force_edge_partitioning=True,
         executor=executor,
@@ -67,11 +75,13 @@ def _orient_once(graph, executor):
     return time.perf_counter() - start, run
 
 
-def run_orientation_benchmark() -> dict[str, float]:
-    graph = _make_graph()
-    serial_s, serial_run = _orient_once(graph, ParallelExecutor(workers=1))
+def run_orientation_benchmark(
+    num_vertices: int = NUM_VERTICES, k: int = EXPLICIT_K
+) -> dict[str, float]:
+    graph = _make_graph(num_vertices)
+    serial_s, serial_run = _orient_once(graph, k, ParallelExecutor(workers=1))
     parallel_s, parallel_run = _orient_once(
-        graph, ParallelExecutor(workers=WORKERS, backend=PROCESS)
+        graph, k, ParallelExecutor(workers=WORKERS, backend=PROCESS)
     )
     identical = (
         serial_run.orientation.direction == parallel_run.orientation.direction
@@ -104,12 +114,14 @@ def _stream_once(trace, workers):
     return elapsed, state, summary
 
 
-def run_repair_benchmark() -> dict[str, float]:
+def run_repair_benchmark(
+    num_vertices: int = NUM_VERTICES, batch_size: int = STREAM_BATCH_SIZE
+) -> dict[str, float]:
     trace = uniform_churn_trace(
-        NUM_VERTICES,
+        num_vertices,
         arboricity=4,
         num_batches=STREAM_BATCHES,
-        batch_size=STREAM_BATCH_SIZE,
+        batch_size=batch_size,
         seed=42,
     )
     serial_s, serial_state, _ = _stream_once(trace, workers=1)
@@ -146,21 +158,50 @@ def test_batch_parallel_repair_identical():
     assert results["parallel_groups"] > 0  # the parallel phase actually ran
 
 
-if __name__ == "__main__":
-    print(
-        f"engine parallel: n={NUM_VERTICES}, m≈{NUM_VERTICES * ARBORICITY}, "
-        f"k={EXPLICIT_K}, workers={WORKERS}, cpus={_available_cpus()}"
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny instances, identity checks only (CI smoke mode)",
     )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        n, k, batch_size = SMOKE_NUM_VERTICES, SMOKE_K, SMOKE_STREAM_BATCH_SIZE
+    else:
+        n, k, batch_size = NUM_VERTICES, EXPLICIT_K, STREAM_BATCH_SIZE
+    print(
+        f"engine parallel: n={n}, m≈{n * ARBORICITY}, k={k}, "
+        f"workers={WORKERS}, cpus={_available_cpus()}"
+        f"{' [smoke]' if args.smoke else ''}"
+    )
+    ok = True
     for title, rows, target in (
-        ("large-λ orientation (process backend)", run_orientation_benchmark(), ORIENT_SPEEDUP_TARGET),
-        ("batch-parallel flip repair (thread backend)", run_repair_benchmark(), None),
+        (
+            "large-λ orientation (process backend)",
+            run_orientation_benchmark(n, k),
+            ORIENT_SPEEDUP_TARGET,
+        ),
+        (
+            "batch-parallel flip repair (thread backend)",
+            run_repair_benchmark(n, batch_size),
+            None,
+        ),
     ):
         print(f"\n{title}")
         width = max(len(key) for key in rows)
         for key, value in rows.items():
             print(f"  {key:<{width}}  {value:,.4f}")
-        if target is not None:
+        ok = ok and rows["identical"] == 1.0
+        if args.smoke:
+            print(f"  identity: {'PASS' if rows['identical'] == 1.0 else 'FAIL'}")
+        elif target is not None:
             verdict = "PASS" if rows["speedup"] >= target else "FAIL"
             if _available_cpus() < WORKERS:
                 verdict += f" n/a ({_available_cpus()} CPUs < {WORKERS})"
             print(f"  speedup target: {target}x -> {verdict}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

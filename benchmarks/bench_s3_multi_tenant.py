@@ -1,0 +1,66 @@
+"""S3 — multi-tenant streaming: N tenants multiplexed on one shared engine.
+
+Every engine tick serves one batch per tenant as parallel supersteps on the
+shared :class:`~repro.mpc.cluster.MPCCluster` ledger, so the aggregate round
+charge is the *max* over the tenants served — not the sum a sequential
+scheduler would pay.  The S3 registry suite sweeps the tenant count at a
+fixed per-tenant workload; the headline metric is ``round_savings`` (the
+sequential-sum / parallel-max ratio), which should grow with the tenant
+count and approach it on balanced fleets.
+
+Checks:
+
+* per-tenant invariants hold at stream end (the runner verifies them);
+* ``round_savings > 1`` for every fleet, and the 4-tenant fleet saves more
+  rounds than the 2-tenant fleet;
+* every tenant's coloring is proper and the worst outdegree stays inside
+  the streaming O(λ) envelope.
+
+Run directly (``python benchmarks/bench_s3_multi_tenant.py``) for the table,
+or through pytest (``pytest benchmarks/bench_s3_multi_tenant.py``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.registry import get_experiment
+from repro.experiments.streaming import run_multi_tenant_experiment
+
+SPEC = get_experiment("S3")
+
+
+@pytest.mark.parametrize("workload", SPEC.workloads, ids=lambda w: w.name)
+def test_s3_multi_tenant_row(workload):
+    # Imported here so the module also runs directly (`python benchmarks/...`),
+    # where the benchmarks package is not importable.
+    from benchmarks.conftest import record_row
+
+    row = run_multi_tenant_experiment(workload)
+    data = row.as_dict()
+    record_row("S3 — " + SPEC.claim, SPEC.columns, data)
+    assert data["proper"] == 1.0
+    assert data["outdegree_ok"] == 1.0
+    assert data["round_savings"] > 1.0, data
+
+
+def test_s3_savings_grow_with_the_tenant_count():
+    rows = sorted(
+        (run_multi_tenant_experiment(workload).as_dict() for workload in SPEC.workloads),
+        key=lambda data: data["tenants"],
+    )
+    savings = [data["round_savings"] for data in rows]
+    assert all(a < b for a, b in zip(savings, savings[1:])), savings
+
+
+def main() -> None:
+    from repro.analysis.reporting import Table
+
+    table = Table(title="S3 — " + SPEC.claim, columns=list(SPEC.columns))
+    for workload in SPEC.workloads:
+        table.add_row(run_multi_tenant_experiment(workload).as_dict())
+    table.print()
+
+
+if __name__ == "__main__":
+    main()

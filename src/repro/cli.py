@@ -22,15 +22,21 @@ Commands
     core), maintain the orientation and coloring incrementally through the
     :class:`~repro.stream.service.StreamingService`, and print per-batch
     maintenance metrics plus a summary.
+``stream-multi``
+    Generate one trace per tenant (cycling the trace families), multiplex
+    the fleet on one :class:`~repro.stream.engine.StreamEngine`, and print
+    per-tick aggregate metrics (rounds charged as max-over-tenants) plus a
+    per-tenant summary.
 ``experiment``
-    Run a registered experiment sweep (E1/E2/E3/S1/S2) through its harness
-    runner and print the result table (ASCII, or Markdown with
+    Run a registered experiment sweep (E1/E2/E3/S1/S2/S3) through its
+    harness runner and print the result table (ASCII, or Markdown with
     ``--markdown``).
 
 Every command accepts ``--seed`` for reproducibility and ``--output`` to write
-the main artifact to a file instead of stdout.  ``orient``, ``stream`` and
-``experiment`` also accept ``--workers N`` — host-side parallelism for the
-superstep engine (Lemma 2.1 part orientation, batch-parallel flip repair);
+the main artifact to a file instead of stdout.  ``orient``, ``color``,
+``stream``, ``stream-multi`` and ``experiment`` also accept ``--workers N`` —
+host-side parallelism for the superstep engine (Lemma 2.1 part orientation,
+Lemma 2.2 part coloring, batch-parallel flip repair, cross-tenant ticks);
 results are identical for any worker count.
 """
 
@@ -53,10 +59,15 @@ from repro.graph.io import (
     read_edge_list,
     write_text,
 )
+from repro.stream.engine import StreamEngine
 from repro.stream.service import StreamingService
-from repro.stream.workloads import generate_trace, stream_family_names
+from repro.stream.workloads import (
+    generate_trace,
+    multi_tenant_traces,
+    stream_family_names,
+)
 
-RUNNABLE_EXPERIMENTS = ("E1", "E2", "E3", "S1", "S2")
+RUNNABLE_EXPERIMENTS = ("E1", "E2", "E3", "S1", "S2", "S3")
 
 
 def _emit(content: str, output: str | None) -> None:
@@ -99,6 +110,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     color_parser = subparsers.add_parser("color", help="compute an O(λ log log n) coloring")
     _add_common_arguments(color_parser)
+    _add_workers_argument(color_parser)
 
     layers_parser = subparsers.add_parser("layers", help="compute the Lemma 3.15 H-partition")
     _add_common_arguments(layers_parser)
@@ -145,6 +157,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true", help="suppress the human-readable summary on stderr"
     )
     _add_workers_argument(stream_parser)
+
+    multi_parser = subparsers.add_parser(
+        "stream-multi", help="multiplex N streaming tenants on one shared engine"
+    )
+    multi_parser.add_argument("num_vertices", type=int, help="vertices per tenant graph")
+    multi_parser.add_argument(
+        "--tenants", type=int, default=4, help="number of tenants (default 4)"
+    )
+    multi_parser.add_argument("--batches", type=int, default=6, help="batches per tenant")
+    multi_parser.add_argument("--batch-size", type=int, default=120, help="updates per batch")
+    multi_parser.add_argument("--seed", type=int, default=0)
+    multi_parser.add_argument(
+        "--delta", type=float, default=0.5, help="memory exponent δ (default 0.5)"
+    )
+    multi_parser.add_argument("--output", help="write the per-tick metrics to this file")
+    multi_parser.add_argument(
+        "--quiet", action="store_true", help="suppress the human-readable summary on stderr"
+    )
+    _add_workers_argument(multi_parser)
 
     experiment_parser = subparsers.add_parser(
         "experiment", help="run a registered experiment sweep and print its table"
@@ -245,6 +276,57 @@ def main(argv: Sequence[str] | None = None) -> int:
         )
         return 0
 
+    if args.command == "stream-multi":
+        traces = multi_tenant_traces(
+            num_tenants=args.tenants,
+            num_vertices=args.num_vertices,
+            num_batches=args.batches,
+            batch_size=args.batch_size,
+            seed=args.seed,
+        )
+        with StreamEngine(delta=args.delta, seed=args.seed, workers=args.workers) as engine:
+            for trace in traces:
+                engine.add_tenant(trace.name, trace.initial)
+                engine.submit_all(trace.name, trace.batches)
+            summary = engine.run_until_drained()
+            engine.verify()
+            header = (
+                "tick tenants inserts deletes flips rebuilds "
+                "rounds rounds_sequential m max_outdegree colors"
+            )
+            lines = [f"# {header}"]
+            for tick, report in zip(engine.ticks, summary.reports):
+                lines.append(
+                    f"{tick.tick_index} {tick.num_tenants_served} "
+                    f"{report.num_inserts} {report.num_deletes} {report.flips} "
+                    f"{report.rebuilds} {tick.rounds} {tick.sequential_rounds} "
+                    f"{report.num_edges} {report.max_outdegree} {report.num_colors}"
+                )
+            _emit("\n".join(lines), args.output)
+            parallel_rounds = summary.total_rounds
+            sequential_rounds = sum(tick.sequential_rounds for tick in engine.ticks)
+            tenant_lines = [
+                f"  {name}: updates={engine.tenant_summary(name).total_updates} "
+                f"flips={engine.tenant_summary(name).total_flips} "
+                f"rebuilds={engine.tenant_summary(name).total_rebuilds} "
+                f"rounds={engine.tenant_summary(name).total_rounds}"
+                for name in engine.tenant_names()
+            ]
+            _summary(
+                [
+                    f"tenants: {args.tenants} (n={args.num_vertices} each), "
+                    f"ticks: {len(engine.ticks)}, updates: {summary.total_updates}",
+                    *tenant_lines,
+                    f"tick rounds: {parallel_rounds} parallel (max-over-tenants) vs "
+                    f"{sequential_rounds} sequential "
+                    f"({sequential_rounds / max(parallel_rounds, 1):.2f}x saved)",
+                    f"shared-ledger rounds incl. tenant builds: "
+                    f"{engine.cluster.stats.num_rounds}",
+                ],
+                args.quiet,
+            )
+        return 0
+
     if args.command == "experiment":
         from repro.analysis.reporting import Table
         from repro.experiments.registry import get_experiment, get_runner
@@ -283,7 +365,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 0
 
     if args.command == "color":
-        run = color(graph, delta=args.delta, seed=args.seed)
+        run = color(graph, delta=args.delta, seed=args.seed, workers=args.workers)
         _emit(format_coloring(run.coloring), args.output)
         _summary(
             [

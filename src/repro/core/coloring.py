@@ -23,21 +23,44 @@ Pipeline (see Section 4 of the paper):
 
 The number of colors is at most ``3·d = O(λ log log n)`` per part, and the
 coloring is proper by construction (validated, not assumed).
+
+**Parallel execution.**  The Lemma 2.2 parts are *independent*: the paper
+colors them simultaneously on the shared cluster, so their layering and
+list-coloring rounds coincide rather than add.  The large-λ branch therefore
+fans the parts out through the superstep engine
+(:class:`repro.engine.ParallelExecutor`) — each part layers and colors
+against its own sub-ledger (:meth:`repro.mpc.cluster.MPCCluster.fork`) and
+the fold charges rounds as max-over-parts — and combines the per-part
+colorings with a disjoint color-offset scheme: part ``i``'s colors are
+shifted by the sum of the palette sizes of parts ``0..i-1`` (a prefix-sum
+broadcast, charged as one ``palette-offsets`` round).  Results are
+byte-identical for any worker count and backend: the partition is fixed by
+the parent RNG before the fan-out, each part draws only from its own seed
+stream (:func:`repro.engine.derive_seed` by part position), and the offsets
+depend only on the fixed part order.  Cross-process shipping is lean — a
+part travels as its CSR edge columns plus the parent-id map
+(:meth:`repro.graph.graph.InducedSubgraph.__reduce__`), and the result ships
+back as flat ``array('l')`` color/layer columns instead of per-vertex dicts.
+
+The output's color count is ``O(λ · log log n)`` — experiment E2 measures
+the realised constant.
 """
 
 from __future__ import annotations
 
 import math
 import random
+from array import array
 from dataclasses import dataclass, field
 
 from repro.core.directed_expo import directed_reachability
 from repro.core.full_assignment import complete_layer_assignment
 from repro.core.partitioning import random_vertex_partition
+from repro.engine import ParallelExecutor, seed_stream
 from repro.errors import ParameterError
 from repro.graph.arboricity import arboricity_upper_bound
 from repro.graph.coloring import Coloring
-from repro.graph.graph import Graph
+from repro.graph.graph import Graph, InducedSubgraph
 from repro.graph.hpartition import HPartition
 from repro.local.list_coloring import random_list_coloring
 from repro.mpc.cluster import MPCCluster
@@ -46,7 +69,14 @@ from repro.mpc.config import MPCConfig
 
 @dataclass
 class ColoringRun:
-    """Output of the Theorem 1.2 pipeline, with measurements."""
+    """Output of the Theorem 1.2 pipeline, with measurements.
+
+    ``part_rounds`` records, for every (non-empty) Lemma 2.2 part, the rounds
+    the part charged on its own sub-ledger — the quantity the old sequential
+    loop summed into ``rounds`` and the parallel fold replaces with the max
+    (regression-tested: ``rounds`` stays strictly below ``sum(part_rounds)``
+    whenever there is more than one part).
+    """
 
     coloring: Coloring
     num_colors: int
@@ -58,6 +88,7 @@ class ColoringRun:
     local_subroutine_rounds: int
     hpartitions: list[HPartition] = field(default_factory=list)
     cluster: MPCCluster | None = None
+    part_rounds: list[int] = field(default_factory=list)
 
     def colors_to_arboricity_ratio(self) -> float:
         """``num_colors / max(arboricity_proxy, 1)`` — the quality measure of E2."""
@@ -138,6 +169,41 @@ def _color_layered_graph(
     return colors, local_rounds
 
 
+def _color_part_task(
+    part: InducedSubgraph,
+    k: int,
+    delta: float,
+    palette_slack: int,
+    seed: int,
+    ledger: MPCCluster,
+) -> tuple[array, array, int, int, object]:
+    """Layer and color one Lemma 2.2 part against its own sub-ledger.
+
+    Module-level so the process backend can pickle it by reference.  The
+    part is colored with a palette-local base of 0 — the parent applies the
+    disjoint offset when folding — and the result travels as two flat
+    ``array('l')`` columns (color and layer per local vertex id) plus the
+    sub-ledger's stats: everything else (the HPartition object, the palette
+    dict) is rebuilt cheaply on the parent side.
+    """
+    run = complete_layer_assignment(part, k=k, delta=delta, cluster=ledger)
+    hpartition = run.to_hpartition()
+    out_degree = max(hpartition.max_out_degree(), 1)
+    palette_size = palette_slack * out_degree
+    part_colors, local_rounds = _color_layered_graph(
+        part,
+        hpartition,
+        palette_base=0,
+        palette_size=palette_size,
+        cluster=ledger,
+        rng=random.Random(seed),
+        delta=delta,
+    )
+    color_column = array("l", (part_colors[v] for v in part.vertices))
+    layer_column = array("l", (hpartition.layer_of[v] for v in part.vertices))
+    return color_column, layer_column, palette_size, local_rounds, ledger.stats
+
+
 def color(
     graph: Graph,
     delta: float = 0.5,
@@ -147,12 +213,18 @@ def color(
     cluster: MPCCluster | None = None,
     palette_slack: int = 3,
     force_vertex_partitioning: bool | None = None,
+    workers: int = 1,
+    executor: ParallelExecutor | None = None,
 ) -> ColoringRun:
     """Compute an ``O(λ log log n)``-coloring of ``graph`` (Theorem 1.2).
 
     Parameters mirror :func:`repro.core.orientation.orient`; ``palette_slack``
     is the constant in the per-part palette size ``palette_slack · d`` (the
-    paper uses 3d).
+    paper uses 3d).  ``workers`` fans the Lemma 2.2 vertex-partition parts of
+    the large-λ branch out through a :class:`~repro.engine.ParallelExecutor`
+    (1 = serial; the round accounting is max-over-parts either way), and
+    ``executor`` overrides it with a pre-built executor pinning a specific
+    backend.  Results are byte-identical for any worker count and backend.
     """
     if graph.num_vertices == 0:
         empty = Coloring(graph, {})
@@ -187,64 +259,102 @@ def color(
 
     hpartitions: list[HPartition] = []
     colors: dict[int, int] = {}
-    local_rounds = 0
-    palette_base = 0
-    max_palette_end = 0
 
     if not large_lambda:
-        parts = [None]  # sentinel: color the whole graph in place
-        num_parts = 1
-        used_partitioning = False
-    else:
-        vertex_partition = random_vertex_partition(graph, arboricity_bound=k, rng=rng)
-        cluster.charge_rounds(1, label="vertex-partition")
-        parts = vertex_partition.parts
-        num_parts = vertex_partition.num_parts
-        used_partitioning = True
-
-    for part in parts:
-        if part is None:
-            subgraph = graph
-            to_parent = None
-        else:
-            subgraph = part
-            to_parent = part.to_parent
-        if subgraph.num_vertices == 0:
-            continue
-        per_part_k = k if part is None else max(2, int(math.ceil(2 * log_n)))
-        run = complete_layer_assignment(subgraph, k=per_part_k, delta=delta, cluster=cluster)
+        # Small-λ branch: one part, colored in place on the parent ledger.
+        run = complete_layer_assignment(graph, k=k, delta=delta, cluster=cluster)
         hpartition = run.to_hpartition()
         hpartitions.append(hpartition)
         out_degree = max(hpartition.max_out_degree(), 1)
         palette_size = palette_slack * out_degree
-        part_colors, part_local_rounds = _color_layered_graph(
-            subgraph,
+        colors, local_rounds = _color_layered_graph(
+            graph,
             hpartition,
-            palette_base=palette_base,
+            palette_base=0,
             palette_size=palette_size,
             cluster=cluster,
             rng=rng,
             delta=delta,
         )
+        coloring = Coloring(graph, colors)
+        return ColoringRun(
+            coloring=coloring,
+            num_colors=coloring.num_colors(),
+            palette_size=palette_size,
+            arboricity_proxy=arboricity_proxy,
+            rounds=cluster.stats.num_rounds,
+            used_vertex_partitioning=False,
+            num_parts=1,
+            local_subroutine_rounds=local_rounds,
+            hpartitions=hpartitions,
+            cluster=cluster,
+        )
+
+    # Large-λ branch: Lemma 2.2 vertex partitioning, layer and color all
+    # parts in parallel supersteps (each on its own sub-ledger), then union
+    # the per-part colorings under disjoint palette offsets.
+    vertex_partition = random_vertex_partition(graph, arboricity_bound=k, rng=rng)
+    cluster.charge_rounds(1, label="vertex-partition")
+    num_parts = vertex_partition.num_parts
+    per_part_k = max(2, int(math.ceil(2 * log_n)))
+    # Per-part seeds are derived from the *part position*, so any worker
+    # count (and the serial loop) replays identical randomness; empty parts
+    # contribute nothing but keep their seed-stream slot so the part count
+    # alone fixes every stream.
+    part_seeds = seed_stream(seed, num_parts)
+    nonempty = [
+        (index, part)
+        for index, part in enumerate(vertex_partition.parts)
+        if part.num_vertices
+    ]
+    owns_executor = executor is None
+    if owns_executor:
+        executor = ParallelExecutor(workers=workers)
+    try:
+        results = executor.map(
+            _color_part_task,
+            [
+                (part, per_part_k, delta, palette_slack, part_seeds[index], cluster.fork())
+                for index, part in nonempty
+            ],
+            total_work=vertex_partition.total_edges + graph.num_vertices,
+        )
+    finally:
+        if owns_executor:
+            executor.close()
+
+    cluster.merge_parallel([stats for *_rest, stats in results])
+    # Disjoint palette offsets: part i's colors shift by the total palette
+    # size of the parts before it.  The prefix sums are one broadcast.
+    cluster.charge_rounds(1, label="palette-offsets")
+
+    local_rounds = 0
+    part_rounds: list[int] = []
+    palette_base = 0
+    for (_index, part), result in zip(nonempty, results):
+        color_column, layer_column, palette_size, part_local_rounds, stats = result
+        for local_vertex in part.vertices:
+            colors[part.to_parent(local_vertex)] = palette_base + color_column[local_vertex]
+        hpartitions.append(
+            HPartition(part, {v: layer_column[v] for v in part.vertices})
+        )
         local_rounds += part_local_rounds
-        for local_vertex, chosen in part_colors.items():
-            original = local_vertex if to_parent is None else to_parent(local_vertex)
-            colors[original] = chosen
-        max_palette_end = max(max_palette_end, palette_base + palette_size)
+        part_rounds.append(stats.num_rounds)
         palette_base += palette_size
 
     coloring = Coloring(graph, colors)
     return ColoringRun(
         coloring=coloring,
         num_colors=coloring.num_colors(),
-        palette_size=max_palette_end,
+        palette_size=palette_base,
         arboricity_proxy=arboricity_proxy,
         rounds=cluster.stats.num_rounds,
-        used_vertex_partitioning=used_partitioning,
+        used_vertex_partitioning=True,
         num_parts=num_parts,
         local_subroutine_rounds=local_rounds,
         hpartitions=hpartitions,
         cluster=cluster,
+        part_rounds=part_rounds,
     )
 
 

@@ -90,6 +90,15 @@ class VertexPartition:
         """Number of parts ``L``."""
         return len(self.parts)
 
+    @property
+    def total_edges(self) -> int:
+        """Total edges across all parts (the work hint for the engine fan-out).
+
+        Cross-part edges vanish in the induced subgraphs, so this is at most
+        the original edge count.
+        """
+        return sum(part.num_edges for part in self.parts)
+
     def covers(self, graph: Graph) -> bool:
         """Whether the parts partition the original vertex set exactly."""
         seen: set[int] = set()
@@ -121,9 +130,12 @@ def random_vertex_partition(
     )
     if parts_count < 1:
         raise ParameterError("num_parts must be at least 1")
-    assignment: dict[int, int] = {v: rng.randrange(parts_count) for v in graph.vertices}
-    parts = [
-        graph.induced_subgraph([v for v in graph.vertices if assignment[v] == index])
-        for index in range(parts_count)
-    ]
+    # One pass buckets the vertices (consuming exactly one draw per vertex in
+    # vertex order — the RNG contract the engine-backed coloring pipeline
+    # relies on for worker-count determinism); the old per-part rescan of the
+    # whole vertex set was O(n·L).
+    buckets: list[list[int]] = [[] for _ in range(parts_count)]
+    for v in graph.vertices:
+        buckets[rng.randrange(parts_count)].append(v)
+    parts = [graph.induced_subgraph(bucket) for bucket in buckets]
     return VertexPartition(parts=parts)

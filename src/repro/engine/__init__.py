@@ -12,6 +12,7 @@ Public surface:
 
 from repro.engine.executor import (
     BACKENDS,
+    IN_PROCESS,
     PROCESS,
     SERIAL,
     THREAD,
@@ -23,6 +24,7 @@ from repro.engine.ledger import SubLedger, fork_ledgers
 
 __all__ = [
     "BACKENDS",
+    "IN_PROCESS",
     "PROCESS",
     "SERIAL",
     "THREAD",

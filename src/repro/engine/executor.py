@@ -37,7 +37,7 @@ determinism tests use to pin each backend down on tiny inputs.
 from __future__ import annotations
 
 from collections.abc import Callable, Iterable, Sequence
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor, wait
 from typing import Any
 
 from repro.errors import ParameterError
@@ -46,6 +46,14 @@ SERIAL = "serial"
 THREAD = "thread"
 PROCESS = "process"
 BACKENDS = (SERIAL, THREAD, PROCESS)
+IN_PROCESS = (SERIAL, THREAD)
+"""Backends that run tasks inside the calling process.
+
+Stages that mutate *shared* state through provably disjoint slices (e.g. the
+batch flip-repair out-table) are only correct on these; stages that ship
+their state explicitly (orientation parts, out-table shards) run on any
+backend.
+"""
 
 _MASK64 = (1 << 64) - 1
 
@@ -104,12 +112,23 @@ class ParallelExecutor:
         # pool startup/teardown per call would swamp small batches.
         self._pools: dict[str, ThreadPoolExecutor | ProcessPoolExecutor] = {}
 
-    def resolve_backend(self, num_tasks: int, total_work: int | None = None) -> str:
-        """The backend a ``map`` call with these dimensions would use."""
+    def resolve_backend(
+        self,
+        num_tasks: int,
+        total_work: int | None = None,
+        backend: str | None = None,
+    ) -> str:
+        """The backend a ``map`` call with these dimensions would use.
+
+        ``backend`` is the per-call override (see :meth:`map`); when omitted
+        the executor-level backend (or the auto pick) applies.
+        """
         if self.workers <= 1 or num_tasks <= 1:
             return SERIAL
-        if self.backend is not None:
-            return self.backend
+        if backend is None:
+            backend = self.backend
+        if backend is not None:
+            return backend
         if total_work is not None and total_work < self.serial_work_threshold:
             return SERIAL
         return PROCESS
@@ -119,17 +138,24 @@ class ParallelExecutor:
         fn: Callable[..., Any],
         tasks: Iterable[Sequence[Any]],
         total_work: int | None = None,
+        backend: str | None = None,
     ) -> list[Any]:
         """Apply ``fn(*args)`` to every ``args`` tuple; results in task order.
 
         ``total_work`` is an optional size hint (e.g. total edges across
-        parts) consulted by the auto backend pick.  A failing task's
-        exception propagates as soon as its (in-order) result is collected;
-        the reused pool stays open — still-running sibling tasks finish in
-        the background and the workers are released by :meth:`close`.
+        parts) consulted by the auto backend pick.  ``backend`` overrides the
+        executor-level backend for this call only — stages with different
+        safety requirements (in-process state sharing vs. picklable fan-out)
+        can then share one executor and its pools.  On a failing task, the
+        first (in-order) exception propagates — but only after pending
+        sibling tasks are cancelled and running ones have finished, so the
+        caller observes a quiescent state when it catches (the reused pool
+        itself stays open until :meth:`close`).
         """
+        if backend is not None and backend not in BACKENDS:
+            raise ParameterError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
         task_list = [tuple(args) for args in tasks]
-        backend = self.resolve_backend(len(task_list), total_work)
+        backend = self.resolve_backend(len(task_list), total_work, backend=backend)
         if backend == SERIAL:
             return [fn(*args) for args in task_list]
         pool = self._pools.get(backend)
@@ -138,7 +164,13 @@ class ParallelExecutor:
             pool = pool_cls(max_workers=self.workers)
             self._pools[backend] = pool
         futures = [pool.submit(fn, *args) for args in task_list]
-        return [future.result() for future in futures]
+        try:
+            return [future.result() for future in futures]
+        except BaseException:
+            for future in futures:
+                future.cancel()
+            wait(futures)
+            raise
 
     def close(self) -> None:
         """Shut down any pools this executor spun up (idempotent).

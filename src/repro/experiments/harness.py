@@ -108,13 +108,13 @@ def run_coloring_experiment(
 ) -> ExperimentRow:
     """E2: run Theorem 1.2 on a workload, with the centralised baselines alongside.
 
-    ``workers`` is accepted for runner-signature uniformity (the CLI threads
-    it to every runner); the Theorem 1.2 vertex-partition pipeline is not
-    engine-backed yet, so it is currently unused here.
+    ``workers`` fans the large-λ Lemma 2.2 vertex-partition parts out through
+    the superstep engine (exactly like E1's orientation runner); results are
+    identical for any worker count.
     """
     graph = workload.materialize()
     row = _base_row(workload, graph, exact_density=exact_density)
-    run = color(graph, delta=delta, seed=seed)
+    run = color(graph, delta=delta, seed=seed, workers=workers)
     quality = validate_coloring_quality(run.coloring, row.arboricity_upper, graph.num_vertices)
     rounds_check = validate_round_complexity(run.rounds, graph.num_vertices)
     delta_baseline = greedy_delta_coloring(graph)

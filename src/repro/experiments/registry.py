@@ -18,7 +18,7 @@ from repro.experiments.workloads import (
     standard_suite,
     union_forest_sweep,
 )
-from repro.stream.workloads import streaming_suite
+from repro.stream.workloads import multi_tenant_suite, streaming_suite
 
 
 @dataclass(frozen=True)
@@ -154,6 +154,14 @@ _REGISTRY: dict[str, ExperimentSpec] = {
         notes="Dynamic extension beyond the paper: Brodal–Fagerberg flip paths with a Theorem 1.1 fallback rebuild.",
         columns=("workload", "n", "m", "lambda_hi", "updates", "flips", "recolors", "rebuilds", "rounds", "final_max_outdegree", "outdegree_bound", "final_colors", "proper"),
     ),
+    "S3": ExperimentSpec(
+        experiment_id="S3",
+        claim="Multi-tenant streaming: N tenants multiplexed on one engine; per-tenant results identical to standalone services while aggregate rounds charge parallel ticks as max-over-tenants",
+        bench_module="benchmarks/bench_s3_multi_tenant.py",
+        workloads=tuple(multi_tenant_suite(seed=10)),
+        notes="Ticks fold tenant sub-ledgers with merge_parallel; round_savings = sequential-sum / parallel-max, approaching the tenant count on balanced fleets.",
+        columns=("workload", "tenants", "ticks", "updates", "flips", "rebuilds", "rounds_parallel", "rounds_sequential", "round_savings", "max_outdegree", "colors", "proper"),
+    ),
     "S2": ExperimentSpec(
         experiment_id="S2",
         claim="Streaming batching: at a fixed update budget, amortised MPC rounds/update fall ~1/batch_size while maintained quality stays flat",
@@ -192,6 +200,7 @@ def get_runner(experiment_id: str):
     )
     from repro.experiments.streaming import (
         run_batch_size_experiment,
+        run_multi_tenant_experiment,
         run_streaming_experiment,
     )
 
@@ -201,6 +210,7 @@ def get_runner(experiment_id: str):
         "E3": run_round_scaling_experiment,
         "S1": run_streaming_experiment,
         "S2": run_batch_size_experiment,
+        "S3": run_multi_tenant_experiment,
     }
     if experiment_id not in runners:
         raise KeyError(

@@ -15,6 +15,12 @@ every maintained invariant, and collects one
   the amortised rounds/update should fall roughly like ``1/batch_size``
   while the maintained quality stays flat — the table the windowed-batching
   ROADMAP item asks for.
+* **S3** (:func:`run_multi_tenant_experiment`) multiplexes a fleet of
+  independent tenants on one :class:`~repro.stream.engine.StreamEngine`:
+  every tick serves one batch per tenant as parallel supersteps, so the
+  headline metric is the round *savings* of the max-over-tenants fold over
+  charging the tenants sequentially — the multiplexing analogue of the
+  Lemma 2.1/2.2 part fan-outs.
 """
 
 from __future__ import annotations
@@ -22,8 +28,9 @@ from __future__ import annotations
 from repro.analysis.validators import validate_streaming_outdegree
 from repro.experiments.harness import ExperimentRow
 from repro.graph.arboricity import arboricity_bounds
+from repro.stream.engine import StreamEngine
 from repro.stream.service import StreamingService
-from repro.stream.workloads import StreamWorkload
+from repro.stream.workloads import MultiTenantWorkload, StreamWorkload
 
 
 def run_streaming_experiment(
@@ -112,4 +119,79 @@ def run_batch_size_experiment(
             "outdegree_cap": float(service.orientation.outdegree_cap),
         }
     )
+    return row
+
+
+def run_multi_tenant_experiment(
+    workload: MultiTenantWorkload,
+    delta: float = 0.5,
+    seed: int = 0,
+    workers: int = 1,
+) -> ExperimentRow:
+    """S3: stream a tenant fleet through one engine and record the round fold.
+
+    ``rounds_parallel`` is the shared ledger's per-tick max-over-tenants
+    charge summed over the ticks; ``rounds_sequential`` is what charging the
+    same tenants one after another would have cost (the sum of the per-tenant
+    per-tick rounds).  ``round_savings`` is their ratio — it approaches the
+    tenant count when the fleet is balanced.  Quality metrics are the worst
+    case over the fleet, and every tenant's invariants are verified at the
+    end of the run.
+    """
+    traces = workload.materialize()
+    with StreamEngine(delta=delta, seed=seed, workers=workers) as engine:
+        for trace in traces:
+            engine.add_tenant(trace.name, trace.initial)
+            engine.submit_all(trace.name, trace.batches)
+        summary = engine.run_until_drained()
+        engine.verify()
+
+        snapshots = {
+            name: engine.tenant_service(name).dynamic.snapshot()
+            for name in engine.tenant_names()
+        }
+        per_tenant_bounds = {
+            name: arboricity_bounds(snapshot, exact_density=False)
+            for name, snapshot in snapshots.items()
+        }
+        worst_quality = None
+        for name, snapshot in snapshots.items():
+            quality = validate_streaming_outdegree(
+                engine.tenant_service(name).orientation.max_outdegree(),
+                per_tenant_bounds[name].upper,
+                snapshot.num_vertices,
+            )
+            if worst_quality is None or quality.headroom < worst_quality.headroom:
+                worst_quality = quality
+        proper = all(
+            engine.tenant_service(name).coloring.is_proper()
+            for name in engine.tenant_names()
+        )
+        rounds_parallel = summary.total_rounds
+        rounds_sequential = sum(tick.sequential_rounds for tick in engine.ticks)
+        final = summary.final_report()
+
+        row = ExperimentRow(
+            workload=workload.describe(),
+            num_vertices=sum(s.num_vertices for s in snapshots.values()),
+            num_edges=sum(s.num_edges for s in snapshots.values()),
+            arboricity_lower=max(b.lower for b in per_tenant_bounds.values()),
+            arboricity_upper=max(b.upper for b in per_tenant_bounds.values()),
+        )
+        row.metrics.update(
+            {
+                "tenants": float(workload.num_tenants),
+                "ticks": float(summary.num_batches),
+                "updates": float(summary.total_updates),
+                "flips": float(summary.total_flips),
+                "rebuilds": float(summary.total_rebuilds),
+                "rounds_parallel": float(rounds_parallel),
+                "rounds_sequential": float(rounds_sequential),
+                "round_savings": rounds_sequential / max(rounds_parallel, 1),
+                "max_outdegree": float(final.max_outdegree),
+                "outdegree_ok": 1.0 if (worst_quality is None or worst_quality.passed) else 0.0,
+                "colors": float(final.num_colors),
+                "proper": 1.0 if proper else 0.0,
+            }
+        )
     return row

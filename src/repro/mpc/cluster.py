@@ -69,6 +69,25 @@ the children back into the parent with the model's semantics:
 The fold itself lives on :meth:`repro.mpc.metrics.RoundStats.merge_parallel`;
 the engine depends only on the :class:`repro.engine.ledger.SubLedger`
 protocol that ``fork``/``merge_parallel`` implement.
+
+**Multi-tenant sub-ledgers** (:class:`repro.stream.engine.StreamEngine`)
+stretch the fork/merge protocol from per-task to per-*tenant*.  Each hosted
+tenant owns one **persistent** fork for its whole lifetime — created by
+``fork(config=MPCConfig.for_graph(tenant_initial))`` so the tenant is
+provisioned for its own input and its per-batch charges are byte-identical
+to a standalone service — and every engine *tick* resolves one batch per
+tenant as parallel tasks.  The shared ledger is charged per tick by folding
+the tenants' **tick deltas** (:meth:`repro.mpc.metrics.RoundStats.since` of
+the pre-tick round mark) with ``merge_parallel``: aggregate rounds for the
+tick are the *max* over the tenants served in it (the tick is one run of
+supersteps executed by all tenants simultaneously), per-superstep volume is
+the sum, and memory folds as the sum of the tenants' lifetime peaks —
+tenants are co-resident for the whole tick, so their storage adds even when
+a tenant is idle in this particular tick.  Rounds a tenant charges *outside*
+any tick — its initial orientation build at registration — fold into the
+shared ledger right at registration instead: tenants register one after
+another, so construction is sequential (rounds add) and tick folds carry
+batch work only.
 """
 
 from __future__ import annotations
@@ -295,7 +314,7 @@ class MPCCluster:
     # Sub-ledgers (parallel task fan-out; see repro.engine.ledger)
     # ------------------------------------------------------------------ #
 
-    def fork(self) -> "MPCCluster":
+    def fork(self, config: MPCConfig | None = None) -> "MPCCluster":
         """An empty child cluster with this cluster's provisioning.
 
         One parallel task records its rounds, communication, and storage into
@@ -303,9 +322,17 @@ class MPCCluster:
         shares the (immutable) config and the enforcement flags but starts
         with fresh machines and an empty ledger, so it is cheap to create and
         safe to send to a worker process.
+
+        ``config`` re-provisions the child: a *persistent* sub-ledger that
+        accounts one tenant of a multiplexed service (see
+        :class:`repro.stream.engine.StreamEngine`) is sized for that tenant's
+        own input — the tenant then behaves, round for round, exactly like a
+        standalone service on its own cluster, while the fold arithmetic
+        (which never consults the config) still lands in this parent.
+        Short-lived task forks keep the parent's config.
         """
         return MPCCluster(
-            self.config,
+            self.config if config is None else config,
             enforce_limits=self.enforce_limits,
             enforce_global_memory=self.enforce_global_memory,
         )

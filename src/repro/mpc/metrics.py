@@ -71,6 +71,35 @@ class RoundStats:
         self.peak_machine_memory_words = max(self.peak_machine_memory_words, machine_peak_words)
         self.peak_global_memory_words = max(self.peak_global_memory_words, global_words)
 
+    def since(self, round_index: int) -> "RoundStats":
+        """The suffix of this ledger starting at ``round_index``, re-indexed.
+
+        Used by multiplexers that keep one *persistent* sub-ledger per tenant
+        but fold per-superstep deltas into a shared ledger: record
+        ``num_rounds`` before the superstep, then fold ``since(mark)`` of
+        every tenant with :meth:`merge_parallel`.  The returned snapshot
+        carries this ledger's *current* memory high-water marks — co-resident
+        tenants occupy the fleet for the whole superstep, so the parallel
+        fold's sum-of-peaks semantics wants the lifetime peak, not a delta.
+        """
+        if round_index < 0:
+            raise ValueError("round_index must be non-negative")
+        delta = RoundStats()
+        for offset, record in enumerate(self.rounds[round_index:]):
+            delta.rounds.append(
+                RoundRecord(
+                    index=offset,
+                    label=record.label,
+                    words_sent=record.words_sent,
+                    max_machine_sent=record.max_machine_sent,
+                    max_machine_received=record.max_machine_received,
+                )
+            )
+            delta.rounds_by_label[record.label] += 1
+        delta.peak_machine_memory_words = self.peak_machine_memory_words
+        delta.peak_global_memory_words = self.peak_global_memory_words
+        return delta
+
     def merge_parallel(self, branches: "list[RoundStats]") -> int:
         """Fold sibling sub-ledgers in as *parallel* supersteps (in place).
 

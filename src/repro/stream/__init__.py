@@ -20,6 +20,9 @@ the bounded-outdegree orientation (and a proper coloring) must be
 * :mod:`repro.stream.service` — :class:`StreamingService`, the batch API that
   applies updates, charges them through :class:`~repro.mpc.cluster.MPCCluster`
   rounds, and reports per-batch metrics.
+* :mod:`repro.stream.engine` — :class:`StreamEngine`, the multi-tenant
+  multiplexer: N independent services on one shared executor + one shared
+  ledger, with ticks charged as parallel supersteps (max-over-tenants).
 * :mod:`repro.stream.workloads` — streaming trace generators (uniform churn,
   sliding window, densifying-core adversary) and the :class:`StreamWorkload`
   descriptions used by the experiment registry.
@@ -27,14 +30,18 @@ the bounded-outdegree orientation (and a proper coloring) must be
 
 from repro.stream.coloring import IncrementalColoring
 from repro.stream.dynamic_graph import DynamicGraph
+from repro.stream.engine import StreamEngine, TickReport
 from repro.stream.orientation import IncrementalOrientation
 from repro.stream.service import StreamingService
 from repro.stream.updates import BatchReport, EdgeUpdate, StreamSummary, UpdateBatch
 from repro.stream.workloads import (
+    MultiTenantWorkload,
     StreamTrace,
     StreamWorkload,
     densifying_core_trace,
     generate_trace,
+    multi_tenant_suite,
+    multi_tenant_traces,
     sliding_window_trace,
     stream_family_names,
     streaming_suite,
@@ -47,13 +54,18 @@ __all__ = [
     "EdgeUpdate",
     "IncrementalColoring",
     "IncrementalOrientation",
+    "MultiTenantWorkload",
+    "StreamEngine",
     "StreamSummary",
     "StreamTrace",
     "StreamWorkload",
     "StreamingService",
+    "TickReport",
     "UpdateBatch",
     "densifying_core_trace",
     "generate_trace",
+    "multi_tenant_suite",
+    "multi_tenant_traces",
     "sliding_window_trace",
     "stream_family_names",
     "streaming_suite",

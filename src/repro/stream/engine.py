@@ -1,0 +1,381 @@
+"""Multi-tenant streaming: N independent services multiplexed on one engine.
+
+A production deployment rarely serves one dynamic graph.  :class:`StreamEngine`
+hosts N independent :class:`~repro.stream.service.StreamingService` *tenants*
+on one shared :class:`~repro.engine.ParallelExecutor` and one shared
+:class:`~repro.mpc.cluster.MPCCluster` ledger:
+
+* **Isolation.**  Every tenant owns its full maintained state (dynamic
+  graph, orientation, coloring), a *persistent* sub-ledger — forked from the
+  shared cluster but provisioned for the tenant's own input
+  (``fork(config=MPCConfig.for_graph(initial))``) — and a seed derived from
+  its registration position (:func:`repro.engine.derive_seed`).  A tenant
+  therefore behaves byte-for-byte like a standalone service on its own
+  cluster with the same seed: identical per-batch reports, identical heads
+  and colors (pinned by ``tests/stream/test_stream_engine.py``).
+
+* **Ticks.**  Batches are queued per tenant with :meth:`StreamEngine.submit`;
+  :meth:`StreamEngine.tick` pops the head batch of every non-empty queue and
+  resolves them as parallel tasks on the shared executor (tenant states are
+  disjoint, so any in-process backend is safe; tenants repair their own
+  batches serially to keep the engine's pool the only one).  The shared
+  ledger charges each tick by folding the tenants' tick-delta sub-ledgers
+  with ``merge_parallel`` — **aggregate rounds = max over the tenants served
+  in the tick**, volume = sum, memory = sum of tenant peaks — while tenant
+  registration (the initial orientation build) folds sequentially, since
+  tenants register one after another.  See the charging-model docstring in
+  :mod:`repro.mpc.cluster`.
+
+* **Reporting.**  Per-tenant :class:`~repro.stream.updates.StreamSummary`
+  objects are the tenants' own (:meth:`tenant_summary`); the engine-level
+  :attr:`StreamEngine.summary` aggregates each tick into one synthetic
+  :class:`~repro.stream.updates.BatchReport` row — counters sum across the
+  tenants served, structure metrics (live edges, colors) sum across *all*
+  tenants, outdegree/cap take the max, and ``rounds`` is the tick's
+  max-over-tenants charge from the shared ledger.
+
+The CLI front-end is ``python -m repro stream-multi``; experiment S3 sweeps
+tenant counts through :func:`repro.experiments.streaming.run_multi_tenant_experiment`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.engine import IN_PROCESS, THREAD, ParallelExecutor, derive_seed
+from repro.errors import GraphError
+from repro.graph.graph import Graph
+from repro.mpc.cluster import MPCCluster
+from repro.mpc.config import MPCConfig
+from repro.stream.service import StreamingService
+from repro.stream.updates import BatchReport, StreamSummary, UpdateBatch
+
+
+def _apply_tenant_batch(service: StreamingService, batch: UpdateBatch) -> BatchReport:
+    """One tick task: apply one batch to one tenant (disjoint state)."""
+    return service.apply(batch)
+
+
+@dataclass
+class _Tenant:
+    """Book-keeping for one hosted tenant."""
+
+    name: str
+    service: StreamingService
+    queue: deque = field(default_factory=deque)
+    round_mark: int = 0
+    """Rounds of the tenant's sub-ledger already folded into the shared one."""
+
+
+@dataclass(frozen=True)
+class TickReport:
+    """What one engine tick did: one batch per served tenant, one parallel fold."""
+
+    tick_index: int
+    reports: dict[str, BatchReport]
+    rounds: int
+    """Rounds charged on the shared ledger for this tick (max over tenants)."""
+
+    @property
+    def num_tenants_served(self) -> int:
+        return len(self.reports)
+
+    @property
+    def sequential_rounds(self) -> int:
+        """What charging the served tenants one after another would have cost.
+
+        The regression quantity: ``rounds`` (the parallel fold) must never
+        exceed this, and is strictly below it whenever two served tenants
+        both charged rounds in the tick.
+        """
+        return sum(report.rounds for report in self.reports.values())
+
+
+class StreamEngine:
+    """Hosts N independent streaming tenants on one executor + one ledger.
+
+    Parameters
+    ----------
+    delta:
+        Memory exponent used for the shared cluster and every per-tenant
+        sub-ledger (when none is supplied).
+    seed:
+        Base seed; tenant ``i`` (registration order) receives
+        ``derive_seed(seed, i)`` unless :meth:`add_tenant` pins one.
+    workers:
+        Host-side parallelism across tenants within a tick (1 = serial).
+        Results are identical for any worker count.
+    executor:
+        Optional pre-built executor (overrides ``workers``).  Ticks run on
+        in-process backends only — tenant tasks mutate live tenant state —
+        so a process-backend executor degrades to the serial loop.
+    cluster:
+        Optional shared aggregate ledger; created from the first tenant's
+        input when omitted (its provisioning only matters for the fold
+        arithmetic, which is config-free).
+    """
+
+    def __init__(
+        self,
+        delta: float = 0.5,
+        seed: int = 0,
+        workers: int = 1,
+        executor: ParallelExecutor | None = None,
+        cluster: MPCCluster | None = None,
+    ) -> None:
+        self._delta = delta
+        self._seed = seed
+        self._owns_executor = executor is None
+        self._executor = (
+            executor
+            if executor is not None
+            else ParallelExecutor(workers=workers, backend=THREAD)
+        )
+        self.cluster = cluster
+        self._tenants: dict[str, _Tenant] = {}
+        self.summary = StreamSummary()
+        self.ticks: list[TickReport] = []
+
+    # ------------------------------------------------------------------ #
+    # Tenant management
+    # ------------------------------------------------------------------ #
+
+    def add_tenant(
+        self,
+        name: str,
+        initial: Graph,
+        seed: int | None = None,
+        flip_slack: int = 4,
+        quality_interval: int = 1024,
+        maintain_coloring: bool = True,
+        proactive_flips: bool = True,
+    ) -> StreamingService:
+        """Register a tenant and build its initial structures.
+
+        The tenant's sub-ledger is provisioned for ``initial`` (so its
+        per-batch charges match a standalone service exactly), and the
+        construction rounds — the initial Theorem 1.1 orientation build —
+        fold into the shared ledger immediately, sequentially: registrations
+        happen one after another, not in a tick.  Returns the tenant's
+        service (useful for direct inspection; mutate it only through the
+        engine).
+        """
+        if name in self._tenants:
+            raise GraphError(f"tenant {name!r} is already registered")
+        tenant_config = MPCConfig.for_graph(initial, delta=self._delta)
+        if self.cluster is None:
+            self.cluster = MPCCluster(tenant_config)
+        ledger = self.cluster.fork(config=tenant_config)
+        tenant_seed = (
+            seed if seed is not None else derive_seed(self._seed, len(self._tenants))
+        )
+        service = StreamingService(
+            initial,
+            delta=self._delta,
+            flip_slack=flip_slack,
+            quality_interval=quality_interval,
+            seed=tenant_seed,
+            cluster=ledger,
+            maintain_coloring=maintain_coloring,
+            workers=1,
+            proactive_flips=proactive_flips,
+        )
+        # A one-branch fold appends the construction rounds sequentially;
+        # merge_parallel never mutates its branches, so the ledger's own
+        # stats can be passed as-is (since() is only needed for tick deltas).
+        self.cluster.merge_parallel([ledger.stats])
+        self._tenants[name] = _Tenant(
+            name=name, service=service, round_mark=ledger.stats.num_rounds
+        )
+        # Co-residency holds from registration, not from the first tick: the
+        # one-branch fold above maxes memory, so re-observe the fleet-wide
+        # sum of tenant peaks (what every tick fold maintains thereafter).
+        tenants = self._tenants.values()
+        self.cluster.stats.observe_memory(
+            sum(t.service.cluster.stats.peak_machine_memory_words for t in tenants),
+            sum(t.service.cluster.stats.peak_global_memory_words for t in tenants),
+        )
+        return service
+
+    def tenant_names(self) -> tuple[str, ...]:
+        """Registered tenants, in registration order."""
+        return tuple(self._tenants)
+
+    def tenant_service(self, name: str) -> StreamingService:
+        """The tenant's service (raises :class:`GraphError` for unknown names)."""
+        return self._tenant(name).service
+
+    def tenant_summary(self, name: str) -> StreamSummary:
+        """The tenant's own per-batch summary (identical to a standalone run)."""
+        return self._tenant(name).service.summary
+
+    def _tenant(self, name: str) -> _Tenant:
+        tenant = self._tenants.get(name)
+        if tenant is None:
+            raise GraphError(
+                f"unknown tenant {name!r}; registered: {sorted(self._tenants)}"
+            )
+        return tenant
+
+    # ------------------------------------------------------------------ #
+    # Batch intake and ticks
+    # ------------------------------------------------------------------ #
+
+    def submit(self, name: str, batch: UpdateBatch) -> None:
+        """Queue one batch for a tenant (resolved by a later :meth:`tick`)."""
+        self._tenant(name).queue.append(batch)
+
+    def submit_all(self, name: str, batches) -> None:
+        """Queue a sequence of batches for a tenant, in order."""
+        self._tenant(name).queue.extend(batches)
+
+    def pending(self, name: str | None = None) -> int:
+        """Queued batches for one tenant, or across all tenants."""
+        if name is not None:
+            return len(self._tenant(name).queue)
+        return sum(len(tenant.queue) for tenant in self._tenants.values())
+
+    def tick(self) -> TickReport | None:
+        """Resolve the head batch of every non-empty queue as one superstep.
+
+        Served tenants run as parallel tasks on the shared executor; their
+        tick-delta sub-ledgers fold into the shared ledger as parallel
+        supersteps (rounds = max over tenants).  Returns the tick report, or
+        ``None`` when every queue is empty.
+
+        A tenant whose batch is illegal raises (like a standalone service
+        would) *after* the tick is made consistent: batches are peeked, not
+        popped, until they are known to have applied — a failed tenant's
+        batch stays queued and its state is untouched (per-batch atomicity
+        is the service's contract) — and the rounds the successful siblings
+        charged are folded and recorded as a (partial) tick before the
+        exception propagates, so nothing misattributes to a later tick.
+        """
+        served = [tenant for tenant in self._tenants.values() if tenant.queue]
+        if not served:
+            return None
+        applied_before = {
+            tenant.name: tenant.service.summary.num_batches for tenant in served
+        }
+        tasks = [(tenant.service, tenant.queue[0]) for tenant in served]
+        work = sum(len(batch) for _service, batch in tasks)
+        backend = self._executor.resolve_backend(len(tasks), work)
+        error: BaseException | None = None
+        try:
+            if backend in IN_PROCESS:
+                self._executor.map(
+                    _apply_tenant_batch, tasks, total_work=work, backend=backend
+                )
+            else:
+                # Tenant tasks mutate live tenant state: never ship them to
+                # worker processes; degrade to the (equivalent) serial loop.
+                for task in tasks:
+                    _apply_tenant_batch(*task)
+        except BaseException as exc:  # fold the partial tick, then re-raise
+            error = exc
+        applied = [
+            tenant
+            for tenant in served
+            if tenant.service.summary.num_batches > applied_before[tenant.name]
+        ]
+        for tenant in applied:
+            tenant.queue.popleft()
+
+        # Fold every tenant — not just the served ones.  An idle tenant's
+        # delta has zero rounds (its mark is current), so it cannot stretch
+        # the superstep, but its lifetime memory peaks still sum into the
+        # fold: co-resident tenants occupy the fleet whether or not they
+        # had a batch this tick (the charging model in repro.mpc.cluster).
+        deltas = []
+        for tenant in self._tenants.values():
+            stats = tenant.service.cluster.stats
+            deltas.append(stats.since(tenant.round_mark))
+            tenant.round_mark = stats.num_rounds
+        rounds = self.cluster.merge_parallel(deltas)
+
+        report_by_name = {
+            tenant.name: tenant.service.summary.reports[-1] for tenant in applied
+        }
+        tick_report = TickReport(
+            tick_index=len(self.ticks), reports=report_by_name, rounds=rounds
+        )
+        if applied or rounds:
+            self.ticks.append(tick_report)
+            self.summary.add(self._aggregate_report(tick_report))
+        if error is not None:
+            raise error
+        return tick_report
+
+    def run_until_drained(self, max_ticks: int | None = None) -> StreamSummary:
+        """Tick until every queue is empty; returns the aggregate summary."""
+        ticks = 0
+        while self.pending():
+            if max_ticks is not None and ticks >= max_ticks:
+                raise GraphError(
+                    f"{self.pending()} batches still queued after {max_ticks} ticks"
+                )
+            self.tick()
+            ticks += 1
+        return self.summary
+
+    def _aggregate_report(self, tick: TickReport) -> BatchReport:
+        """Fold one tick's tenant reports into a single engine-level row.
+
+        Per-batch counters sum over the tenants *served* this tick;
+        structure metrics describe the whole engine — live edges, journal
+        and colors sum over all tenants (disjoint graphs), outdegree and
+        cap take the max.  ``rounds`` is the shared ledger's max-over-tenants
+        charge, which is what makes the engine row differ from a plain sum.
+        """
+        reports = tick.reports.values()
+        services = [tenant.service for tenant in self._tenants.values()]
+        return BatchReport(
+            batch_index=tick.tick_index,
+            num_inserts=sum(r.num_inserts for r in reports),
+            num_deletes=sum(r.num_deletes for r in reports),
+            conflict_groups=sum(r.conflict_groups for r in reports),
+            parallel_groups=sum(r.parallel_groups for r in reports),
+            proactive_flips=sum(r.proactive_flips for r in reports),
+            flips=sum(r.flips for r in reports),
+            recolors=sum(r.recolors for r in reports),
+            rebuilds=sum(r.rebuilds for r in reports),
+            compactions=sum(r.compactions for r in reports),
+            rounds=tick.rounds,
+            num_edges=sum(s.dynamic.num_edges for s in services),
+            journal_size=sum(s.dynamic.journal_size for s in services),
+            max_outdegree=max(s.orientation.max_outdegree() for s in services),
+            outdegree_cap=max(s.orientation.outdegree_cap for s in services),
+            num_colors=sum(
+                s.coloring.num_colors() for s in services if s.coloring is not None
+            ),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Invariants / lifecycle
+    # ------------------------------------------------------------------ #
+
+    def verify(self) -> None:
+        """Run every tenant's invariant checks (raises on the first drift)."""
+        for tenant in self._tenants.values():
+            tenant.service.verify()
+
+    def close(self) -> None:
+        """Release the shared executor and every tenant's resources."""
+        for tenant in self._tenants.values():
+            tenant.service.close()
+        if self._owns_executor:
+            self._executor.close()
+
+    def __enter__(self) -> "StreamEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        rounds = self.cluster.stats.num_rounds if self.cluster is not None else 0
+        return (
+            f"StreamEngine(tenants={len(self._tenants)}, ticks={len(self.ticks)}, "
+            f"pending={self.pending()}, rounds={rounds})"
+        )

@@ -42,6 +42,18 @@ time in deterministic group order, *after* the conflict-free phase.  The
 final structure is identical for any worker count: the parallel phase's
 effects are vertex-disjoint (order-free), and everything order-sensitive is
 serial and deterministically ordered.
+
+Cap-safe groups run on **any** backend.  In-process backends (serial,
+thread) mutate the shared out-table directly through its disjoint slices;
+the process backend cannot (workers would mutate pickled copies), so each
+group ships as an explicit out-table *shard* — the slice of ``out[·]``
+covering exactly the group's vertices, a few tuples per group — to the
+module-level :func:`_apply_group_sharded`, and the returned shards are
+written back into the table.  Cap-safety proves the group's pointer work
+never leaves its vertex set, so the shard is closed under every read and
+write the group performs, and the write-back is conflict-free.  The
+determinism contract is unchanged: the sharded function replays the exact
+same tail rule (:func:`_choose_tail`) on the exact same degrees.
 """
 
 from __future__ import annotations
@@ -50,7 +62,7 @@ from collections import deque
 from collections.abc import Iterable, Sequence
 from dataclasses import dataclass
 
-from repro.engine import SERIAL, THREAD
+from repro.engine import IN_PROCESS, PROCESS
 from repro.errors import GraphError
 from repro.graph.arboricity import arboricity_upper_bound
 from repro.graph.graph import Graph, normalize_edge
@@ -90,6 +102,67 @@ def plan_conflict_groups(updates: Sequence) -> list[list[int]]:
     for index, update in enumerate(updates):
         groups.setdefault(find(update.u), []).append(index)
     return sorted(groups.values(), key=lambda group: group[0])
+
+
+def _choose_tail(u: int, v: int, outdeg_u: int, outdeg_v: int) -> int:
+    """The insertion rule: orient out of the smaller outdegree, ``u`` on ties.
+
+    One definition shared by ``insert``, the cap-safety precheck, and both
+    batch execution paths (in-process and sharded) — the safety proof of the
+    parallel phase requires the precheck and the execution to replay the
+    exact same decisions, so the rule must not be duplicated.  Module-level
+    so the process backend's sharded task can call it without shipping the
+    maintainer object.
+    """
+    return u if outdeg_u <= outdeg_v else v
+
+
+def _apply_group_sharded(
+    shard: dict[int, tuple[int, ...]],
+    group_updates: list,
+    cap: int,
+) -> tuple[dict[int, list[int]], list[int]]:
+    """Apply one cap-safe conflict group to its out-table shard (pure).
+
+    The process-backend twin of ``IncrementalOrientation._apply_group`` with
+    ``allow_repair=False``: ``shard`` maps every vertex the group touches to
+    its current out-heads, the updates are replayed against the shard alone,
+    and the mutated shard plus the freed tails (deletion order) ship back
+    for write-back.  Cap-safety was proved by the precheck, so an overflow —
+    or an insert/delete that does not match the shard — means the precheck
+    or the shard extraction is broken, and the task raises rather than
+    returning a corrupt shard.  Module-level and dependent only on its
+    arguments so ``ProcessPoolExecutor`` can pickle it by reference.
+    """
+    out = {vertex: set(heads) for vertex, heads in shard.items()}
+    freed: list[int] = []
+    for update in group_updates:
+        u, v = update.u, update.v
+        if update.is_insert:
+            if v in out[u] or u in out[v]:
+                raise GraphError(
+                    f"insert of already-oriented edge {normalize_edge(u, v)} "
+                    f"without a mid-batch rebuild: orientation drifted from "
+                    f"the live edge set"
+                )
+            tail = _choose_tail(u, v, len(out[u]), len(out[v]))
+            head = v if tail == u else u
+            out[tail].add(head)
+            if len(out[tail]) > cap:
+                raise GraphError(
+                    f"cap overflow at vertex {tail} inside a conflict-free "
+                    f"group — the safety precheck is broken"
+                )
+        else:
+            if v in out[u]:
+                out[u].discard(v)
+                freed.append(u)
+            elif u in out[v]:
+                out[v].discard(u)
+                freed.append(v)
+            else:
+                raise GraphError(f"edge {normalize_edge(u, v)} is not oriented")
+    return {vertex: sorted(heads) for vertex, heads in out.items()}, freed
 
 
 @dataclass(frozen=True)
@@ -212,15 +285,9 @@ class IncrementalOrientation:
     # Updates
     # ------------------------------------------------------------------ #
 
-    @staticmethod
-    def _choose_tail(u: int, v: int, outdeg_u: int, outdeg_v: int) -> int:
-        """The insertion rule: orient out of the smaller outdegree, ``u`` on
-        ties.  One definition shared by ``insert``, the cap-safety precheck,
-        and the batch execution path — the thread-safety proof of the
-        parallel phase requires the precheck and the execution to replay the
-        exact same decisions, so the rule must not be duplicated.
-        """
-        return u if outdeg_u <= outdeg_v else v
+    # The shared tail-selection rule (see the module-level function for why
+    # there is exactly one definition).
+    _choose_tail = staticmethod(_choose_tail)
 
     def insert(self, u: int, v: int) -> None:
         """Orient a newly inserted edge, flipping a path if the tail saturates."""
@@ -281,12 +348,14 @@ class IncrementalOrientation:
         dynamic graph already (the :class:`~repro.stream.service.StreamingService`
         sequences exactly that); this method only maintains the orientation.
         The batch is split by :func:`plan_conflict_groups`; groups whose
-        updates provably stay under the outdegree cap mutate disjoint
-        out-sets and run concurrently through ``executor`` (thread or serial
-        backend — the shared out-table rules out the process backend), while
-        groups that may need a flip path run serially afterwards in group
-        order.  Deferred proactive flips are swept serially at the end.  The
-        resulting structure is identical for any worker count.
+        updates provably stay under the outdegree cap run concurrently
+        through ``executor`` — in-process backends mutate the shared
+        out-table's disjoint slices directly, the process backend ships each
+        group's out-table shard to :func:`_apply_group_sharded` and writes
+        the returned shards back — while groups that may need a flip path
+        run serially afterwards in group order.  Deferred proactive flips
+        are swept serially at the end.  The resulting structure is identical
+        for any worker count and backend.
 
         A mid-batch Theorem 1.1 rebuild (saturated flip search in a serial
         group) re-orients the *final* batch state in one stroke — the
@@ -309,22 +378,43 @@ class IncrementalOrientation:
         rebuilds_before = self.rebuilds
         freed_by_group: dict[int, list[int]] = {}
         if safe:
-            tasks = [(grouped[position], False, rebuilds_before) for position in safe]
             work = sum(len(grouped[position]) for position in safe)
-            # The parallel phase mutates the shared out-table (disjoint
-            # slices), so only in-process backends apply; a process-backend
-            # executor degrades to the serial loop rather than silently
-            # mutating copies in worker processes.
-            if (
-                executor is not None
-                and len(safe) > 1
-                and executor.resolve_backend(len(safe), work) in (SERIAL, THREAD)
-            ):
-                freed_lists = executor.map(self._apply_group, tasks, total_work=work)
+            backend = (
+                executor.resolve_backend(len(safe), work)
+                if executor is not None and len(safe) > 1
+                else None
+            )
+            if backend == PROCESS:
+                # Out-table sharding: ship each group's slice of the table
+                # (cap-safety proves the group reads and writes nothing
+                # outside it) and write the returned shards back — disjoint
+                # vertex sets make the write-back conflict-free.
+                out = self._out
+                cap = self.outdegree_cap
+                tasks = []
+                for position in safe:
+                    group_updates = grouped[position]
+                    vertices = sorted(
+                        {update.u for update in group_updates}
+                        | {update.v for update in group_updates}
+                    )
+                    shard = {vertex: tuple(sorted(out[vertex])) for vertex in vertices}
+                    tasks.append((shard, group_updates, cap))
+                results = executor.map(_apply_group_sharded, tasks, total_work=work)
+                for position, (shard, freed) in zip(safe, results):
+                    for vertex, heads in shard.items():
+                        out[vertex] = set(heads)
+                    freed_by_group[position] = freed
             else:
-                freed_lists = [self._apply_group(*task) for task in tasks]
-            for position, freed in zip(safe, freed_lists):
-                freed_by_group[position] = freed
+                tasks = [(grouped[position], False, rebuilds_before) for position in safe]
+                if backend in IN_PROCESS:
+                    freed_lists = executor.map(
+                        self._apply_group, tasks, total_work=work, backend=backend
+                    )
+                else:
+                    freed_lists = [self._apply_group(*task) for task in tasks]
+                for position, freed in zip(safe, freed_lists):
+                    freed_by_group[position] = freed
         for position in unsafe:
             freed_by_group[position] = self._apply_group(
                 grouped[position], True, rebuilds_before

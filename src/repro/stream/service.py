@@ -18,8 +18,9 @@ MPC accounting (see :mod:`repro.mpc.cluster` for the model):
   executed that way too: the batch is split into vertex-disjoint conflict
   groups (:func:`repro.stream.orientation.plan_conflict_groups`) and the
   conflict-free groups resolve concurrently through the superstep engine
-  (``workers`` threads), with order-sensitive groups serialised
-  deterministically — results are identical for any worker count;
+  (``workers`` threads, or process workers via out-table sharding), with
+  order-sensitive groups serialised deterministically — results are
+  identical for any worker count and backend;
 * a quality-fallback rebuild runs the full Theorem 1.1 pipeline *against the
   service's cluster*, so its rounds land in the same ledger (labels
   ``stream:rebuild:*``);
@@ -71,11 +72,17 @@ class StreamingService:
         flip path).
     workers:
         Host-side parallelism for batch repair: conflict-free update groups
-        resolve concurrently on this many threads (1 = serial).  Results are
+        resolve concurrently on this many workers (1 = serial).  Results are
         identical for any worker count.
+    backend:
+        Engine backend for batch repair (default ``thread``).  In-process
+        backends mutate the shared out-table through disjoint slices; the
+        ``process`` backend routes cap-safe groups through out-table
+        sharding (see :mod:`repro.stream.orientation`) — same results,
+        worth it only when per-group repair work dwarfs the shard shipping.
     executor:
         Optional pre-built :class:`~repro.engine.ParallelExecutor`
-        (overrides ``workers``); must use an in-process backend.
+        (overrides ``workers`` and ``backend``); any backend works.
     proactive_flips:
         Forwarded to :class:`IncrementalOrientation`.
     """
@@ -90,6 +97,7 @@ class StreamingService:
         cluster: MPCCluster | None = None,
         maintain_coloring: bool = True,
         workers: int = 1,
+        backend: str = THREAD,
         executor: ParallelExecutor | None = None,
         proactive_flips: bool = True,
     ) -> None:
@@ -97,7 +105,9 @@ class StreamingService:
             cluster = MPCCluster(MPCConfig.for_graph(initial, delta=delta))
         self.cluster = cluster
         self._executor = (
-            executor if executor is not None else ParallelExecutor(workers=workers, backend=THREAD)
+            executor
+            if executor is not None
+            else ParallelExecutor(workers=workers, backend=backend)
         )
         self.dynamic = DynamicGraph(initial)
         self._account_graph_storage()

@@ -247,6 +247,64 @@ def generate_trace(family: str, num_vertices: int, seed: int = 0, **params) -> S
     return generator(num_vertices, seed=seed, **params)
 
 
+def multi_tenant_traces(
+    num_tenants: int = 4,
+    num_vertices: int = 256,
+    num_batches: int = 6,
+    batch_size: int = 120,
+    seed: int = 0,
+    families: tuple[str, ...] | None = None,
+) -> list[StreamTrace]:
+    """One independent trace per tenant, cycling through the adversary families.
+
+    The default cycle (churn, window, densifying core) gives a mixed fleet:
+    stationary tenants, deletion-heavy tenants exercising the rebuild-*down*
+    path, and a densifying tenant forcing Theorem 1.1 fallback rebuilds —
+    the rebuild-heavy mix the multi-tenant determinism suite runs.  Each
+    tenant's trace draws from its own seed (splitmix of ``(seed, index)``,
+    the same derivation the engine uses for tenant service seeds), so the
+    fleet is reproducible and tenants stay independent.  Trace names are
+    ``{family}-t{index}`` — unique even when families repeat.
+    """
+    from repro.engine import derive_seed  # engine has no stream imports (no cycle)
+
+    if num_tenants < 1:
+        raise GraphError("num_tenants must be at least 1")
+    cycle = (
+        tuple(families)
+        if families is not None
+        else ("uniform_churn", "sliding_window", "densifying_core")
+    )
+    if not cycle:
+        raise GraphError("families must name at least one trace family")
+    unknown = [family for family in cycle if family not in _FAMILIES]
+    if unknown:
+        raise GraphError(
+            f"unknown streaming families {unknown}; available: {stream_family_names()}"
+        )
+    traces: list[StreamTrace] = []
+    for index in range(num_tenants):
+        family = cycle[index % len(cycle)]
+        params: dict[str, object] = {
+            "num_batches": num_batches,
+            "batch_size": batch_size,
+        }
+        if family == "sliding_window":
+            max_edges = num_vertices * (num_vertices - 1) // 2
+            params["window"] = min(4 * batch_size, max(max_edges - batch_size, 1))
+        if family == "densifying_core":
+            params["core_size"] = max(2, min(32, num_vertices))
+        trace = generate_trace(
+            family, num_vertices, seed=derive_seed(seed, index) % (2**31), **params
+        )
+        traces.append(
+            StreamTrace(
+                name=f"{family}-t{index}", initial=trace.initial, batches=trace.batches
+            )
+        )
+    return traces
+
+
 @dataclass(frozen=True)
 class StreamWorkload:
     """A reproducible streaming instance description (registry-compatible)."""
@@ -268,6 +326,53 @@ class StreamWorkload:
         extras = ", ".join(f"{key}={value}" for key, value in self.params)
         suffix = f" ({extras})" if extras else ""
         return f"{self.family} n={self.num_vertices}{suffix}"
+
+
+@dataclass(frozen=True)
+class MultiTenantWorkload:
+    """A reproducible multi-tenant fleet description (registry-compatible).
+
+    Duck-types :class:`repro.experiments.workloads.Workload` like
+    :class:`StreamWorkload` does, but ``materialize()`` yields a *list* of
+    :class:`StreamTrace` objects — one per tenant — which the S3 runner
+    feeds to a :class:`~repro.stream.engine.StreamEngine`.
+    """
+
+    name: str
+    num_tenants: int
+    num_vertices: int
+    seed: int = 0
+    params: tuple[tuple[str, object], ...] = field(default_factory=tuple)
+    family: str = "multi_tenant"
+
+    def materialize(self) -> list[StreamTrace]:
+        """Generate the per-tenant traces described by this workload."""
+        return multi_tenant_traces(
+            num_tenants=self.num_tenants,
+            num_vertices=self.num_vertices,
+            seed=self.seed,
+            **dict(self.params),
+        )
+
+    def describe(self) -> str:
+        """One-line description for tables."""
+        extras = ", ".join(f"{key}={value}" for key, value in self.params)
+        suffix = f" ({extras})" if extras else ""
+        return f"{self.family} tenants={self.num_tenants} n={self.num_vertices}{suffix}"
+
+
+def multi_tenant_suite(seed: int = 0) -> list[MultiTenantWorkload]:
+    """The default multi-tenant sweep used by experiment S3."""
+    return [
+        MultiTenantWorkload(
+            name=f"multi-tenant-{tenants}x256",
+            num_tenants=tenants,
+            num_vertices=256,
+            seed=seed,
+            params=(("num_batches", 5), ("batch_size", 100)),
+        )
+        for tenants in (2, 4)
+    ]
 
 
 def streaming_suite(seed: int = 0) -> list[StreamWorkload]:

@@ -45,7 +45,7 @@ class TestWorkloads:
 class TestRegistry:
     def test_all_experiments_registered(self):
         ids = [spec.experiment_id for spec in all_experiments()]
-        assert ids == ["E1", "E2", "E3", "E4", "E5", "E6", "E7", "S1", "S2"]
+        assert ids == ["E1", "E2", "E3", "E4", "E5", "E6", "E7", "S1", "S2", "S3"]
 
     def test_every_experiment_has_workloads_and_columns(self):
         for spec in all_experiments():
@@ -59,7 +59,7 @@ class TestRegistry:
             get_experiment("E99")
 
     def test_runner_lookup_covers_harness_backed_experiments(self):
-        for experiment_id in ("E1", "E2", "E3", "S1", "S2"):
+        for experiment_id in ("E1", "E2", "E3", "S1", "S2", "S3"):
             assert callable(get_runner(experiment_id))
         with pytest.raises(KeyError, match="bench_e4"):
             get_runner("E4")
@@ -98,6 +98,73 @@ class TestHarness:
         assert data["proper"] == 1.0
         assert data["colors"] <= data["colors_bound"]
         assert data["degeneracy_colors"] <= data["colors"] + 10
+
+    def test_coloring_experiment_threads_workers_through(self, small_workload, monkeypatch):
+        """ISSUE 4 satellite: the E2 runner used to accept ``workers`` and
+        silently drop it; it must now reach ``color()``."""
+        import repro.experiments.harness as harness
+
+        captured = {}
+        original = harness.color
+
+        def spy(graph, **kwargs):
+            captured.update(kwargs)
+            return original(graph, **kwargs)
+
+        monkeypatch.setattr(harness, "color", spy)
+        run_coloring_experiment(small_workload, workers=3)
+        assert captured["workers"] == 3
+
+    def test_coloring_experiment_workers_change_path_not_result(self):
+        """With a large-λ workload the engine actually fans out (the
+        execution path changes), but the row is identical to serial."""
+        from repro.core.coloring import color
+        from repro.engine import PROCESS
+
+        workload = Workload(
+            name="dense",
+            family="planted_dense",
+            num_vertices=200,
+            seed=17,
+            params=(
+                ("community_size", 70),
+                ("community_probability", 0.7),
+                ("background_probability", 0.02),
+            ),
+        )
+        graph = workload.materialize()
+        reference = color(graph, seed=0)
+        assert reference.used_vertex_partitioning  # the fan-out branch runs
+        from repro.engine import ParallelExecutor
+
+        class RecordingExecutor(ParallelExecutor):
+            def __init__(self):
+                super().__init__(workers=2, backend=PROCESS)
+                self.calls = []
+
+            def map(self, fn, tasks, total_work=None, backend=None):
+                tasks = [tuple(args) for args in tasks]
+                self.calls.append(
+                    (len(tasks), self.resolve_backend(len(tasks), total_work, backend))
+                )
+                return super().map(fn, tasks, total_work=total_work, backend=backend)
+
+        recording = RecordingExecutor()
+        with recording:
+            parallel = color(graph, seed=0, executor=recording)
+        # workers>1 changed the path: the parts fanned out through the
+        # engine's process pool instead of the old sequential loop ...
+        assert len(recording.calls) == 1
+        num_tasks, backend = recording.calls[0]
+        assert num_tasks > 1
+        assert backend == PROCESS
+        # ... but not the result.
+        assert parallel.coloring.as_dict() == reference.coloring.as_dict()
+        assert parallel.rounds == reference.rounds
+
+        serial_row = run_coloring_experiment(workload, workers=1).as_dict()
+        parallel_row = run_coloring_experiment(workload, workers=4).as_dict()
+        assert serial_row == parallel_row
 
     def test_round_scaling_row(self, small_workload):
         row = run_round_scaling_experiment(small_workload)

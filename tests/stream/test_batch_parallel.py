@@ -6,7 +6,7 @@ import random
 
 import pytest
 
-from repro.engine import SERIAL, THREAD, ParallelExecutor
+from repro.engine import PROCESS, SERIAL, THREAD, ParallelExecutor
 from repro.graph.generators import union_of_random_forests
 from repro.graph.graph import Graph
 from repro.stream.dynamic_graph import DynamicGraph
@@ -164,6 +164,63 @@ class TestServiceDeterminism:
             service.verify()
             results.append(self._fingerprint(service))
         assert results[0] == results[1]
+
+    @pytest.mark.parametrize(
+        "make_trace",
+        [
+            lambda: uniform_churn_trace(192, num_batches=4, batch_size=150, seed=2),
+            lambda: densifying_core_trace(96, core_size=32, num_batches=5,
+                                          batch_size=100, seed=4),
+        ],
+        ids=["churn", "densify"],
+    )
+    def test_process_backend_matches_serial(self, make_trace):
+        """ISSUE 4: cap-safe groups run under the process backend via
+        out-table sharding with the exact same determinism contract."""
+
+        class RecordingExecutor(ParallelExecutor):
+            """Counts maps of the sharded task so the test proves the
+            process branch ran (``parallel_groups`` alone would stay
+            positive even if the branch degraded to the serial loop)."""
+
+            def __init__(self):
+                super().__init__(workers=4, backend=PROCESS)
+                self.sharded_maps = 0
+
+            def map(self, fn, tasks, total_work=None, backend=None):
+                tasks = [tuple(args) for args in tasks]
+                if fn.__name__ == "_apply_group_sharded":
+                    self.sharded_maps += 1
+                return super().map(fn, tasks, total_work=total_work, backend=backend)
+
+        trace = make_trace()
+        with StreamingService(trace.initial, seed=7) as serial_service:
+            serial_service.apply_all(trace.batches)
+            serial_service.verify()
+            expected = self._fingerprint(serial_service)
+
+        trace = make_trace()
+        recording = RecordingExecutor()
+        with StreamingService(trace.initial, seed=7, executor=recording) as service:
+            service.apply_all(trace.batches)
+            service.verify()
+            assert self._fingerprint(service) == expected
+            assert recording.sharded_maps > 0  # the sharded path actually ran
+
+    def test_sharded_group_apply_rejects_drift(self):
+        """The sharded twin raises on the same drift the in-process path
+        does, instead of returning a corrupt shard."""
+        from repro.errors import GraphError
+        from repro.stream.orientation import _apply_group_sharded
+
+        updates = UpdateBatch.from_ops([("+", 0, 1)]).updates
+        with pytest.raises(GraphError, match="drifted"):
+            _apply_group_sharded({0: (1,), 1: ()}, list(updates), cap=4)
+        deletes = UpdateBatch.from_ops([("-", 0, 1)]).updates
+        with pytest.raises(GraphError, match="not oriented"):
+            _apply_group_sharded({0: (), 1: ()}, list(deletes), cap=4)
+        with pytest.raises(GraphError, match="precheck is broken"):
+            _apply_group_sharded({0: (2, 3), 1: (4, 5)}, list(updates), cap=2)
 
     def test_parallel_groups_are_reported(self):
         trace = uniform_churn_trace(256, num_batches=3, batch_size=150, seed=8)

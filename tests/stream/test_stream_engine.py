@@ -1,0 +1,232 @@
+"""StreamEngine: multi-tenant isolation, round folds, and determinism.
+
+ISSUE 4 acceptance: an engine with N=4 tenants must report per-tenant
+summaries identical to running each tenant on its own
+:class:`~repro.stream.service.StreamingService` with the same seeds, while
+the aggregate ledger charges parallel ticks as max-over-tenants.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import derive_seed
+from repro.errors import GraphError
+from repro.graph.generators import union_of_random_forests
+from repro.graph.graph import Graph
+from repro.stream.engine import StreamEngine
+from repro.stream.service import StreamingService
+from repro.stream.updates import UpdateBatch
+from repro.stream.workloads import multi_tenant_traces, uniform_churn_trace
+
+
+def _fleet(num_tenants=4, num_vertices=128, num_batches=4, batch_size=60, seed=3):
+    return multi_tenant_traces(
+        num_tenants=num_tenants,
+        num_vertices=num_vertices,
+        num_batches=num_batches,
+        batch_size=batch_size,
+        seed=seed,
+    )
+
+
+def _run_engine(traces, seed=9, workers=1):
+    engine = StreamEngine(seed=seed, workers=workers)
+    for trace in traces:
+        engine.add_tenant(trace.name, trace.initial)
+        engine.submit_all(trace.name, trace.batches)
+    engine.run_until_drained()
+    engine.verify()
+    return engine
+
+
+def _report_rows(summary):
+    return [tuple(sorted(report.as_dict().items())) for report in summary.reports]
+
+
+def _tenant_fingerprint(service):
+    return (
+        tuple(tuple(sorted(out)) for out in service.orientation._out),
+        tuple(service.coloring._colors),
+        service.orientation.flips,
+        service.orientation.rebuilds,
+        service.cluster.stats.num_rounds,
+    )
+
+
+class TestTenantIsolation:
+    def test_per_tenant_summaries_match_standalone_services(self):
+        """The acceptance criterion: hosting on the engine changes nothing a
+        tenant can observe — same reports, same heads/colors, same rounds —
+        on a rebuild-heavy mixed fleet."""
+        traces = _fleet()
+        with _run_engine(traces, seed=9, workers=2) as engine:
+            assert sum(
+                engine.tenant_summary(name).total_rebuilds
+                for name in engine.tenant_names()
+            ) > 0  # the densifying tenant must exercise the rebuild path
+            for index, trace in enumerate(traces):
+                standalone = StreamingService(
+                    trace.initial, seed=derive_seed(9, index)
+                )
+                standalone.apply_all(trace.batches)
+                standalone.verify()
+                hosted = engine.tenant_service(trace.name)
+                assert _report_rows(engine.tenant_summary(trace.name)) == _report_rows(
+                    standalone.summary
+                )
+                assert _tenant_fingerprint(hosted) == _tenant_fingerprint(standalone)
+                standalone.close()
+
+    def test_unknown_and_duplicate_tenants_are_rejected(self):
+        with StreamEngine() as engine:
+            initial = union_of_random_forests(32, arboricity=2, seed=1)
+            engine.add_tenant("a", initial)
+            with pytest.raises(GraphError, match="already registered"):
+                engine.add_tenant("a", initial)
+            with pytest.raises(GraphError, match="unknown tenant"):
+                engine.submit("b", None)
+
+    def test_tenant_seeds_derive_from_registration_position(self):
+        traces = _fleet(num_tenants=2)
+        with _run_engine(traces, seed=31) as engine:
+            names = engine.tenant_names()
+            assert names == tuple(trace.name for trace in traces)
+            for index, name in enumerate(names):
+                expected = derive_seed(31, index)
+                assert engine.tenant_service(name).orientation._seed == expected
+
+
+class TestTickAccounting:
+    def test_tick_rounds_fold_as_max_over_tenants(self):
+        """Aggregate rounds for a tick = max over the served tenants' deltas;
+        the sequential sum is what the old one-after-another charge was."""
+        with _run_engine(_fleet(), seed=9) as engine:
+            assert engine.ticks
+            for tick in engine.ticks:
+                per_tenant = [report.rounds for report in tick.reports.values()]
+                assert tick.rounds == max(per_tenant)
+                assert tick.sequential_rounds == sum(per_tenant)
+                if len([rounds for rounds in per_tenant if rounds > 0]) > 1:
+                    assert tick.rounds < tick.sequential_rounds
+
+    def test_aggregate_summary_rows_mirror_ticks(self):
+        with _run_engine(_fleet(), seed=9) as engine:
+            assert engine.summary.num_batches == len(engine.ticks)
+            for tick, report in zip(engine.ticks, engine.summary.reports):
+                assert report.rounds == tick.rounds
+                assert report.num_inserts == sum(
+                    r.num_inserts for r in tick.reports.values()
+                )
+                assert report.flips == sum(r.flips for r in tick.reports.values())
+            # Structure metrics are engine-wide snapshots at tick time; the
+            # final row must describe the final fleet state.
+            final = engine.summary.final_report()
+            assert final.num_edges == sum(
+                engine.tenant_service(name).dynamic.num_edges
+                for name in engine.tenant_names()
+            )
+            assert final.max_outdegree == max(
+                engine.tenant_service(name).orientation.max_outdegree()
+                for name in engine.tenant_names()
+            )
+
+    def test_shared_ledger_covers_builds_plus_tick_folds(self):
+        """Tenant construction charges sequentially at registration; every
+        tick adds its max-over-tenants fold on top."""
+        traces = _fleet(num_tenants=2)
+        engine = StreamEngine(seed=9)
+        for trace in traces:
+            engine.add_tenant(trace.name, trace.initial)
+        build_rounds = engine.cluster.stats.num_rounds
+        assert build_rounds == sum(
+            engine.tenant_service(name).cluster.stats.num_rounds
+            for name in engine.tenant_names()
+        )
+        for trace in traces:
+            engine.submit_all(trace.name, trace.batches)
+        summary = engine.run_until_drained()
+        assert engine.cluster.stats.num_rounds == build_rounds + summary.total_rounds
+        engine.close()
+
+    def test_uneven_queues_serve_only_pending_tenants(self):
+        """A tick serves the tenants with queued batches; the others idle."""
+        trace = uniform_churn_trace(64, num_batches=2, batch_size=30, seed=2)
+        with StreamEngine(seed=5) as engine:
+            engine.add_tenant("busy", trace.initial)
+            engine.add_tenant("idle", union_of_random_forests(64, arboricity=2, seed=1))
+            engine.submit_all("busy", trace.batches)
+            first = engine.tick()
+            assert set(first.reports) == {"busy"}
+            assert engine.pending() == 1
+            assert engine.tick().num_tenants_served == 1
+            assert engine.tick() is None
+            assert engine.tenant_summary("idle").num_batches == 0
+
+    def test_failed_tenant_batch_leaves_the_engine_consistent(self):
+        """A tenant raising mid-tick must not corrupt the engine: its batch
+        stays queued (per-batch atomicity), siblings' applied batches are
+        consumed, and the rounds they charged fold into a recorded partial
+        tick instead of misattributing to the next one."""
+        trace = uniform_churn_trace(64, num_batches=1, batch_size=30, seed=2)
+        with StreamEngine(seed=5) as engine:
+            engine.add_tenant("good", trace.initial)
+            engine.add_tenant("bad", Graph(64))  # empty: every delete is dead
+            engine.submit_all("good", trace.batches)
+            engine.submit("bad", UpdateBatch.from_ops([("-", 0, 1)]))
+            rounds_before = engine.cluster.stats.num_rounds
+            with pytest.raises(GraphError, match="dead edge"):
+                engine.tick()
+            assert engine.pending("good") == 0
+            assert engine.pending("bad") == 1
+            assert engine.tenant_summary("good").num_batches == 1
+            assert engine.tenant_summary("bad").num_batches == 0
+            assert len(engine.ticks) == 1
+            assert set(engine.ticks[0].reports) == {"good"}
+            assert engine.cluster.stats.num_rounds > rounds_before
+            engine.verify()
+
+    def test_tick_memory_fold_sums_idle_tenants_too(self):
+        """Co-residency: a tick's memory fold sums every tenant's peaks —
+        tenants occupy the fleet whether or not they were served."""
+        trace = uniform_churn_trace(64, num_batches=1, batch_size=30, seed=2)
+        with StreamEngine(seed=5) as engine:
+            engine.add_tenant("busy", trace.initial)
+            engine.add_tenant("idle", union_of_random_forests(64, arboricity=2, seed=1))
+            engine.submit_all("busy", trace.batches)
+            engine.tick()
+            tenant_peaks = sum(
+                engine.tenant_service(name).cluster.stats.peak_global_memory_words
+                for name in engine.tenant_names()
+            )
+            assert engine.cluster.stats.peak_global_memory_words >= tenant_peaks
+
+    def test_run_until_drained_respects_max_ticks(self):
+        trace = uniform_churn_trace(64, num_batches=3, batch_size=20, seed=2)
+        with StreamEngine(seed=5) as engine:
+            engine.add_tenant("t", trace.initial)
+            engine.submit_all("t", trace.batches)
+            with pytest.raises(GraphError, match="still queued"):
+                engine.run_until_drained(max_ticks=1)
+
+
+class TestEngineDeterminism:
+    """ISSUE 4 satellite: same seed ⇒ byte-identical tenant structures and
+    aggregate rounds for any worker count, on a rebuild-heavy fleet."""
+
+    @staticmethod
+    def _engine_fingerprint(engine):
+        return tuple(
+            _tenant_fingerprint(engine.tenant_service(name))
+            for name in engine.tenant_names()
+        ) + (
+            engine.cluster.stats.num_rounds,
+            tuple(tick.rounds for tick in engine.ticks),
+        )
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_worker_counts_are_byte_identical(self, workers):
+        with _run_engine(_fleet(), seed=9, workers=1) as reference:
+            expected = self._engine_fingerprint(reference)
+        with _run_engine(_fleet(), seed=9, workers=workers) as engine:
+            assert self._engine_fingerprint(engine) == expected

@@ -114,6 +114,34 @@ class TestWorkersAndStream:
         assert out.startswith("# batch")
         assert len(out.strip().splitlines()) == 4  # header + 3 batch rows
 
+    def test_color_workers_do_not_change_the_output(self, graph_file, capsys):
+        path, _graph = graph_file
+        assert main(["color", str(path), "--quiet"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["color", str(path), "--quiet", "--workers", "4"]) == 0
+        assert capsys.readouterr().out == serial
+
+
+class TestStreamMulti:
+    def test_stream_multi_prints_one_row_per_tick(self, capsys):
+        assert main([
+            "stream-multi", "96", "--tenants", "3", "--batches", "3",
+            "--batch-size", "40", "--quiet", "--workers", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("# tick")
+        assert len(out.strip().splitlines()) == 4  # header + 3 tick rows
+
+    def test_stream_multi_summary_reports_the_round_fold(self, capsys):
+        assert main([
+            "stream-multi", "96", "--tenants", "2", "--batches", "2",
+            "--batch-size", "30",
+        ]) == 0
+        err = capsys.readouterr().err
+        assert "max-over-tenants" in err
+        assert "uniform_churn-t0" in err
+        assert "sliding_window-t1" in err
+
 
 class TestExperimentCommand:
     def test_experiment_e3_prints_the_table(self, capsys):
@@ -132,6 +160,12 @@ class TestExperimentCommand:
         content = out_path.read_text()
         assert content.startswith("### E3")
         assert "| workload |" in content
+
+    def test_experiment_s3_prints_the_table(self, capsys):
+        assert main(["experiment", "S3", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "round_savings" in out
+        assert "multi_tenant" in out
 
     def test_experiment_rejects_unrunnable_ids(self, capsys):
         with pytest.raises(SystemExit):
