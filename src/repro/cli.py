@@ -26,9 +26,12 @@ Commands
     Generate one trace per tenant (cycling the trace families), multiplex
     the fleet on one :class:`~repro.stream.engine.StreamEngine`, and print
     per-tick aggregate metrics (rounds charged as max-over-tenants) plus a
-    per-tenant summary.
+    per-tenant summary.  ``--policy`` picks the cross-tenant scheduler
+    (serve-all / top-k-backlog / deficit-round-robin), ``--round-budget``
+    caps each tick's scheduled work, and ``--quota`` puts a per-tenant
+    memory cap on every tenant's sub-ledger.
 ``experiment``
-    Run a registered experiment sweep (E1/E2/E3/S1/S2/S3) through its
+    Run a registered experiment sweep (E1/E2/E3/S1/S2/S3/S4) through its
     harness runner and print the result table (ASCII, or Markdown with
     ``--markdown``).
 
@@ -60,6 +63,7 @@ from repro.graph.io import (
     write_text,
 )
 from repro.stream.engine import StreamEngine
+from repro.stream.scheduler import POLICIES, make_planner
 from repro.stream.service import StreamingService
 from repro.stream.workloads import (
     generate_trace,
@@ -67,7 +71,7 @@ from repro.stream.workloads import (
     stream_family_names,
 )
 
-RUNNABLE_EXPERIMENTS = ("E1", "E2", "E3", "S1", "S2", "S3")
+RUNNABLE_EXPERIMENTS = ("E1", "E2", "E3", "S1", "S2", "S3", "S4")
 
 
 def _emit(content: str, output: str | None) -> None:
@@ -170,6 +174,36 @@ def build_parser() -> argparse.ArgumentParser:
     multi_parser.add_argument("--seed", type=int, default=0)
     multi_parser.add_argument(
         "--delta", type=float, default=0.5, help="memory exponent δ (default 0.5)"
+    )
+    multi_parser.add_argument(
+        "--policy",
+        choices=POLICIES,
+        default="serve-all",
+        help="cross-tenant scheduling policy (default serve-all)",
+    )
+    multi_parser.add_argument(
+        "--round-budget",
+        type=int,
+        default=None,
+        help="per-tick round budget for scheduled work (default: unbounded)",
+    )
+    multi_parser.add_argument(
+        "--topk",
+        type=int,
+        default=3,
+        help="K for --policy top-k-backlog (default 3)",
+    )
+    multi_parser.add_argument(
+        "--quantum",
+        type=int,
+        default=4,
+        help="per-tick round credit for --policy deficit-round-robin (default 4)",
+    )
+    multi_parser.add_argument(
+        "--quota",
+        type=int,
+        default=None,
+        help="per-tenant memory quota in words (default: uncapped)",
     )
     multi_parser.add_argument("--output", help="write the per-tick metrics to this file")
     multi_parser.add_argument(
@@ -284,20 +318,33 @@ def main(argv: Sequence[str] | None = None) -> int:
             batch_size=args.batch_size,
             seed=args.seed,
         )
-        with StreamEngine(delta=args.delta, seed=args.seed, workers=args.workers) as engine:
+        policy_options = {}
+        if args.policy == "top-k-backlog":
+            policy_options["k"] = args.topk
+        if args.policy == "deficit-round-robin":
+            policy_options["quantum"] = args.quantum
+        planner = make_planner(args.policy, **policy_options)
+        with StreamEngine(
+            delta=args.delta,
+            seed=args.seed,
+            workers=args.workers,
+            planner=planner,
+            round_budget=args.round_budget,
+        ) as engine:
             for trace in traces:
-                engine.add_tenant(trace.name, trace.initial)
+                engine.add_tenant(trace.name, trace.initial, memory_quota=args.quota)
                 engine.submit_all(trace.name, trace.batches)
             summary = engine.run_until_drained()
             engine.verify()
             header = (
-                "tick tenants inserts deletes flips rebuilds "
+                "tick served deferred backlog inserts deletes flips rebuilds "
                 "rounds rounds_sequential m max_outdegree colors"
             )
             lines = [f"# {header}"]
             for tick, report in zip(engine.ticks, summary.reports):
                 lines.append(
                     f"{tick.tick_index} {tick.num_tenants_served} "
+                    f"{tick.num_tenants_deferred} {tick.backlog_updates} "
                     f"{report.num_inserts} {report.num_deletes} {report.flips} "
                     f"{report.rebuilds} {tick.rounds} {tick.sequential_rounds} "
                     f"{report.num_edges} {report.max_outdegree} {report.num_colors}"
@@ -305,6 +352,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             _emit("\n".join(lines), args.output)
             parallel_rounds = summary.total_rounds
             sequential_rounds = sum(tick.sequential_rounds for tick in engine.ticks)
+            budget = "unbounded" if args.round_budget is None else args.round_budget
             tenant_lines = [
                 f"  {name}: updates={engine.tenant_summary(name).total_updates} "
                 f"flips={engine.tenant_summary(name).total_flips} "
@@ -316,6 +364,9 @@ def main(argv: Sequence[str] | None = None) -> int:
                 [
                     f"tenants: {args.tenants} (n={args.num_vertices} each), "
                     f"ticks: {len(engine.ticks)}, updates: {summary.total_updates}",
+                    f"policy: {args.policy}, round budget: {budget}, "
+                    f"served: {summary.total_served}, deferred: {summary.total_deferred}, "
+                    f"max backlog: {summary.max_backlog_updates} updates",
                     *tenant_lines,
                     f"tick rounds: {parallel_rounds} parallel (max-over-tenants) vs "
                     f"{sequential_rounds} sequential "

@@ -77,5 +77,26 @@ class GlobalMemoryExceeded(MPCModelError):
         )
 
 
+class QuotaExceededError(MPCModelError):
+    """A quota-capped sub-ledger (one tenant of a multiplexed service) exceeded
+    its provisioned memory quota.
+
+    Raised either *before* a batch is applied (the engine's projected-growth
+    admission check — the batch stays queued) or at fold time (the backstop:
+    a rebuild grew the tenant past its cap mid-batch).  Either way the tenant
+    is left internally consistent and quarantined; sibling tenants are
+    unaffected.
+    """
+
+    def __init__(self, used_words: int, quota_words: int, scope: str = "sub-ledger") -> None:
+        self.used_words = used_words
+        self.quota_words = quota_words
+        self.scope = scope
+        super().__init__(
+            f"{scope} needs {used_words} words, exceeding its memory quota "
+            f"of {quota_words} words"
+        )
+
+
 class SimulationError(ReproError):
     """Raised when the simulator is driven through an invalid sequence of calls."""

@@ -18,7 +18,7 @@ from repro.experiments.workloads import (
     standard_suite,
     union_forest_sweep,
 )
-from repro.stream.workloads import multi_tenant_suite, streaming_suite
+from repro.stream.workloads import multi_tenant_suite, scheduler_suite, streaming_suite
 
 
 @dataclass(frozen=True)
@@ -162,6 +162,14 @@ _REGISTRY: dict[str, ExperimentSpec] = {
         notes="Ticks fold tenant sub-ledgers with merge_parallel; round_savings = sequential-sum / parallel-max, approaching the tenant count on balanced fleets.",
         columns=("workload", "tenants", "ticks", "updates", "flips", "rebuilds", "rounds_parallel", "rounds_sequential", "round_savings", "max_outdegree", "colors", "proper"),
     ),
+    "S4": ExperimentSpec(
+        experiment_id="S4",
+        claim="Round-budgeted scheduling: top-k-backlog / deficit-round-robin keep per-tick folded rounds within the budget while conserving every update; tail latency and backlog trade against the budget",
+        bench_module="benchmarks/bench_s4_scheduler.py",
+        workloads=tuple(scheduler_suite(seed=11)),
+        notes="Skewed fleet (2 bursty, 6 steady); unserved tenants' batches carry over intact; served tenants stay byte-identical to standalone runs.",
+        columns=("workload", "tenants", "policy", "budget", "ticks", "updates", "served", "deferred", "max_backlog", "tail_latency", "rounds_parallel", "rounds_sequential", "budget_ok", "conserved", "proper"),
+    ),
     "S2": ExperimentSpec(
         experiment_id="S2",
         claim="Streaming batching: at a fixed update budget, amortised MPC rounds/update fall ~1/batch_size while maintained quality stays flat",
@@ -201,6 +209,7 @@ def get_runner(experiment_id: str):
     from repro.experiments.streaming import (
         run_batch_size_experiment,
         run_multi_tenant_experiment,
+        run_scheduler_experiment,
         run_streaming_experiment,
     )
 
@@ -211,6 +220,7 @@ def get_runner(experiment_id: str):
         "S1": run_streaming_experiment,
         "S2": run_batch_size_experiment,
         "S3": run_multi_tenant_experiment,
+        "S4": run_scheduler_experiment,
     }
     if experiment_id not in runners:
         raise KeyError(

@@ -88,6 +88,33 @@ any tick — its initial orientation build at registration — fold into the
 shared ledger right at registration instead: tenants register one after
 another, so construction is sequential (rounds add) and tick folds carry
 batch work only.
+
+**Budgeted ticks and quota-capped sub-ledgers** (PR 5).  Two scheduling
+controls refine the multi-tenant model without changing the fold arithmetic:
+
+* *Round budgets.*  A tick's folded charge is the max over the served
+  tenants, but the cluster's **work** for the tick is their sum (the
+  ``sequential_rounds`` quantity).  :mod:`repro.stream.scheduler` caps that
+  sum: a :class:`~repro.stream.scheduler.TickPlanner` admits tenants, in
+  policy order, while the sum of their *estimated* per-batch round costs
+  (:func:`~repro.stream.scheduler.estimate_batch_rounds`, an upper bound on
+  any rebuild-free batch delta) fits the budget; everyone else is deferred
+  with their batches carried over intact.  A tick that serves nobody (budget
+  exhausted, or no deficit-round-robin tenant eligible yet) folds an *empty*
+  superstep — zero rounds charged, memory co-residency still observed —
+  which :meth:`repro.mpc.metrics.RoundStats.merge_parallel` guarantees.
+* *Memory quotas.*  ``fork(config=..., memory_quota=Q)`` provisions a
+  tenant's persistent sub-ledger with a cap on its **global memory peak**
+  (the sum-of-peaks term the tenant contributes to every tick fold).
+  :meth:`MPCCluster.check_quota` raises
+  :class:`~repro.errors.QuotaExceededError` on breach, and
+  :meth:`MPCCluster.merge_parallel` runs the check on every branch that is a
+  quota-capped fork *before* folding — so a breach is detected at the fold
+  boundary, never silently absorbed into the parent's sum.  The engine
+  additionally rejects a batch *before* applying it when the projected
+  post-batch graph size would breach (keeping the offending batch intact in
+  its queue); the fold-time check is the backstop for growth an admission
+  estimate cannot see (e.g. a rebuild's working set).
 """
 
 from __future__ import annotations
@@ -95,7 +122,7 @@ from __future__ import annotations
 from collections.abc import Iterable, Mapping
 from typing import Optional
 
-from repro.errors import GlobalMemoryExceeded, SimulationError
+from repro.errors import GlobalMemoryExceeded, QuotaExceededError, SimulationError
 from repro.mpc.config import MPCConfig
 from repro.mpc.machine import Machine
 from repro.mpc.metrics import RoundStats
@@ -124,10 +151,14 @@ class MPCCluster:
         config: MPCConfig,
         enforce_limits: bool = True,
         enforce_global_memory: bool = False,
+        memory_quota: int | None = None,
     ) -> None:
+        if memory_quota is not None and memory_quota < 1:
+            raise SimulationError("memory_quota must be at least 1 word (or None)")
         self.config = config
         self.enforce_limits = enforce_limits
         self.enforce_global_memory = enforce_global_memory
+        self.memory_quota = memory_quota
         self.stats = RoundStats()
         self._machines: dict[int, Machine] = {}
         self._num_machines = config.num_machines()
@@ -314,7 +345,9 @@ class MPCCluster:
     # Sub-ledgers (parallel task fan-out; see repro.engine.ledger)
     # ------------------------------------------------------------------ #
 
-    def fork(self, config: MPCConfig | None = None) -> "MPCCluster":
+    def fork(
+        self, config: MPCConfig | None = None, memory_quota: int | None = None
+    ) -> "MPCCluster":
         """An empty child cluster with this cluster's provisioning.
 
         One parallel task records its rounds, communication, and storage into
@@ -330,12 +363,29 @@ class MPCCluster:
         standalone service on its own cluster, while the fold arithmetic
         (which never consults the config) still lands in this parent.
         Short-lived task forks keep the parent's config.
+
+        ``memory_quota`` caps the child's *global memory peak*
+        (:meth:`check_quota`); quotas are per-fork and never inherited —
+        the parent aggregates many tenants, so a tenant-sized cap would be
+        meaningless there.
         """
         return MPCCluster(
             self.config if config is None else config,
             enforce_limits=self.enforce_limits,
             enforce_global_memory=self.enforce_global_memory,
+            memory_quota=memory_quota,
         )
+
+    def check_quota(self) -> None:
+        """Raise :class:`~repro.errors.QuotaExceededError` when this ledger's
+        global memory peak exceeds its provisioned quota (no-op when uncapped)."""
+        if (
+            self.memory_quota is not None
+            and self.stats.peak_global_memory_words > self.memory_quota
+        ):
+            raise QuotaExceededError(
+                self.stats.peak_global_memory_words, self.memory_quota
+            )
 
     def merge_parallel(self, branches) -> int:
         """Fold sibling forks back in as parallel supersteps.
@@ -344,12 +394,19 @@ class MPCCluster:
         :class:`~repro.mpc.metrics.RoundStats` (what a worker process ships
         back).  Rounds fold as max-over-tasks, per-superstep volume as the
         sum, memory peaks as the sum — see the module docstring for the
-        charging model.  Returns the number of rounds charged.
+        charging model.  An empty fold (no branches, or only empty deltas)
+        charges zero rounds.  Quota-capped fork branches are checked
+        (:meth:`check_quota`) *before* anything is folded, so a breach
+        raises without half-merged state.  Returns the number of rounds
+        charged.
         """
+        branches = [branch for branch in branches if branch is not None]
+        for branch in branches:
+            if isinstance(branch, MPCCluster):
+                branch.check_quota()
         stats = [
             branch.stats if isinstance(branch, MPCCluster) else branch
             for branch in branches
-            if branch is not None
         ]
         return self.stats.merge_parallel(stats)
 

@@ -81,9 +81,20 @@ class RoundStats:
         carries this ledger's *current* memory high-water marks — co-resident
         tenants occupy the fleet for the whole superstep, so the parallel
         fold's sum-of-peaks semantics wants the lifetime peak, not a delta.
+
+        A mark taken at the current head (``round_index == num_rounds``, the
+        idle-tenant case) yields a zero-round delta that still carries the
+        peaks; a mark *beyond* the head can only come from a stale or
+        corrupted marker and raises rather than silently returning an empty
+        delta.
         """
         if round_index < 0:
             raise ValueError("round_index must be non-negative")
+        if round_index > len(self.rounds):
+            raise ValueError(
+                f"round mark {round_index} is beyond the ledger head "
+                f"({len(self.rounds)} rounds recorded)"
+            )
         delta = RoundStats()
         for offset, record in enumerate(self.rounds[round_index:]):
             delta.rounds.append(
@@ -116,6 +127,13 @@ class RoundStats:
         Memory folds as a **sum** of the branches' peaks — parallel tasks
         are co-resident on the same machine fleet (conservative: branches
         may peak at different times).  Returns the number of rounds charged.
+
+        **Empty folds charge zero rounds.**  A fold with no branches is a
+        no-op (no superstep ran, nothing is co-resident).  A fold whose
+        branches are all zero-round deltas — a budget-exhausted scheduler
+        tick where every tenant idled — likewise appends no rounds, but
+        still observes the branches' summed memory peaks: the tenants were
+        co-resident for the tick whether or not any of them was served.
         """
         branches = [branch for branch in branches if branch is not None]
         if not branches:

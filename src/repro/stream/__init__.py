@@ -23,6 +23,9 @@ the bounded-outdegree orientation (and a proper coloring) must be
 * :mod:`repro.stream.engine` — :class:`StreamEngine`, the multi-tenant
   multiplexer: N independent services on one shared executor + one shared
   ledger, with ticks charged as parallel supersteps (max-over-tenants).
+* :mod:`repro.stream.scheduler` — cross-tenant tick scheduling:
+  :class:`TickPlanner` policies (serve-all / top-k-backlog /
+  deficit-round-robin) admitting tenants under a per-tick round budget.
 * :mod:`repro.stream.workloads` — streaming trace generators (uniform churn,
   sliding window, densifying-core adversary) and the :class:`StreamWorkload`
   descriptions used by the experiment registry.
@@ -32,16 +35,30 @@ from repro.stream.coloring import IncrementalColoring
 from repro.stream.dynamic_graph import DynamicGraph
 from repro.stream.engine import StreamEngine, TickReport
 from repro.stream.orientation import IncrementalOrientation
+from repro.stream.scheduler import (
+    POLICIES,
+    DeficitRoundRobinPlanner,
+    ServeAllPlanner,
+    TenantLoad,
+    TickPlanner,
+    TopKBacklogPlanner,
+    estimate_batch_rounds,
+    make_planner,
+)
 from repro.stream.service import StreamingService
 from repro.stream.updates import BatchReport, EdgeUpdate, StreamSummary, UpdateBatch
 from repro.stream.workloads import (
     MultiTenantWorkload,
+    SchedulerWorkload,
     StreamTrace,
     StreamWorkload,
+    bursty_churn_trace,
     densifying_core_trace,
     generate_trace,
     multi_tenant_suite,
     multi_tenant_traces,
+    scheduler_suite,
+    skewed_tenant_traces,
     sliding_window_trace,
     stream_family_names,
     streaming_suite,
@@ -49,23 +66,35 @@ from repro.stream.workloads import (
 )
 
 __all__ = [
+    "POLICIES",
     "BatchReport",
+    "DeficitRoundRobinPlanner",
     "DynamicGraph",
     "EdgeUpdate",
     "IncrementalColoring",
     "IncrementalOrientation",
     "MultiTenantWorkload",
+    "SchedulerWorkload",
+    "ServeAllPlanner",
     "StreamEngine",
     "StreamSummary",
     "StreamTrace",
     "StreamWorkload",
     "StreamingService",
+    "TenantLoad",
+    "TickPlanner",
     "TickReport",
+    "TopKBacklogPlanner",
     "UpdateBatch",
+    "bursty_churn_trace",
     "densifying_core_trace",
+    "estimate_batch_rounds",
     "generate_trace",
+    "make_planner",
     "multi_tenant_suite",
     "multi_tenant_traces",
+    "scheduler_suite",
+    "skewed_tenant_traces",
     "sliding_window_trace",
     "stream_family_names",
     "streaming_suite",

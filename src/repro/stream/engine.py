@@ -15,16 +15,40 @@ on one shared :class:`~repro.engine.ParallelExecutor` and one shared
   and colors (pinned by ``tests/stream/test_stream_engine.py``).
 
 * **Ticks.**  Batches are queued per tenant with :meth:`StreamEngine.submit`;
-  :meth:`StreamEngine.tick` pops the head batch of every non-empty queue and
-  resolves them as parallel tasks on the shared executor (tenant states are
-  disjoint, so any in-process backend is safe; tenants repair their own
-  batches serially to keep the engine's pool the only one).  The shared
-  ledger charges each tick by folding the tenants' tick-delta sub-ledgers
-  with ``merge_parallel`` — **aggregate rounds = max over the tenants served
-  in the tick**, volume = sum, memory = sum of tenant peaks — while tenant
+  :meth:`StreamEngine.tick` serves the head batch of each *scheduled* tenant
+  as parallel tasks on the shared executor (tenant states are disjoint, so
+  any in-process backend is safe; tenants repair their own batches serially
+  to keep the engine's pool the only one).  The shared ledger charges each
+  tick by folding the tenants' tick-delta sub-ledgers with
+  ``merge_parallel`` — **aggregate rounds = max over the tenants served in
+  the tick**, volume = sum, memory = sum of tenant peaks — while tenant
   registration (the initial orientation build) folds sequentially, since
   tenants register one after another.  See the charging-model docstring in
   :mod:`repro.mpc.cluster`.
+
+* **Scheduling.**  Which backlogged tenants a tick serves is the
+  :class:`~repro.stream.scheduler.TickPlanner`'s decision (default:
+  ``serve-all``, every backlogged tenant — the original behaviour).  Under a
+  ``round_budget`` the planner admits tenants while the sum of their
+  estimated per-batch round costs fits the budget; everyone else is
+  *deferred* with their batches carried over intact, and a tick that serves
+  nobody (budget exhausted, or no deficit-round-robin tenant eligible yet)
+  folds an empty superstep — zero rounds charged.  Scheduling never changes
+  *what* a served tenant computes, only *when*: a tenant served under any
+  policy stays byte-identical to its standalone run.
+
+* **Memory quotas.**  ``add_tenant(..., memory_quota=Q)`` caps the tenant's
+  persistent sub-ledger at ``Q`` words of global memory.  Before a batch is
+  applied, the engine projects the post-batch graph size
+  (:meth:`~repro.stream.service.StreamingService.projected_memory_words`);
+  a projected breach raises :class:`~repro.errors.QuotaExceededError`
+  *without touching the tenant* — the batch stays queued, the tenant is
+  **quarantined** (never scheduled again, state frozen consistent), sibling
+  tenants are served normally, and the tick is recorded as partial.  A
+  fold-time ``check_quota`` backstop catches growth the projection cannot
+  see (rebuild working sets); in that rarer path the triggering batch has
+  already been applied, so the quarantined tenant is consistent but the
+  batch is consumed.
 
 * **Reporting.**  Per-tenant :class:`~repro.stream.updates.StreamSummary`
   objects are the tenants' own (:meth:`tenant_summary`); the engine-level
@@ -44,11 +68,18 @@ from collections import deque
 from dataclasses import dataclass, field
 
 from repro.engine import IN_PROCESS, THREAD, ParallelExecutor, derive_seed
-from repro.errors import GraphError
+from repro.errors import GraphError, QuotaExceededError
 from repro.graph.graph import Graph
 from repro.mpc.cluster import MPCCluster
 from repro.mpc.config import MPCConfig
-from repro.stream.service import StreamingService
+from repro.stream.scheduler import (
+    ServeAllPlanner,
+    TenantLoad,
+    TickPlanner,
+    estimate_batch_rounds,
+    make_planner,
+)
+from repro.stream.service import StreamingService, graph_memory_words
 from repro.stream.updates import BatchReport, StreamSummary, UpdateBatch
 
 
@@ -62,10 +93,17 @@ class _Tenant:
     """Book-keeping for one hosted tenant."""
 
     name: str
+    index: int
     service: StreamingService
     queue: deque = field(default_factory=deque)
     round_mark: int = 0
     """Rounds of the tenant's sub-ledger already folded into the shared one."""
+    quarantine: QuotaExceededError | None = None
+    """Set once the tenant breached its quota; quarantined tenants keep their
+    queue intact but are never scheduled again."""
+
+    def backlog_updates(self) -> int:
+        return sum(len(batch) for batch in self.queue)
 
 
 @dataclass(frozen=True)
@@ -76,10 +114,26 @@ class TickReport:
     reports: dict[str, BatchReport]
     rounds: int
     """Rounds charged on the shared ledger for this tick (max over tenants)."""
+    planned: tuple[str, ...] = ()
+    """Tenants the policy scheduled this tick, in policy order."""
+    deferred: tuple[str, ...] = ()
+    """Backlogged tenants the policy (or the budget) pushed to a later tick."""
+    quota_breached: tuple[str, ...] = ()
+    """Tenants quarantined this tick for breaching their memory quota."""
+    backlog_updates: int = 0
+    """Queued updates across schedulable tenants at the end of the tick."""
+    round_budget: int | None = None
+    planned_rounds: int = 0
+    """Sum of the planned tenants' estimated costs (≤ ``round_budget`` unless
+    a single head-of-line batch alone exceeds it — the progress guarantee)."""
 
     @property
     def num_tenants_served(self) -> int:
         return len(self.reports)
+
+    @property
+    def num_tenants_deferred(self) -> int:
+        return len(self.deferred)
 
     @property
     def sequential_rounds(self) -> int:
@@ -114,6 +168,15 @@ class StreamEngine:
         Optional shared aggregate ledger; created from the first tenant's
         input when omitted (its provisioning only matters for the fold
         arithmetic, which is config-free).
+    planner:
+        Tick scheduling policy — a :class:`~repro.stream.scheduler.TickPlanner`
+        instance or a policy name (``serve-all`` / ``top-k-backlog`` /
+        ``deficit-round-robin``).  Defaults to ``serve-all``, the original
+        every-backlogged-tenant behaviour.
+    round_budget:
+        Per-tick work budget: the planner admits tenants while the sum of
+        their estimated per-batch round costs fits it (``None`` = unbounded).
+        See :mod:`repro.stream.scheduler` for the admission contract.
     """
 
     def __init__(
@@ -123,6 +186,8 @@ class StreamEngine:
         workers: int = 1,
         executor: ParallelExecutor | None = None,
         cluster: MPCCluster | None = None,
+        planner: TickPlanner | str | None = None,
+        round_budget: int | None = None,
     ) -> None:
         self._delta = delta
         self._seed = seed
@@ -133,6 +198,12 @@ class StreamEngine:
             else ParallelExecutor(workers=workers, backend=THREAD)
         )
         self.cluster = cluster
+        if isinstance(planner, str):
+            planner = make_planner(planner)
+        self.planner = planner if planner is not None else ServeAllPlanner()
+        if round_budget is not None and round_budget < 1:
+            raise GraphError("round_budget must be at least 1 (or None to disable)")
+        self.round_budget = round_budget
         self._tenants: dict[str, _Tenant] = {}
         self.summary = StreamSummary()
         self.ticks: list[TickReport] = []
@@ -150,6 +221,7 @@ class StreamEngine:
         quality_interval: int = 1024,
         maintain_coloring: bool = True,
         proactive_flips: bool = True,
+        memory_quota: int | None = None,
     ) -> StreamingService:
         """Register a tenant and build its initial structures.
 
@@ -160,13 +232,25 @@ class StreamEngine:
         happen one after another, not in a tick.  Returns the tenant's
         service (useful for direct inspection; mutate it only through the
         engine).
+
+        ``memory_quota`` caps the tenant's sub-ledger at that many words of
+        global memory (see the module docstring).  Registration itself must
+        fit: a quota the initial graph (or the construction build's peak)
+        already exceeds raises :class:`~repro.errors.QuotaExceededError` and
+        leaves the tenant unregistered and the engine untouched.
         """
         if name in self._tenants:
             raise GraphError(f"tenant {name!r} is already registered")
+        initial_words = graph_memory_words(initial.num_vertices, initial.num_edges)
+        if memory_quota is not None and initial_words > memory_quota:
+            raise QuotaExceededError(
+                initial_words, memory_quota, scope=f"tenant {name!r} initial graph"
+            )
         tenant_config = MPCConfig.for_graph(initial, delta=self._delta)
-        if self.cluster is None:
+        created_cluster = self.cluster is None
+        if created_cluster:
             self.cluster = MPCCluster(tenant_config)
-        ledger = self.cluster.fork(config=tenant_config)
+        ledger = self.cluster.fork(config=tenant_config, memory_quota=memory_quota)
         tenant_seed = (
             seed if seed is not None else derive_seed(self._seed, len(self._tenants))
         )
@@ -181,12 +265,24 @@ class StreamEngine:
             workers=1,
             proactive_flips=proactive_flips,
         )
+        # The construction build's memory peak must fit the quota too; a
+        # breach here leaves the engine untouched (nothing folded yet, and a
+        # cluster provisioned from the rejected tenant is rolled back).
+        try:
+            ledger.check_quota()
+        except QuotaExceededError:
+            if created_cluster:
+                self.cluster = None
+            raise
         # A one-branch fold appends the construction rounds sequentially;
         # merge_parallel never mutates its branches, so the ledger's own
         # stats can be passed as-is (since() is only needed for tick deltas).
         self.cluster.merge_parallel([ledger.stats])
         self._tenants[name] = _Tenant(
-            name=name, service=service, round_mark=ledger.stats.num_rounds
+            name=name,
+            index=len(self._tenants),
+            service=service,
+            round_mark=ledger.stats.num_rounds,
         )
         # Co-residency holds from registration, not from the first tick: the
         # one-branch fold above maxes memory, so re-observe the fleet-wide
@@ -209,6 +305,14 @@ class StreamEngine:
     def tenant_summary(self, name: str) -> StreamSummary:
         """The tenant's own per-batch summary (identical to a standalone run)."""
         return self._tenant(name).service.summary
+
+    def quarantined(self) -> dict[str, QuotaExceededError]:
+        """Quarantined tenants and the quota breach that sidelined each."""
+        return {
+            tenant.name: tenant.quarantine
+            for tenant in self._tenants.values()
+            if tenant.quarantine is not None
+        }
 
     def _tenant(self, name: str) -> _Tenant:
         tenant = self._tenants.get(name)
@@ -236,13 +340,46 @@ class StreamEngine:
             return len(self._tenant(name).queue)
         return sum(len(tenant.queue) for tenant in self._tenants.values())
 
-    def tick(self) -> TickReport | None:
-        """Resolve the head batch of every non-empty queue as one superstep.
+    def _schedulable_pending(self) -> int:
+        """Queued batches across tenants the planner may still serve."""
+        return sum(
+            len(tenant.queue)
+            for tenant in self._tenants.values()
+            if tenant.quarantine is None
+        )
 
-        Served tenants run as parallel tasks on the shared executor; their
-        tick-delta sub-ledgers fold into the shared ledger as parallel
-        supersteps (rounds = max over tenants).  Returns the tick report, or
-        ``None`` when every queue is empty.
+    def _tenant_loads(self, candidates: "list[_Tenant]") -> list[TenantLoad]:
+        """Planner views of the backlogged tenants (estimates use each
+        tenant's own provisioning — that is what its ledger charges)."""
+        loads = []
+        for tenant in candidates:
+            head = tenant.queue[0]
+            loads.append(
+                TenantLoad(
+                    name=tenant.name,
+                    index=tenant.index,
+                    backlog_batches=len(tenant.queue),
+                    backlog_updates=tenant.backlog_updates(),
+                    head_updates=len(head),
+                    estimated_rounds=estimate_batch_rounds(
+                        len(head),
+                        tenant.service.cluster.words_per_machine,
+                        tenant.service.dynamic.min_compaction_journal,
+                    ),
+                )
+            )
+        return loads
+
+    def tick(self) -> TickReport | None:
+        """Serve the scheduled tenants' head batches as one superstep.
+
+        The planner picks which backlogged tenants the tick serves (under
+        ``round_budget``); the rest are deferred with their batches carried
+        over intact.  Served tenants run as parallel tasks on the shared
+        executor; their tick-delta sub-ledgers fold into the shared ledger
+        as parallel supersteps (rounds = max over tenants — zero when the
+        tick served nobody).  Returns the tick report, or ``None`` when no
+        schedulable tenant has queued batches.
 
         A tenant whose batch is illegal raises (like a standalone service
         would) *after* the tick is made consistent: batches are peeked, not
@@ -251,42 +388,102 @@ class StreamEngine:
         is the service's contract) — and the rounds the successful siblings
         charged are folded and recorded as a (partial) tick before the
         exception propagates, so nothing misattributes to a later tick.
+        Quota breaches follow the same shape: a scheduled tenant whose
+        projected post-batch size (or fold-time peak) exceeds its quota is
+        quarantined, the tick completes for its siblings, and the
+        :class:`~repro.errors.QuotaExceededError` propagates afterwards.
         """
-        served = [tenant for tenant in self._tenants.values() if tenant.queue]
-        if not served:
+        candidates = [
+            tenant
+            for tenant in self._tenants.values()
+            if tenant.queue and tenant.quarantine is None
+        ]
+        if not candidates:
             return None
+        loads = self._tenant_loads(candidates)
+        planned_names = list(self.planner.plan(loads, self.round_budget))
+        known = {tenant.name for tenant in candidates}
+        if len(set(planned_names)) != len(planned_names) or not set(
+            planned_names
+        ).issubset(known):
+            raise GraphError(
+                f"planner {self.planner!r} returned an invalid plan "
+                f"{planned_names!r} for candidates {sorted(known)}"
+            )
+        planned = [self._tenants[name] for name in planned_names]
+        deferred = tuple(
+            tenant.name for tenant in candidates if tenant.name not in set(planned_names)
+        )
+        estimates = {load.name: load.estimated_rounds for load in loads}
+
+        # Quota admission: project each scheduled tenant's post-batch size
+        # before any state or ledger is touched, so a breaching batch stays
+        # queued intact and the tenant is quarantined consistent.
+        quota_error: QuotaExceededError | None = None
+        breached: list[str] = []
+        admitted: list[_Tenant] = []
+        for tenant in planned:
+            quota = tenant.service.cluster.memory_quota
+            if quota is not None:
+                projected = tenant.service.projected_memory_words(tenant.queue[0])
+                if projected > quota:
+                    exc = QuotaExceededError(
+                        projected, quota, scope=f"tenant {tenant.name!r}"
+                    )
+                    tenant.quarantine = exc
+                    breached.append(tenant.name)
+                    if quota_error is None:
+                        quota_error = exc
+                    continue
+            admitted.append(tenant)
+
         applied_before = {
-            tenant.name: tenant.service.summary.num_batches for tenant in served
+            tenant.name: tenant.service.summary.num_batches for tenant in admitted
         }
-        tasks = [(tenant.service, tenant.queue[0]) for tenant in served]
-        work = sum(len(batch) for _service, batch in tasks)
-        backend = self._executor.resolve_backend(len(tasks), work)
+        tasks = [(tenant.service, tenant.queue[0]) for tenant in admitted]
         error: BaseException | None = None
-        try:
-            if backend in IN_PROCESS:
-                self._executor.map(
-                    _apply_tenant_batch, tasks, total_work=work, backend=backend
-                )
-            else:
-                # Tenant tasks mutate live tenant state: never ship them to
-                # worker processes; degrade to the (equivalent) serial loop.
-                for task in tasks:
-                    _apply_tenant_batch(*task)
-        except BaseException as exc:  # fold the partial tick, then re-raise
-            error = exc
+        if tasks:
+            work = sum(len(batch) for _service, batch in tasks)
+            backend = self._executor.resolve_backend(len(tasks), work)
+            try:
+                if backend in IN_PROCESS:
+                    self._executor.map(
+                        _apply_tenant_batch, tasks, total_work=work, backend=backend
+                    )
+                else:
+                    # Tenant tasks mutate live tenant state: never ship them
+                    # to worker processes; degrade to the serial loop.
+                    for task in tasks:
+                        _apply_tenant_batch(*task)
+            except BaseException as exc:  # fold the partial tick, then re-raise
+                error = exc
         applied = [
             tenant
-            for tenant in served
+            for tenant in admitted
             if tenant.service.summary.num_batches > applied_before[tenant.name]
         ]
         for tenant in applied:
             tenant.queue.popleft()
+
+        # Fold-time backstop: a rebuild's working set can outgrow the quota
+        # even though the projected graph size fit.  The batch is already
+        # applied (and consumed) in this path; the tenant stays consistent
+        # and is quarantined from here on.
+        for tenant in applied:
+            try:
+                tenant.service.cluster.check_quota()
+            except QuotaExceededError as exc:
+                tenant.quarantine = exc
+                breached.append(tenant.name)
+                if quota_error is None:
+                    quota_error = exc
 
         # Fold every tenant — not just the served ones.  An idle tenant's
         # delta has zero rounds (its mark is current), so it cannot stretch
         # the superstep, but its lifetime memory peaks still sum into the
         # fold: co-resident tenants occupy the fleet whether or not they
         # had a batch this tick (the charging model in repro.mpc.cluster).
+        # A tick that served nobody folds an empty superstep: zero rounds.
         deltas = []
         for tenant in self._tenants.values():
             stats = tenant.service.cluster.stats
@@ -298,22 +495,46 @@ class StreamEngine:
             tenant.name: tenant.service.summary.reports[-1] for tenant in applied
         }
         tick_report = TickReport(
-            tick_index=len(self.ticks), reports=report_by_name, rounds=rounds
+            tick_index=len(self.ticks),
+            reports=report_by_name,
+            rounds=rounds,
+            planned=tuple(planned_names),
+            deferred=deferred,
+            quota_breached=tuple(breached),
+            backlog_updates=sum(
+                tenant.backlog_updates()
+                for tenant in self._tenants.values()
+                if tenant.quarantine is None
+            ),
+            round_budget=self.round_budget,
+            planned_rounds=sum(estimates[name] for name in planned_names),
         )
-        if applied or rounds:
+        if applied or rounds or deferred or breached:
             self.ticks.append(tick_report)
             self.summary.add(self._aggregate_report(tick_report))
+        # Execution errors outrank quota breaches: a KeyboardInterrupt (or a
+        # sibling's GraphError) must never be swallowed by a concurrent
+        # quota event — quarantine state already records the breach.
         if error is not None:
             raise error
+        if quota_error is not None:
+            raise quota_error
         return tick_report
 
     def run_until_drained(self, max_ticks: int | None = None) -> StreamSummary:
-        """Tick until every queue is empty; returns the aggregate summary."""
+        """Tick until no schedulable batches remain; returns the summary.
+
+        Deferred tenants are retried on every tick (scheduling guarantees
+        eventual service), so the loop drains every non-quarantined queue;
+        quarantined tenants' queues are left intact.  Budget-exhausted ticks
+        that serve nobody still count toward ``max_ticks``.
+        """
         ticks = 0
-        while self.pending():
+        while self._schedulable_pending():
             if max_ticks is not None and ticks >= max_ticks:
                 raise GraphError(
-                    f"{self.pending()} batches still queued after {max_ticks} ticks"
+                    f"{self._schedulable_pending()} batches still queued "
+                    f"after {max_ticks} ticks"
                 )
             self.tick()
             ticks += 1
@@ -332,6 +553,10 @@ class StreamEngine:
         services = [tenant.service for tenant in self._tenants.values()]
         return BatchReport(
             batch_index=tick.tick_index,
+            tenants_served=tick.num_tenants_served,
+            tenants_deferred=tick.num_tenants_deferred,
+            backlog_updates=tick.backlog_updates,
+            quota_breaches=len(tick.quota_breached),
             num_inserts=sum(r.num_inserts for r in reports),
             num_deletes=sum(r.num_deletes for r in reports),
             conflict_groups=sum(r.conflict_groups for r in reports),
@@ -377,5 +602,6 @@ class StreamEngine:
         rounds = self.cluster.stats.num_rounds if self.cluster is not None else 0
         return (
             f"StreamEngine(tenants={len(self._tenants)}, ticks={len(self.ticks)}, "
-            f"pending={self.pending()}, rounds={rounds})"
+            f"pending={self.pending()}, rounds={rounds}, "
+            f"policy={self.planner.name!r}, budget={self.round_budget})"
         )

@@ -53,6 +53,18 @@ from repro.stream.orientation import IncrementalOrientation
 from repro.stream.updates import BatchReport, StreamSummary, UpdateBatch
 
 
+def graph_memory_words(num_vertices: int, num_edges: int) -> int:
+    """Ledger words of a live graph: 1 per vertex + 2 per edge.
+
+    The single source of truth for the storage model shared by batch-boundary
+    registration (:meth:`StreamingService._account_graph_storage`), quota
+    projection (:meth:`StreamingService.projected_memory_words`), and the
+    engine's registration-time quota admission — these three must agree or
+    quota checks drift from the ledger they cap.
+    """
+    return num_vertices + 2 * num_edges
+
+
 class StreamingService:
     """Applies update batches while maintaining orientation + coloring.
 
@@ -137,7 +149,7 @@ class StreamingService:
         checks) exactly like a static load of the same graph would.
         """
         self.cluster.release_tag_everywhere("stream-graph")
-        words = self.dynamic.num_vertices + 2 * self.dynamic.num_edges
+        words = graph_memory_words(self.dynamic.num_vertices, self.dynamic.num_edges)
         self.cluster.store_spread(words, tag="stream-graph")
 
     def _validate_batch(self, batch: UpdateBatch) -> None:
@@ -238,6 +250,25 @@ class StreamingService:
         )
         self.summary.add(report)
         return report
+
+    def projected_memory_words(self, batch: UpdateBatch) -> int:
+        """Global ledger words in use after ``batch`` would be applied.
+
+        The live graph is the only per-batch storage the service re-registers
+        (tag ``stream-graph``: ``n + 2m`` words), so the projection swaps the
+        current registration for the post-batch one while keeping every other
+        tag (rebuild residue, initial load) as-is.  Used by the engine's
+        quota admission: the check runs *before* any state or ledger mutation,
+        which is what lets a breaching batch stay queued intact.  Rebuild
+        working sets are invisible to this projection — the fold-time
+        :meth:`~repro.mpc.cluster.MPCCluster.check_quota` backstop covers
+        those.
+        """
+        graph_now = graph_memory_words(self.dynamic.num_vertices, self.dynamic.num_edges)
+        graph_after = graph_memory_words(
+            self.dynamic.num_vertices, self.dynamic.num_edges + batch.net_inserts
+        )
+        return self.cluster.global_memory_in_use() - graph_now + graph_after
 
     def apply_all(self, batches) -> StreamSummary:
         """Apply a sequence of batches; returns the aggregated summary."""

@@ -57,6 +57,15 @@ class UpdateBatch:
     def num_deletes(self) -> int:
         return len(self.updates) - self.num_inserts
 
+    @property
+    def net_inserts(self) -> int:
+        """Net live-edge growth this batch causes (inserts minus deletes).
+
+        The quantity the engine's quota admission projects: applying the
+        batch moves the live graph from ``m`` to ``m + net_inserts`` edges.
+        """
+        return 2 * self.num_inserts - len(self.updates)
+
     @classmethod
     def from_ops(cls, ops) -> "UpdateBatch":
         """Build from an iterable of ``(op, u, v)`` triples."""
@@ -72,6 +81,12 @@ class BatchReport:
     into and how many of them were cap-safe (resolved concurrently);
     ``proactive_flips`` counts deletion-triggered opportunistic flips (a
     subset of ``flips``).
+
+    The scheduling columns (``tenants_served`` / ``tenants_deferred`` /
+    ``backlog_updates`` / ``quota_breaches``) are populated only on
+    *engine-level* aggregate rows — one row per scheduler tick — and stay 0
+    on a standalone service's per-batch reports (a lone service serves
+    itself every batch).
     """
 
     batch_index: int
@@ -90,6 +105,10 @@ class BatchReport:
     conflict_groups: int = 0
     parallel_groups: int = 0
     proactive_flips: int = 0
+    tenants_served: int = 0
+    tenants_deferred: int = 0
+    backlog_updates: int = 0
+    quota_breaches: int = 0
 
     @property
     def num_updates(self) -> int:
@@ -119,6 +138,10 @@ class BatchReport:
             "conflict_groups": float(self.conflict_groups),
             "parallel_groups": float(self.parallel_groups),
             "proactive_flips": float(self.proactive_flips),
+            "served": float(self.tenants_served),
+            "deferred": float(self.tenants_deferred),
+            "backlog": float(self.backlog_updates),
+            "quota_breaches": float(self.quota_breaches),
         }
 
 
@@ -164,6 +187,25 @@ class StreamSummary:
         return sum(r.rounds for r in self.reports)
 
     @property
+    def total_served(self) -> int:
+        """Tenant-services across all ticks (engine-level summaries only)."""
+        return sum(r.tenants_served for r in self.reports)
+
+    @property
+    def total_deferred(self) -> int:
+        """Tenant-deferrals across all ticks (engine-level summaries only)."""
+        return sum(r.tenants_deferred for r in self.reports)
+
+    @property
+    def total_quota_breaches(self) -> int:
+        return sum(r.quota_breaches for r in self.reports)
+
+    @property
+    def max_backlog_updates(self) -> int:
+        """Largest end-of-tick backlog observed (engine-level summaries only)."""
+        return max((r.backlog_updates for r in self.reports), default=0)
+
+    @property
     def amortised_flips(self) -> float:
         """Flips per update across the whole trace."""
         return self.total_flips / max(self.total_updates, 1)
@@ -185,6 +227,10 @@ class StreamSummary:
             "proactive_flips": float(self.total_proactive_flips),
             "rounds": float(self.total_rounds),
             "amortised_flips": self.amortised_flips,
+            "served": float(self.total_served),
+            "deferred": float(self.total_deferred),
+            "quota_breaches": float(self.total_quota_breaches),
+            "max_backlog": float(self.max_backlog_updates),
         }
         if self.reports:
             final = self.final_report()

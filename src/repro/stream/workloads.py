@@ -16,6 +16,10 @@ about:
 * :func:`densifying_core_trace` — an adversary keeps inserting edges inside a
   small vertex core, driving ``λ`` up until the flip search saturates and the
   maintainer must fall back to the full static pipeline (rebuild-up path).
+* :func:`bursty_churn_trace` — stationary churn whose batch sizes alternate
+  quiet/burst, the traffic shape that makes multi-tenant backlogs diverge;
+  :func:`skewed_tenant_traces` builds the mixed bursty/steady fleets the
+  scheduler experiment (S4) serves.
 
 Every generator is deterministic given its seed.  :class:`StreamWorkload`
 mirrors :class:`repro.experiments.workloads.Workload` (name / family / size /
@@ -125,6 +129,41 @@ def uniform_churn_trace(
     )
 
 
+def bursty_churn_trace(
+    num_vertices: int,
+    arboricity: int = 3,
+    num_batches: int = 10,
+    batch_size: int = 200,
+    burst_factor: int = 4,
+    burst_period: int = 3,
+    seed: int = 0,
+) -> StreamTrace:
+    """Bursty churn: every ``burst_period``-th batch is ``burst_factor``× big.
+
+    Same balanced insert/delete churn as :func:`uniform_churn_trace`, but the
+    batch sizes alternate between quiet (``batch_size``) and burst
+    (``burst_factor · batch_size``) — the traffic shape that makes tenant
+    backlogs *diverge* on a shared engine, so scheduling policies actually
+    have something to decide.  The first batch of every period is the burst
+    (a fleet of bursty tenants starts loud, the scheduler's worst case).
+    """
+    if burst_factor < 1:
+        raise GraphError("burst_factor must be at least 1")
+    if burst_period < 1:
+        raise GraphError("burst_period must be at least 1")
+    base = union_of_random_forests(num_vertices, arboricity=arboricity, seed=seed)
+    rng = random.Random(seed + 0xB5B5)
+    live = _EdgeSampler(base.edges)
+    batches: list[UpdateBatch] = []
+    for index in range(num_batches):
+        size = batch_size * (burst_factor if index % burst_period == 0 else 1)
+        updates = [_churn_step(live, rng, num_vertices) for _ in range(size)]
+        batches.append(UpdateBatch(tuple(updates)))
+    return StreamTrace(
+        name=f"bursty-churn-{num_vertices}", initial=base, batches=tuple(batches)
+    )
+
+
 def sliding_window_trace(
     num_vertices: int,
     window: int = 512,
@@ -226,6 +265,7 @@ def densifying_core_trace(
 
 _FAMILIES = {
     "uniform_churn": uniform_churn_trace,
+    "bursty_churn": bursty_churn_trace,
     "sliding_window": sliding_window_trace,
     "densifying_core": densifying_core_trace,
 }
@@ -305,6 +345,65 @@ def multi_tenant_traces(
     return traces
 
 
+def skewed_tenant_traces(
+    num_tenants: int = 8,
+    num_vertices: int = 96,
+    num_bursty: int = 2,
+    num_batches: int = 4,
+    batch_size: int = 40,
+    burst_factor: int = 4,
+    burst_period: int = 2,
+    arboricity: int = 3,
+    seed: int = 0,
+) -> list[StreamTrace]:
+    """A skewed fleet: ``num_bursty`` bursty tenants among steady ones.
+
+    The first ``num_bursty`` tenants stream :func:`bursty_churn_trace`
+    traffic (their backlog in queued updates dwarfs the others'), the rest
+    stream steady :func:`uniform_churn_trace` batches of the base size —
+    the 2-bursty/6-steady fleet of the S4 acceptance scenario.  All traces
+    are pure churn (no window expiry, no densifying core), so no tenant
+    triggers fallback rebuilds and per-batch costs stay within the
+    scheduler's :func:`~repro.stream.scheduler.estimate_batch_rounds`
+    envelope — which is what makes budget guarantees exact.  Per-tenant
+    seeds derive from ``(seed, index)`` exactly like
+    :func:`multi_tenant_traces`.
+    """
+    from repro.engine import derive_seed  # engine has no stream imports (no cycle)
+
+    if num_tenants < 1:
+        raise GraphError("num_tenants must be at least 1")
+    if not 0 <= num_bursty <= num_tenants:
+        raise GraphError("num_bursty must be between 0 and num_tenants")
+    traces: list[StreamTrace] = []
+    for index in range(num_tenants):
+        tenant_seed = derive_seed(seed, index) % (2**31)
+        if index < num_bursty:
+            trace = bursty_churn_trace(
+                num_vertices,
+                arboricity=arboricity,
+                num_batches=num_batches,
+                batch_size=batch_size,
+                burst_factor=burst_factor,
+                burst_period=burst_period,
+                seed=tenant_seed,
+            )
+            name = f"bursty-t{index}"
+        else:
+            trace = uniform_churn_trace(
+                num_vertices,
+                arboricity=arboricity,
+                num_batches=num_batches,
+                batch_size=batch_size,
+                seed=tenant_seed,
+            )
+            name = f"steady-t{index}"
+        traces.append(
+            StreamTrace(name=name, initial=trace.initial, batches=trace.batches)
+        )
+    return traces
+
+
 @dataclass(frozen=True)
 class StreamWorkload:
     """A reproducible streaming instance description (registry-compatible)."""
@@ -361,6 +460,99 @@ class MultiTenantWorkload:
         return f"{self.family} tenants={self.num_tenants} n={self.num_vertices}{suffix}"
 
 
+@dataclass(frozen=True)
+class SchedulerWorkload:
+    """A reproducible scheduled-fleet description (registry-compatible).
+
+    Like :class:`MultiTenantWorkload` but the fleet is the skewed
+    bursty/steady mix of :func:`skewed_tenant_traces` and the description
+    carries the *scheduling configuration* — policy name, policy options,
+    round budget — that the S4 runner hands to the
+    :class:`~repro.stream.engine.StreamEngine`.
+    """
+
+    name: str
+    num_tenants: int
+    num_vertices: int
+    policy: str = "serve-all"
+    policy_options: tuple[tuple[str, object], ...] = field(default_factory=tuple)
+    round_budget: int | None = None
+    seed: int = 0
+    params: tuple[tuple[str, object], ...] = field(default_factory=tuple)
+    family: str = "scheduler"
+
+    def materialize(self) -> list[StreamTrace]:
+        """Generate the per-tenant traces described by this workload."""
+        return skewed_tenant_traces(
+            num_tenants=self.num_tenants,
+            num_vertices=self.num_vertices,
+            seed=self.seed,
+            **dict(self.params),
+        )
+
+    def make_planner(self):
+        """Fresh planner for one run (policies carry per-run state)."""
+        from repro.stream.scheduler import make_planner
+
+        return make_planner(self.policy, **dict(self.policy_options))
+
+    def describe(self) -> str:
+        """One-line description for tables."""
+        budget = "∞" if self.round_budget is None else str(self.round_budget)
+        extras = ", ".join(f"{key}={value}" for key, value in self.policy_options)
+        suffix = f" ({extras})" if extras else ""
+        return (
+            f"{self.policy}{suffix} budget={budget} "
+            f"tenants={self.num_tenants} n={self.num_vertices}"
+        )
+
+
+def scheduler_suite(seed: int = 0) -> list[SchedulerWorkload]:
+    """The default scheduling sweep used by experiment S4.
+
+    One fleet shape — 8 tenants (2 bursty, 6 steady) on 96 vertices — under
+    the three policies and two round budgets, so rows are directly
+    comparable: ``serve-all`` unbudgeted is the PR 4 baseline, the budgeted
+    rows show tail latency / backlog trading against the per-tick round cap.
+    """
+    fleet = dict(
+        num_tenants=8,
+        num_vertices=96,
+        seed=seed,
+        params=(
+            ("num_bursty", 2),
+            ("num_batches", 4),
+            ("batch_size", 40),
+            ("burst_factor", 4),
+            ("burst_period", 2),
+        ),
+    )
+    return [
+        SchedulerWorkload(name="serve-all-unbudgeted", policy="serve-all", **fleet),
+        SchedulerWorkload(
+            name="top3-backlog-b18",
+            policy="top-k-backlog",
+            policy_options=(("k", 3),),
+            round_budget=18,
+            **fleet,
+        ),
+        SchedulerWorkload(
+            name="drr-q4-b18",
+            policy="deficit-round-robin",
+            policy_options=(("quantum", 4),),
+            round_budget=18,
+            **fleet,
+        ),
+        SchedulerWorkload(
+            name="top3-backlog-b36",
+            policy="top-k-backlog",
+            policy_options=(("k", 3),),
+            round_budget=36,
+            **fleet,
+        ),
+    ]
+
+
 def multi_tenant_suite(seed: int = 0) -> list[MultiTenantWorkload]:
     """The default multi-tenant sweep used by experiment S3."""
     return [
@@ -384,6 +576,19 @@ def streaming_suite(seed: int = 0) -> list[StreamWorkload]:
             num_vertices=1024,
             seed=seed,
             params=(("arboricity", 3), ("num_batches", 8), ("batch_size", 200)),
+        ),
+        StreamWorkload(
+            name="bursty-churn-512",
+            family="bursty_churn",
+            num_vertices=512,
+            seed=seed,
+            params=(
+                ("arboricity", 3),
+                ("num_batches", 6),
+                ("batch_size", 150),
+                ("burst_factor", 3),
+                ("burst_period", 3),
+            ),
         ),
         StreamWorkload(
             name="sliding-window-1024",

@@ -45,7 +45,7 @@ class TestWorkloads:
 class TestRegistry:
     def test_all_experiments_registered(self):
         ids = [spec.experiment_id for spec in all_experiments()]
-        assert ids == ["E1", "E2", "E3", "E4", "E5", "E6", "E7", "S1", "S2", "S3"]
+        assert ids == ["E1", "E2", "E3", "E4", "E5", "E6", "E7", "S1", "S2", "S3", "S4"]
 
     def test_every_experiment_has_workloads_and_columns(self):
         for spec in all_experiments():

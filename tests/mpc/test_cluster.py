@@ -4,7 +4,12 @@ from __future__ import annotations
 
 import pytest
 
-from repro.errors import CommunicationLimitExceeded, GlobalMemoryExceeded, SimulationError
+from repro.errors import (
+    CommunicationLimitExceeded,
+    GlobalMemoryExceeded,
+    QuotaExceededError,
+    SimulationError,
+)
 from repro.graph import generators
 from repro.mpc.cluster import MPCCluster
 from repro.mpc.config import MPCConfig
@@ -168,3 +173,55 @@ class TestSnapshotAccounting:
         cluster.communication_round([(1, 2, 1)], label="exchange")
         assert cluster.stats.rounds_by_label == {"exchange": 2, "primitive": 3}
         assert cluster.snapshot()["rounds"] == 5.0
+
+
+class TestQuotaCappedForks:
+    """ISSUE 5: quota-aware fork + breach detection on fold."""
+
+    def test_fork_carries_its_quota_and_checks_it(self):
+        cluster = make_cluster()
+        fork = cluster.fork(memory_quota=100)
+        assert fork.memory_quota == 100
+        assert cluster.memory_quota is None  # never inherited
+        fork.store_spread(80, tag="t")
+        fork.check_quota()  # within quota: no-op
+        fork.store_spread(30, tag="t")
+        with pytest.raises(QuotaExceededError) as excinfo:
+            fork.check_quota()
+        assert excinfo.value.used_words == 110
+        assert excinfo.value.quota_words == 100
+
+    def test_merge_parallel_detects_the_breach_before_folding(self):
+        cluster = make_cluster()
+        ok = cluster.fork(memory_quota=100)
+        ok.store_spread(40, tag="t")
+        hog = cluster.fork(memory_quota=100)
+        hog.store_spread(140, tag="t")
+        rounds_before = cluster.stats.num_rounds
+        with pytest.raises(QuotaExceededError):
+            cluster.merge_parallel([ok, hog])
+        # Nothing half-merged: the breach fires before any fold arithmetic.
+        assert cluster.stats.num_rounds == rounds_before
+        assert cluster.stats.peak_global_memory_words == 0
+
+    def test_quota_breach_is_about_the_peak_not_the_current_use(self):
+        cluster = make_cluster()
+        fork = cluster.fork(memory_quota=100)
+        fork.store_spread(120, tag="t")
+        fork.release_tag_everywhere("t")
+        assert fork.global_memory_in_use() == 0
+        with pytest.raises(QuotaExceededError):
+            fork.check_quota()  # the high-water mark breached, release or not
+
+    def test_uncapped_forks_never_raise(self):
+        cluster = make_cluster()
+        fork = cluster.fork()
+        assert fork.memory_quota is None
+        fork.store_spread(10_000, tag="t")
+        fork.check_quota()
+        cluster.merge_parallel([fork])
+
+    def test_invalid_quota_is_rejected(self):
+        cluster = make_cluster()
+        with pytest.raises(SimulationError):
+            cluster.fork(memory_quota=0)

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import pytest
+
 from repro.mpc.metrics import RoundStats
 
 
@@ -90,3 +92,47 @@ class TestRoundStats:
         assert b.num_rounds == 1
         assert a.rounds_by_label == {"x": 1}
         assert merged.num_rounds == 3
+
+
+class TestEmptyParallelFolds:
+    """ISSUE 5 satellite: budget-exhausted scheduler ticks fold *empty*
+    supersteps — zero rounds charged, never a crash or a spurious round."""
+
+    def test_fold_with_no_branches_is_a_no_op(self):
+        stats = RoundStats()
+        stats.record_round("base", 1, 1, 1)
+        stats.observe_memory(5, 50)
+        assert stats.merge_parallel([]) == 0
+        assert stats.merge_parallel([None, None]) == 0
+        assert stats.num_rounds == 1
+        assert stats.peak_machine_memory_words == 5
+        assert stats.peak_global_memory_words == 50
+
+    def test_fold_of_all_empty_deltas_charges_zero_but_observes_memory(self):
+        stats = RoundStats()
+        idle_a, idle_b = RoundStats(), RoundStats()
+        idle_a.observe_memory(7, 70)
+        idle_b.observe_memory(3, 30)
+        assert stats.merge_parallel([idle_a, idle_b]) == 0
+        assert stats.num_rounds == 0
+        assert stats.rounds_by_label == {}
+        # Co-residency still observed: idle tenants occupy the fleet.
+        assert stats.peak_machine_memory_words == 10
+        assert stats.peak_global_memory_words == 100
+
+    def test_since_at_the_head_is_an_empty_delta_carrying_peaks(self):
+        stats = RoundStats()
+        stats.record_round("a", 4, 2, 2)
+        stats.observe_memory(9, 90)
+        delta = stats.since(stats.num_rounds)
+        assert delta.num_rounds == 0
+        assert delta.peak_machine_memory_words == 9
+        assert delta.peak_global_memory_words == 90
+
+    def test_since_beyond_the_head_raises(self):
+        stats = RoundStats()
+        stats.record_round("a", 1, 1, 1)
+        with pytest.raises(ValueError, match="beyond the ledger head"):
+            stats.since(2)
+        with pytest.raises(ValueError, match="non-negative"):
+            stats.since(-1)

@@ -1,0 +1,107 @@
+"""Cross-policy determinism matrix (ISSUE 5 satellite).
+
+Extends PR 3's determinism contract to the scheduler layer: same seed ⇒
+byte-identical per-tenant structures, tick schedule, and shared-ledger rounds
+across workers {1, 2, 4} × backends {serial, thread, process} × all three
+scheduling policies.  The engine degrades the process backend to its serial
+loop (tenant tasks mutate live state), which must also be byte-identical.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import PROCESS, SERIAL, THREAD, ParallelExecutor
+from repro.stream.engine import StreamEngine
+from repro.stream.scheduler import POLICIES, make_planner
+from repro.stream.workloads import skewed_tenant_traces
+
+SEED = 11
+BUDGET = 14
+
+
+def _fleet():
+    return skewed_tenant_traces(
+        num_tenants=3,
+        num_vertices=48,
+        num_bursty=1,
+        num_batches=2,
+        batch_size=20,
+        burst_factor=3,
+        burst_period=2,
+        seed=4,
+    )
+
+
+def _options(policy):
+    if policy == "top-k-backlog":
+        return {"k": 2}
+    if policy == "deficit-round-robin":
+        return {"quantum": 4}
+    return {}
+
+
+def _run(policy, executor=None):
+    engine = StreamEngine(
+        seed=SEED,
+        executor=executor,
+        planner=make_planner(policy, **_options(policy)),
+        round_budget=BUDGET,
+    )
+    for trace in _fleet():
+        engine.add_tenant(trace.name, trace.initial)
+        engine.submit_all(trace.name, trace.batches)
+    engine.run_until_drained(max_ticks=200)
+    engine.verify()
+    return engine
+
+
+def _fingerprint(engine):
+    tenants = tuple(
+        (
+            tuple(
+                tuple(sorted(out))
+                for out in engine.tenant_service(name).orientation._out
+            ),
+            tuple(engine.tenant_service(name).coloring._colors),
+            engine.tenant_service(name).cluster.stats.num_rounds,
+        )
+        for name in engine.tenant_names()
+    )
+    schedule = tuple(
+        (tick.planned, tick.deferred, tick.rounds) for tick in engine.ticks
+    )
+    return tenants + (schedule, engine.cluster.stats.num_rounds)
+
+
+@pytest.fixture(scope="module")
+def references():
+    cache = {}
+    for policy in POLICIES:
+        with _run(policy) as engine:
+            cache[policy] = _fingerprint(engine)
+    return cache
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+@pytest.mark.parametrize("backend", [SERIAL, THREAD, PROCESS])
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def test_matrix_is_byte_identical(references, policy, backend, workers):
+    executor = ParallelExecutor(workers=workers, backend=backend)
+    try:
+        with _run(policy, executor=executor) as engine:
+            assert _fingerprint(engine) == references[policy], (
+                f"{policy} diverged under backend={backend} workers={workers}"
+            )
+    finally:
+        executor.close()
+
+
+def test_policies_actually_schedule_differently():
+    """The matrix is only meaningful if the policies produce distinct
+    schedules on this fleet — guard against a degenerate configuration."""
+    schedules = {}
+    for policy in POLICIES:
+        with _run(policy) as engine:
+            schedules[policy] = tuple(tick.planned for tick in engine.ticks)
+    assert len(set(schedules.values())) > 1, schedules

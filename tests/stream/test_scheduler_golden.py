@@ -1,0 +1,106 @@
+"""Golden-ledger regression pins for the scheduler (ISSUE 5 satellite).
+
+One small deterministic scenario per policy, with the exact shared-ledger
+:class:`~repro.mpc.metrics.RoundStats` snapshot — round count, labelled
+primitives, memory peaks — and the tick-by-tick schedule pinned.  Any silent
+change to the charging model (delivery rounds, repair labels, fold
+arithmetic, admission order) fails these loudly; regenerate the constants
+only for an *intentional* model change, and say so in the commit.
+
+The fleet: 3 tenants (1 bursty, 2 steady) on 32 vertices, 2 batches of 12
+per tenant, seed 6.  Construction charges 2 ``peel:low-degree`` rounds per
+tenant; each served batch charges one ``stream:batch`` delivery round and
+one ``stream:recolor`` repair round (the traces are flip-free at this size).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.stream.engine import StreamEngine
+from repro.stream.scheduler import make_planner
+from repro.stream.workloads import skewed_tenant_traces
+
+GOLDEN = {
+    "serve-all": {
+        "options": {},
+        "round_budget": None,
+        "rounds": 10,
+        "labels": {"peel:low-degree": 6, "stream:batch": 2, "stream:recolor": 2},
+        "peak_machine": 4,
+        "peak_global": 648,
+        "ticks": [
+            (2, ("bursty-t0", "steady-t1", "steady-t2"), ()),
+            (2, ("bursty-t0", "steady-t1", "steady-t2"), ()),
+        ],
+    },
+    "top-k-backlog": {
+        "options": {"k": 2},
+        "round_budget": 10,
+        "rounds": 14,
+        "labels": {"peel:low-degree": 6, "stream:batch": 4, "stream:recolor": 4},
+        "peak_machine": 4,
+        "peak_global": 648,
+        "ticks": [
+            # Budget 10 affords the bursty head batch (estimate 6) but not a
+            # steady one (5) on top; later ticks pair the cheap batches.
+            (2, ("bursty-t0",), ("steady-t1", "steady-t2")),
+            (2, ("steady-t1", "steady-t2"), ("bursty-t0",)),
+            (2, ("bursty-t0", "steady-t1"), ("steady-t2",)),
+            (2, ("steady-t2",), ()),
+        ],
+    },
+    "deficit-round-robin": {
+        "options": {"quantum": 3},
+        "round_budget": 10,
+        "rounds": 14,
+        "labels": {"peel:low-degree": 6, "stream:batch": 4, "stream:recolor": 4},
+        "peak_machine": 4,
+        "peak_global": 648,
+        "ticks": [
+            # Warm-up: one quantum of credit covers no estimate yet — the
+            # tick serves nobody and folds an empty superstep (0 rounds).
+            (0, (), ("bursty-t0", "steady-t1", "steady-t2")),
+            (2, ("bursty-t0",), ("steady-t1", "steady-t2")),
+            (2, ("steady-t1", "steady-t2"), ("bursty-t0",)),
+            (2, ("bursty-t0", "steady-t1"), ("steady-t2",)),
+            (2, ("steady-t2",), ()),
+        ],
+    },
+}
+
+
+def _fleet():
+    return skewed_tenant_traces(
+        num_tenants=3,
+        num_vertices=32,
+        num_bursty=1,
+        num_batches=2,
+        batch_size=12,
+        burst_factor=2,
+        burst_period=2,
+        seed=2,
+    )
+
+
+@pytest.mark.parametrize("policy", sorted(GOLDEN))
+def test_golden_ledger_snapshot(policy):
+    golden = GOLDEN[policy]
+    with StreamEngine(
+        seed=6,
+        planner=make_planner(policy, **golden["options"]),
+        round_budget=golden["round_budget"],
+    ) as engine:
+        for trace in _fleet():
+            engine.add_tenant(trace.name, trace.initial)
+            engine.submit_all(trace.name, trace.batches)
+        engine.run_until_drained(max_ticks=100)
+        engine.verify()
+        stats = engine.cluster.stats
+        assert stats.num_rounds == golden["rounds"]
+        assert dict(stats.rounds_by_label) == golden["labels"]
+        assert stats.peak_machine_memory_words == golden["peak_machine"]
+        assert stats.peak_global_memory_words == golden["peak_global"]
+        assert [
+            (tick.rounds, tick.planned, tick.deferred) for tick in engine.ticks
+        ] == golden["ticks"]

@@ -11,7 +11,7 @@ from __future__ import annotations
 import pytest
 
 from repro.engine import derive_seed
-from repro.errors import GraphError
+from repro.errors import GraphError, QuotaExceededError
 from repro.graph.generators import union_of_random_forests
 from repro.graph.graph import Graph
 from repro.stream.engine import StreamEngine
@@ -208,6 +208,114 @@ class TestTickAccounting:
             engine.submit_all("t", trace.batches)
             with pytest.raises(GraphError, match="still queued"):
                 engine.run_until_drained(max_ticks=1)
+
+
+def _absent_edge_inserts(graph, count):
+    """A batch of ``count`` inserts of edges absent from ``graph``."""
+    ops = []
+    for u in range(graph.num_vertices):
+        for v in range(u + 1, graph.num_vertices):
+            if not graph.has_edge(u, v):
+                ops.append(("+", u, v))
+                if len(ops) == count:
+                    return UpdateBatch.from_ops(ops)
+    raise AssertionError("graph too dense to build the insert batch")
+
+
+class TestMemoryQuotas:
+    """ISSUE 5: tenant-level memory quotas on the shared ledger."""
+
+    @staticmethod
+    def _standalone_peaks(initial, seed):
+        """Build peak + steady-state words of a standalone service (the probe
+        that sizes quotas without hard-coding provisioning constants)."""
+        probe = StreamingService(initial, seed=seed)
+        peaks = (
+            probe.cluster.stats.peak_global_memory_words,
+            probe.cluster.global_memory_in_use(),
+        )
+        probe.close()
+        return peaks
+
+    def test_registration_rejects_a_quota_below_the_initial_graph(self):
+        initial = union_of_random_forests(48, arboricity=2, seed=3)
+        words = initial.num_vertices + 2 * initial.num_edges
+        with StreamEngine(seed=5) as engine:
+            with pytest.raises(QuotaExceededError, match="initial graph"):
+                engine.add_tenant("hog", initial, memory_quota=words - 1)
+            assert engine.tenant_names() == ()
+            assert engine.cluster is None  # nothing was provisioned
+
+    def test_registration_admits_a_quota_the_build_fits(self):
+        initial = union_of_random_forests(48, arboricity=2, seed=3)
+        build_peak, in_use = self._standalone_peaks(initial, derive_seed(5, 0))
+        with StreamEngine(seed=5) as engine:
+            service = engine.add_tenant(
+                "ok", initial, memory_quota=max(build_peak, in_use)
+            )
+            assert engine.tenant_names() == ("ok",)
+            assert service.cluster.memory_quota == max(build_peak, in_use)
+
+    def test_quota_breach_quarantines_the_tenant_and_spares_siblings(self):
+        """The acceptance scenario: the offending tenant is quarantined with
+        its batch re-queued intact, sibling tenants' results are unchanged,
+        and the tick is recorded as partial."""
+        hog_initial = union_of_random_forests(48, arboricity=1, seed=3)
+        trace = uniform_churn_trace(48, num_batches=2, batch_size=20, seed=2)
+        build_peak, in_use = self._standalone_peaks(hog_initial, derive_seed(5, 1))
+        quota = max(build_peak, in_use) + 20  # room for ≤10 net inserts
+        with StreamEngine(seed=5) as engine:
+            engine.add_tenant("good", trace.initial)
+            engine.add_tenant("hog", hog_initial, memory_quota=quota)
+            engine.submit_all("good", trace.batches)
+            hog_batch = _absent_edge_inserts(hog_initial, 30)  # +60 words
+            engine.submit("hog", hog_batch)
+
+            with pytest.raises(QuotaExceededError, match="tenant 'hog'"):
+                engine.tick()
+
+            # Offender: quarantined, batch intact, state untouched.
+            assert set(engine.quarantined()) == {"hog"}
+            assert engine.pending("hog") == 1
+            assert engine.tenant_summary("hog").num_batches == 0
+            assert engine.tenant_service("hog").dynamic.num_edges == (
+                hog_initial.num_edges
+            )
+            # Sibling: served in the same (partial) tick.
+            assert engine.tenant_summary("good").num_batches == 1
+            assert len(engine.ticks) == 1
+            assert engine.ticks[0].quota_breached == ("hog",)
+            assert set(engine.ticks[0].reports) == {"good"}
+            assert engine.summary.reports[-1].quota_breaches == 1
+
+            # Draining continues for the sibling; the hog's queue survives.
+            engine.run_until_drained(max_ticks=20)
+            assert engine.tenant_summary("good").num_batches == 2
+            assert engine.pending("hog") == 1
+            engine.verify()
+
+            # Sibling results are byte-identical to its standalone run.
+            standalone = StreamingService(trace.initial, seed=derive_seed(5, 0))
+            standalone.apply_all(trace.batches)
+            assert _tenant_fingerprint(engine.tenant_service("good")) == (
+                _tenant_fingerprint(standalone)
+            )
+            standalone.close()
+
+    def test_quota_fits_when_growth_stays_inside_the_cap(self):
+        """The same shape of batch passes when the quota leaves headroom —
+        the admission check is about growth, not about having a quota."""
+        initial = union_of_random_forests(48, arboricity=1, seed=3)
+        build_peak, in_use = self._standalone_peaks(initial, derive_seed(5, 0))
+        with StreamEngine(seed=5) as engine:
+            engine.add_tenant(
+                "ok", initial, memory_quota=max(build_peak, in_use) + 100
+            )
+            engine.submit("ok", _absent_edge_inserts(initial, 30))
+            engine.run_until_drained(max_ticks=5)
+            assert engine.quarantined() == {}
+            assert engine.tenant_summary("ok").num_batches == 1
+            engine.verify()
 
 
 class TestEngineDeterminism:

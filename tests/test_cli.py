@@ -139,8 +139,32 @@ class TestStreamMulti:
         ]) == 0
         err = capsys.readouterr().err
         assert "max-over-tenants" in err
+        assert "policy: serve-all, round budget: unbounded" in err
         assert "uniform_churn-t0" in err
         assert "sliding_window-t1" in err
+
+    def test_stream_multi_budgeted_policy_defers_tenants(self, capsys):
+        assert main([
+            "stream-multi", "96", "--tenants", "3", "--batches", "2",
+            "--batch-size", "30", "--policy", "top-k-backlog", "--topk", "1",
+            "--round-budget", "8",
+        ]) == 0
+        captured = capsys.readouterr()
+        assert captured.out.startswith("# tick served deferred backlog")
+        assert "policy: top-k-backlog, round budget: 8" in captured.err
+        # K=1 under a tight budget must defer somebody and stretch the drain.
+        rows = captured.out.strip().splitlines()[1:]
+        assert len(rows) > 2
+        assert any(int(row.split()[2]) > 0 for row in rows)
+
+    def test_stream_multi_quota_flag_caps_every_tenant(self, capsys):
+        from repro.errors import QuotaExceededError
+
+        with pytest.raises(QuotaExceededError):
+            main([
+                "stream-multi", "96", "--tenants", "2", "--batches", "2",
+                "--batch-size", "30", "--quota", "10", "--quiet",
+            ])
 
 
 class TestExperimentCommand:
