@@ -1,0 +1,51 @@
+"""Timestamped JSON snapshots of benchmark results.
+
+Every bench run that goes through :func:`write_snapshot` leaves one
+``BENCH_<name>_<UTC timestamp>.json`` file next to the benchmarks, so perf
+numbers can be compared across commits without scraping stdout.  The module
+is deliberately standalone (no pytest imports): bench ``main()`` entry
+points call it directly, and ``benchmarks/conftest.py`` re-exports it for
+pytest-driven runs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+
+
+def _available_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux hosts
+        return os.cpu_count() or 1
+
+
+def write_snapshot(name: str, results: dict, meta: dict | None = None) -> str:
+    """Write one ``BENCH_<name>_<timestamp>.json`` snapshot; returns its path.
+
+    ``results`` is the bench's flat metric dict (floats/ints/strings);
+    ``meta`` adds bench-specific context (workload sizes, worker counts).
+    Host facts (CPU count, Python version) are stamped automatically so a
+    snapshot is interpretable on its own.
+    """
+    stamp = time.strftime("%Y%m%dT%H%M%SZ", time.gmtime())
+    payload = {
+        "bench": name,
+        "timestamp_utc": stamp,
+        "host": {
+            "cpus": _available_cpus(),
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+        },
+        "meta": dict(meta or {}),
+        "results": dict(results),
+    }
+    directory = os.path.dirname(os.path.abspath(__file__))
+    path = os.path.join(directory, f"BENCH_{name}_{stamp}.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path

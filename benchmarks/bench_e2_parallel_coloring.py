@@ -1,9 +1,11 @@
 """Engine-backed Theorem 1.2 — parallel Lemma 2.2 vertex-partition coloring.
 
-The coloring twin of ``bench_engine_parallel.py`` (ISSUE 4): with 4 process
-workers, large-λ ``color()`` on a 100k-vertex workload must be **≥ 2× faster**
-than the serial path, with results (per-vertex colors, palette, rounds)
-byte-identical to ``workers=1``.
+The coloring twin of ``bench_engine_parallel.py``: with 4 process workers on
+the resident shared-memory pool, large-λ ``color()`` on a 100k-vertex
+workload must be **≥ 4× faster** end-to-end than the serial path, with
+results (per-vertex colors, palette, rounds) byte-identical to
+``workers=1``.  Each run writes one timestamped
+``BENCH_e2_parallel_coloring_*.json`` snapshot (see ``_bench_results.py``).
 
 Workload: a union of 10 random spanning forests on 100k vertices (m ≈ 1M,
 λ ≤ 10) pushed through the Lemma 2.2 branch with an explicit ``k = 160`` —
@@ -28,6 +30,7 @@ import time
 
 import pytest
 
+from _bench_results import write_snapshot
 from repro.core.coloring import color
 from repro.engine import PROCESS, ParallelExecutor
 from repro.graph.generators import union_of_random_forests
@@ -36,7 +39,7 @@ NUM_VERTICES = 100_000
 ARBORICITY = 10
 EXPLICIT_K = 160  # forces ⌈k / log2 n⌉ = 10 Lemma 2.2 parts at this scale
 WORKERS = 4
-COLOR_SPEEDUP_TARGET = 2.0
+COLOR_SPEEDUP_TARGET = 4.0
 
 SMOKE_NUM_VERTICES = 2_000
 SMOKE_ARBORICITY = 4
@@ -85,8 +88,19 @@ def run_coloring_benchmark(
     }
 
 
+def _meta(smoke: bool = False) -> dict:
+    return {
+        "num_vertices": SMOKE_NUM_VERTICES if smoke else NUM_VERTICES,
+        "arboricity": SMOKE_ARBORICITY if smoke else ARBORICITY,
+        "k": SMOKE_K if smoke else EXPLICIT_K,
+        "workers": WORKERS,
+        "smoke": smoke,
+    }
+
+
 def test_parallel_coloring_identical_and_faster():
     results = run_coloring_benchmark()
+    write_snapshot("e2_parallel_coloring", results, meta=_meta())
     assert results["identical"] == 1.0, results
     assert results["proper"] == 1.0, results
     # The engine fold, not the old sequential loop: reported rounds stay
@@ -123,6 +137,8 @@ def main(argv=None) -> int:
     width = max(len(key) for key in results)
     for key, value in results.items():
         print(f"  {key:<{width}}  {value:,.4f}")
+    path = write_snapshot("e2_parallel_coloring", results, meta=_meta(args.smoke))
+    print(f"  snapshot: {path}")
     ok = results["identical"] == 1.0 and results["proper"] == 1.0
     if args.smoke:
         print(f"  identity: {'PASS' if ok else 'FAIL'}")

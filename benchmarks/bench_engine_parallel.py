@@ -1,13 +1,17 @@
-"""Engine — parallel Lemma 2.1 orientation and batch-parallel flip repair.
+"""Engine — resident-pool Lemma 2.1 orientation and batch-parallel flip repair.
 
-The superstep engine's acceptance bar (ISSUE 3): with 4 process workers,
-large-λ ``orient()`` on a 100k-vertex dense workload must be **≥ 2× faster**
-than the serial path, with engine results (orientation heads, rounds)
-byte-identical to ``workers=1``.  The same module pins the batch-parallel
-flip-repair path of the streaming service against its serial counterpart —
-identical maintained state (heads, colors, rounds) for any worker count,
-with the wall-clock ratio reported (thread backend: the GIL bounds the
-speedup, so only identity is asserted).
+The worker pool's acceptance bars: with 4 process workers, large-λ
+``orient()`` on a 100k-vertex dense workload must be **≥ 4× faster** than
+the serial path end-to-end, with engine results (orientation heads, rounds)
+byte-identical to ``workers=1``; and the repeated-superstep microbench must
+show the resident shared-memory shards amortise the per-call fan-out cost
+**≥ 10×** against the old re-pickle-every-call path (measured as bytes
+shipped per superstep — deterministic, so it holds on any host; the
+wall-clock ratio is reported alongside).  The same module pins the
+batch-parallel flip-repair path of the streaming service against its serial
+counterpart — identical maintained state (heads, colors, rounds) for any
+worker count, with the wall-clock ratio reported (thread backend: the GIL
+bounds the speedup, so only identity is asserted).
 
 Workload: a union of 12 random spanning forests on 100k vertices
 (m ≈ 1.2M, λ ≤ 12) pushed through the Lemma 2.1 branch with an explicit
@@ -16,23 +20,30 @@ The explicit ``k`` pins the part count, so the serial/parallel comparison
 runs the exact same partition.
 
 Run directly (``python benchmarks/bench_engine_parallel.py``) for a table,
-or through pytest (``pytest benchmarks/bench_engine_parallel.py``).  The
-speedup assertion needs real cores and is skipped on hosts with fewer than
-4 CPUs (the identity assertions always run).  ``--smoke`` runs the identity
-checks only, on tiny instances — the CI benchmark-smoke job's mode.
+or through pytest (``pytest benchmarks/bench_engine_parallel.py``).  Either
+way each run writes one timestamped ``BENCH_engine_parallel_*.json``
+snapshot (see ``_bench_results.py``).  The speedup assertion needs real
+cores and is skipped on hosts with fewer than 4 CPUs (the identity and
+amortisation assertions always run).  ``--smoke`` runs the identity checks
+only, on tiny instances — the CI benchmark-smoke job's mode.
 """
 
 from __future__ import annotations
 
 import argparse
 import os
+import pickle
+import random
 import sys
 import time
 
 import pytest
 
+from _bench_results import write_snapshot
 from repro.core.orientation import orient
-from repro.engine import PROCESS, ParallelExecutor
+from repro.core.partitioning import random_edge_partition
+from repro.engine import PROCESS, ParallelExecutor, WorkerPool
+from repro.engine import shm
 from repro.graph.generators import union_of_random_forests
 from repro.stream.service import StreamingService
 from repro.stream.workloads import uniform_churn_trace
@@ -41,7 +52,9 @@ NUM_VERTICES = 100_000
 ARBORICITY = 12
 EXPLICIT_K = 256  # forces ⌈k / log2 n⌉ = 16 Lemma 2.1 parts at this scale
 WORKERS = 4
-ORIENT_SPEEDUP_TARGET = 2.0
+ORIENT_SPEEDUP_TARGET = 4.0
+AMORTIZATION_TARGET = 10.0
+AMORTIZATION_SUPERSTEPS = 8
 
 STREAM_BATCHES = 4
 STREAM_BATCH_SIZE = 2_000
@@ -99,6 +112,74 @@ def run_orientation_benchmark(
     }
 
 
+def _touch_shard_task(handle, index):
+    """Resident-path superstep task: read the part from shared memory."""
+    return shm.shard_graph(handle, index).num_edges
+
+
+def _touch_part_task(part):
+    """Re-pickle-path superstep task: the part itself travelled in the task."""
+    return part.num_edges
+
+
+def run_amortization_microbench(
+    num_vertices: int = NUM_VERTICES,
+    k: int = EXPLICIT_K,
+    supersteps: int = AMORTIZATION_SUPERSTEPS,
+) -> dict[str, float]:
+    """Repeated supersteps over one resident part set vs. re-pickling per call.
+
+    The quantity under test is the per-superstep fan-out cost.  The resident
+    path publishes the Lemma 2.1 parts once and ships ``(handle, index)``
+    descriptors every superstep; the re-pickle path (what the executor did
+    before the pool existed) ships every part in every task tuple.  Bytes
+    shipped per superstep is measured exactly (``pickle.dumps`` of the task
+    tuples — what ``ProcessPoolExecutor`` serialises); wall-clock for the
+    repeated supersteps is reported alongside, after one warm-up superstep
+    per path so pool startup is off the clock.
+    """
+    graph = _make_graph(num_vertices)
+    parts = [
+        part
+        for part in random_edge_partition(
+            graph, arboricity_bound=k, rng=random.Random(7)
+        ).parts
+        if part.num_edges
+    ]
+    expected = [part.num_edges for part in parts]
+    proto = pickle.HIGHEST_PROTOCOL
+    repickle_bytes = sum(len(pickle.dumps((part,), protocol=proto)) for part in parts)
+
+    with WorkerPool(workers=WORKERS, backend=PROCESS) as pool:
+        handle = pool.publish_edge_parts("amortize-parts", graph.num_vertices, parts)
+        tasks = [(handle, index) for index in range(len(parts))]
+        resident_bytes = sum(len(pickle.dumps(task, protocol=proto)) for task in tasks)
+        assert pool.map(_touch_shard_task, tasks, handles=(handle,)) == expected
+        start = time.perf_counter()
+        for _ in range(supersteps):
+            assert pool.map(_touch_shard_task, tasks, handles=(handle,)) == expected
+        resident_s = time.perf_counter() - start
+
+    with ParallelExecutor(workers=WORKERS, backend=PROCESS) as executor:
+        pickle_tasks = [(part,) for part in parts]
+        assert executor.map(_touch_part_task, pickle_tasks) == expected
+        start = time.perf_counter()
+        for _ in range(supersteps):
+            assert executor.map(_touch_part_task, pickle_tasks) == expected
+        repickle_s = time.perf_counter() - start
+
+    return {
+        "num_parts": float(len(parts)),
+        "supersteps": float(supersteps),
+        "repickle_bytes_per_superstep": float(repickle_bytes),
+        "resident_bytes_per_superstep": float(resident_bytes),
+        "shipping_amortization": repickle_bytes / resident_bytes,
+        "repickle_s": repickle_s,
+        "resident_s": resident_s,
+        "wall_clock_ratio": repickle_s / max(resident_s, 1e-9),
+    }
+
+
 def _stream_once(trace, workers):
     service = StreamingService(trace.initial, seed=0, workers=workers)
     start = time.perf_counter()
@@ -140,6 +221,7 @@ def run_repair_benchmark(
 
 def test_parallel_orientation_identical_and_faster():
     results = run_orientation_benchmark()
+    write_snapshot("engine_parallel_orient", results, meta=_meta())
     assert results["identical"] == 1.0, results
     if _available_cpus() < WORKERS:
         pytest.skip(
@@ -152,10 +234,28 @@ def test_parallel_orientation_identical_and_faster():
     )
 
 
+def test_resident_pool_amortizes_fanout_shipping():
+    """Ship-once beats ship-every-superstep ≥ 10× on bytes per call."""
+    results = run_amortization_microbench()
+    write_snapshot("engine_parallel_amortization", results, meta=_meta())
+    assert results["shipping_amortization"] >= AMORTIZATION_TARGET, results
+
+
 def test_batch_parallel_repair_identical():
     results = run_repair_benchmark()
+    write_snapshot("engine_parallel_repair", results, meta=_meta())
     assert results["identical"] == 1.0, results
     assert results["parallel_groups"] > 0  # the parallel phase actually ran
+
+
+def _meta(smoke: bool = False) -> dict:
+    return {
+        "num_vertices": SMOKE_NUM_VERTICES if smoke else NUM_VERTICES,
+        "arboricity": ARBORICITY,
+        "k": SMOKE_K if smoke else EXPLICIT_K,
+        "workers": WORKERS,
+        "smoke": smoke,
+    }
 
 
 def main(argv=None) -> int:
@@ -176,11 +276,18 @@ def main(argv=None) -> int:
         f"{' [smoke]' if args.smoke else ''}"
     )
     ok = True
+    snapshot: dict[str, float] = {}
+    amortization = run_amortization_microbench(n, k)
     for title, rows, target in (
         (
-            "large-λ orientation (process backend)",
+            "large-λ orientation (resident pool, process backend)",
             run_orientation_benchmark(n, k),
             ORIENT_SPEEDUP_TARGET,
+        ),
+        (
+            "repeated-superstep fan-out amortization",
+            amortization,
+            None,
         ),
         (
             "batch-parallel flip repair (thread backend)",
@@ -192,14 +299,26 @@ def main(argv=None) -> int:
         width = max(len(key) for key in rows)
         for key, value in rows.items():
             print(f"  {key:<{width}}  {value:,.4f}")
-        ok = ok and rows["identical"] == 1.0
-        if args.smoke:
-            print(f"  identity: {'PASS' if rows['identical'] == 1.0 else 'FAIL'}")
-        elif target is not None:
+        for key, value in rows.items():
+            snapshot[f"{title.split(' (')[0].replace(' ', '_')}:{key}"] = value
+        if "identical" in rows:
+            ok = ok and rows["identical"] == 1.0
+            if args.smoke:
+                print(f"  identity: {'PASS' if rows['identical'] == 1.0 else 'FAIL'}")
+        if not args.smoke and target is not None:
             verdict = "PASS" if rows["speedup"] >= target else "FAIL"
             if _available_cpus() < WORKERS:
                 verdict += f" n/a ({_available_cpus()} CPUs < {WORKERS})"
             print(f"  speedup target: {target}x -> {verdict}")
+    amortized = amortization["shipping_amortization"] >= AMORTIZATION_TARGET
+    ok = ok and amortized
+    print(
+        f"\n  shipping amortization target: {AMORTIZATION_TARGET}x -> "
+        f"{'PASS' if amortized else 'FAIL'} "
+        f"({amortization['shipping_amortization']:.1f}x)"
+    )
+    path = write_snapshot("engine_parallel", snapshot, meta=_meta(args.smoke))
+    print(f"  snapshot: {path}")
     return 0 if ok else 1
 
 

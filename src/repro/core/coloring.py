@@ -37,10 +37,11 @@ broadcast, charged as one ``palette-offsets`` round).  Results are
 byte-identical for any worker count and backend: the partition is fixed by
 the parent RNG before the fan-out, each part draws only from its own seed
 stream (:func:`repro.engine.derive_seed` by part position), and the offsets
-depend only on the fixed part order.  Cross-process shipping is lean — a
-part travels as its CSR edge columns plus the parent-id map
-(:meth:`repro.graph.graph.InducedSubgraph.__reduce__`), and the result ships
-back as flat ``array('l')`` color/layer columns instead of per-vertex dicts.
+depend only on the fixed part order.  Cross-process shipping is lean — the
+parts' CSR edge columns and parent-id maps are published *once* into the
+worker pool's shared-memory shard registry (:mod:`repro.engine.shm`), each
+task ships only a shard handle plus a slot index, and the result ships back
+as flat ``array('l')`` color/layer columns instead of per-vertex dicts.
 
 The output's color count is ``O(λ · log log n)`` — experiment E2 measures
 the realised constant.
@@ -56,7 +57,9 @@ from dataclasses import dataclass, field
 from repro.core.directed_expo import directed_reachability
 from repro.core.full_assignment import complete_layer_assignment
 from repro.core.partitioning import random_vertex_partition
-from repro.engine import ParallelExecutor, seed_stream
+from repro.engine import ParallelExecutor, WorkerPool, seed_stream
+from repro.engine import shm
+from repro.engine.shm import ShardHandle
 from repro.errors import ParameterError
 from repro.graph.arboricity import arboricity_upper_bound
 from repro.graph.coloring import Coloring
@@ -170,7 +173,8 @@ def _color_layered_graph(
 
 
 def _color_part_task(
-    part: InducedSubgraph,
+    handle: ShardHandle,
+    slot: int,
     k: int,
     delta: float,
     palette_slack: int,
@@ -180,12 +184,16 @@ def _color_part_task(
     """Layer and color one Lemma 2.2 part against its own sub-ledger.
 
     Module-level so the process backend can pickle it by reference.  The
-    part is colored with a palette-local base of 0 — the parent applies the
-    disjoint offset when folding — and the result travels as two flat
-    ``array('l')`` columns (color and layer per local vertex id) plus the
-    sub-ledger's stats: everything else (the HPartition object, the palette
-    dict) is rebuilt cheaply on the parent side.
+    part is *not* in the task tuple: it is read from the published CSR shard
+    segment (:func:`repro.engine.shm.shard_graph`) — zero-copy to the owner's
+    part object in-process, attached from shared memory (and cached per
+    generation) in workers.  The part is colored with a palette-local base of
+    0 — the parent applies the disjoint offset when folding — and the result
+    travels as two flat ``array('l')`` columns (color and layer per local
+    vertex id) plus the sub-ledger's stats: everything else (the HPartition
+    object, the palette dict) is rebuilt cheaply on the parent side.
     """
+    part = shm.shard_graph(handle, slot)
     run = complete_layer_assignment(part, k=k, delta=delta, cluster=ledger)
     hpartition = run.to_hpartition()
     out_degree = max(hpartition.max_out_degree(), 1)
@@ -215,6 +223,7 @@ def color(
     force_vertex_partitioning: bool | None = None,
     workers: int = 1,
     executor: ParallelExecutor | None = None,
+    pool: WorkerPool | None = None,
 ) -> ColoringRun:
     """Compute an ``O(λ log log n)``-coloring of ``graph`` (Theorem 1.2).
 
@@ -222,9 +231,12 @@ def color(
     is the constant in the per-part palette size ``palette_slack · d`` (the
     paper uses 3d).  ``workers`` fans the Lemma 2.2 vertex-partition parts of
     the large-λ branch out through a :class:`~repro.engine.ParallelExecutor`
-    (1 = serial; the round accounting is max-over-parts either way), and
+    (1 = serial; the round accounting is max-over-parts either way),
     ``executor`` overrides it with a pre-built executor pinning a specific
-    backend.  Results are byte-identical for any worker count and backend.
+    backend, and ``pool`` overrides both with a resident
+    :class:`~repro.engine.WorkerPool` — the parts are then published into
+    the pool's shard registry and each task ships only a handle and a slot
+    index.  Results are byte-identical for any worker count and backend.
     """
     if graph.num_vertices == 0:
         empty = Coloring(graph, {})
@@ -307,21 +319,27 @@ def color(
         for index, part in enumerate(vertex_partition.parts)
         if part.num_vertices
     ]
-    owns_executor = executor is None
-    if owns_executor:
-        executor = ParallelExecutor(workers=workers)
+    owns_pool = pool is None
+    if owns_pool:
+        # A borrowed executor is wrapped (not owned): closing the transient
+        # pool unlinks its segments but leaves the caller's workers resident.
+        pool = WorkerPool(workers=workers, executor=executor)
     try:
-        results = executor.map(
+        handle = pool.publish_vertex_parts(
+            "color-parts", [part for _index, part in nonempty]
+        )
+        results = pool.map(
             _color_part_task,
             [
-                (part, per_part_k, delta, palette_slack, part_seeds[index], cluster.fork())
-                for index, part in nonempty
+                (handle, slot, per_part_k, delta, palette_slack, part_seeds[index], cluster.fork())
+                for slot, (index, _part) in enumerate(nonempty)
             ],
             total_work=vertex_partition.total_edges + graph.num_vertices,
+            handles=(handle,),
         )
     finally:
-        if owns_executor:
-            executor.close()
+        if owns_pool:
+            pool.close()
 
     cluster.merge_parallel([stats for *_rest, stats in results])
     # Disjoint palette offsets: part i's colors shift by the total palette

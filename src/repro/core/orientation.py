@@ -15,11 +15,14 @@ Pipeline (see the proof of Theorem 1.1):
 
 The Lemma 2.1 parts are *independent*: the paper orients them simultaneously
 on the shared cluster, so their layering rounds coincide rather than add.
-The large-λ branch therefore fans the parts out through the superstep engine
-(:class:`repro.engine.ParallelExecutor`) — each part runs against its own
-sub-ledger (:meth:`repro.mpc.cluster.MPCCluster.fork`) and the fold charges
-rounds as max-over-parts — and combines the part orientations as a balanced
-merge tree, charging ``⌈log2 L⌉`` extra rounds (label ``merge-orientations``).
+The large-λ branch therefore fans the parts out through the worker pool
+(:class:`repro.engine.WorkerPool`): the parts' CSR columns are published
+once into the pool's shared-memory shard registry (:mod:`repro.engine.shm`)
+and each task ships only a shard handle plus a part index.  Each part runs
+against its own sub-ledger (:meth:`repro.mpc.cluster.MPCCluster.fork`), the
+fold charges rounds as max-over-parts, and the part orientations combine as
+a balanced merge tree, charging ``⌈log2 L⌉`` extra rounds (label
+``merge-orientations``).
 Results are identical for any worker count and backend: the parts are fixed
 by the partition RNG before the fan-out and each part's layering pipeline is
 deterministic.
@@ -36,7 +39,9 @@ from dataclasses import dataclass, field
 
 from repro.core.full_assignment import LayerAssignmentRun, complete_layer_assignment
 from repro.core.partitioning import random_edge_partition
-from repro.engine import ParallelExecutor
+from repro.engine import ParallelExecutor, WorkerPool
+from repro.engine import shm
+from repro.engine.shm import ShardHandle
 from repro.errors import GraphError, ParameterError
 from repro.graph.arboricity import arboricity_upper_bound
 from repro.graph.graph import Graph
@@ -71,14 +76,18 @@ def _orient_from_run(graph: Graph, run: LayerAssignmentRun) -> tuple[Orientation
 
 
 def _orient_part_task(
-    part: Graph, k: int, delta: float, ledger: MPCCluster | None
+    handle: ShardHandle, index: int, k: int, delta: float, ledger: MPCCluster | None
 ) -> tuple[LayerAssignmentRun, Orientation, object]:
     """Orient one Lemma 2.1 part against its own sub-ledger.
 
-    Module-level so the process backend can pickle it by reference; returns
-    the sub-ledger's stats (not the cluster) because that is all the parent
-    needs for the parallel fold.
+    Module-level so the process backend can pickle it by reference.  The part
+    itself is *not* in the task tuple: it is read from the published CSR shard
+    segment (:func:`repro.engine.shm.shard_graph`), which in-process backends
+    resolve zero-copy to the owner's part object and process workers attach
+    (and cache per generation) from shared memory.  Returns the sub-ledger's
+    stats rather than the cluster — that is all the parent's fold needs.
     """
+    part = shm.shard_graph(handle, index)
     run = complete_layer_assignment(part, k=k, delta=delta, cluster=ledger)
     part_orientation, _ = _orient_from_run(part, run)
     return run, part_orientation, (ledger.stats if ledger is not None else None)
@@ -143,6 +152,7 @@ def orient(
     force_edge_partitioning: bool | None = None,
     workers: int = 1,
     executor: ParallelExecutor | None = None,
+    pool: WorkerPool | None = None,
 ) -> OrientationRun:
     """Compute an ``O(λ log log n)``-outdegree orientation (Theorem 1.1).
 
@@ -173,7 +183,13 @@ def orient(
         either way).  Results are identical for any worker count.
     executor:
         Optional pre-built executor (overrides ``workers``); tests use it to
-        pin a specific backend.
+        pin a specific backend.  Wrapped in a transient borrowed
+        :class:`~repro.engine.WorkerPool` for the call.
+    pool:
+        Optional resident :class:`~repro.engine.WorkerPool` (overrides both
+        ``workers`` and ``executor``).  The Lemma 2.1 parts are published
+        into the pool's shard registry and each task ships only a handle and
+        a part index; repeated calls on one pool reuse its resident workers.
     """
     if graph.num_vertices == 0:
         empty = Orientation(graph, {})
@@ -232,18 +248,22 @@ def orient(
     # Empty parts happen whenever the part count exceeds the edge count;
     # they contribute nothing and are simply skipped.
     parts = [part for part in edge_partition.parts if part.num_edges]
-    owns_executor = executor is None
-    if owns_executor:
-        executor = ParallelExecutor(workers=workers)
+    owns_pool = pool is None
+    if owns_pool:
+        # A borrowed executor is wrapped (not owned): closing the transient
+        # pool unlinks its segments but leaves the caller's workers resident.
+        pool = WorkerPool(workers=workers, executor=executor)
     try:
-        results = executor.map(
+        handle = pool.publish_edge_parts("orient-parts", graph.num_vertices, parts)
+        results = pool.map(
             _orient_part_task,
-            [(part, per_part_k, delta, cluster.fork()) for part in parts],
+            [(handle, i, per_part_k, delta, cluster.fork()) for i in range(len(parts))],
             total_work=sum(part.num_edges for part in parts),
+            handles=(handle,),
         )
     finally:
-        if owns_executor:
-            executor.close()
+        if owns_pool:
+            pool.close()
     partition_runs.extend(run for run, _orientation, _stats in results)
     cluster.merge_parallel([stats for _run, _orientation, stats in results])
     merged = _merge_orientation_tree(

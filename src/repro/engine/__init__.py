@@ -4,6 +4,11 @@ Public surface:
 
 * :class:`~repro.engine.executor.ParallelExecutor` — serial / thread /
   process backends with a determinism contract and serial auto-pick.
+* :class:`~repro.engine.pool.WorkerPool` — resident workers plus a
+  shared-memory shard registry: publish graph shards once, ship only task
+  descriptors + deltas per superstep.
+* :class:`~repro.engine.shm.ShardRegistry` / :func:`~repro.engine.shm.attach`
+  — the generation-tagged shared-memory data plane behind the pool.
 * :func:`~repro.engine.executor.derive_seed` /
   :func:`~repro.engine.executor.seed_stream` — per-task RNG streams.
 * :class:`~repro.engine.ledger.SubLedger` — the fork/merge accounting
@@ -21,6 +26,8 @@ from repro.engine.executor import (
     seed_stream,
 )
 from repro.engine.ledger import SubLedger, fork_ledgers
+from repro.engine.pool import WorkerPool
+from repro.engine.shm import ShardHandle, ShardRegistry
 
 __all__ = [
     "BACKENDS",
@@ -29,7 +36,10 @@ __all__ = [
     "SERIAL",
     "THREAD",
     "ParallelExecutor",
+    "ShardHandle",
+    "ShardRegistry",
     "SubLedger",
+    "WorkerPool",
     "derive_seed",
     "fork_ledgers",
     "seed_stream",

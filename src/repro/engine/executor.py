@@ -38,9 +38,10 @@ from __future__ import annotations
 
 from collections.abc import Callable, Iterable, Sequence
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from typing import Any
 
-from repro.errors import ParameterError
+from repro.errors import ParameterError, WorkerCrashError
 
 SERIAL = "serial"
 THREAD = "thread"
@@ -163,14 +164,30 @@ class ParallelExecutor:
             pool_cls = ThreadPoolExecutor if backend == THREAD else ProcessPoolExecutor
             pool = pool_cls(max_workers=self.workers)
             self._pools[backend] = pool
-        futures = [pool.submit(fn, *args) for args in task_list]
+        try:
+            futures = [pool.submit(fn, *args) for args in task_list]
+        except BrokenProcessPool as exc:
+            self._discard_pool(backend)
+            raise WorkerCrashError(backend, str(exc)) from exc
         try:
             return [future.result() for future in futures]
+        except BrokenProcessPool as exc:
+            # A worker died mid-superstep.  Discard the broken pool so the
+            # next map respawns workers cleanly, and surface a typed error —
+            # callers distinguish an infrastructure crash from a task bug.
+            self._discard_pool(backend)
+            raise WorkerCrashError(backend, str(exc)) from exc
         except BaseException:
             for future in futures:
                 future.cancel()
             wait(futures)
             raise
+
+    def _discard_pool(self, backend: str) -> None:
+        """Drop a (broken) pool; a later map lazily creates a fresh one."""
+        pool = self._pools.pop(backend, None)
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
 
     def close(self) -> None:
         """Shut down any pools this executor spun up (idempotent).

@@ -51,6 +51,11 @@ class MemoryLimitExceeded(MPCModelError):
             f"exceeding its capacity of {capacity_words} words"
         )
 
+    def __reduce__(self):
+        # Multi-argument __init__: the default (cls, self.args) round-trip
+        # breaks when a process-backend worker ships this error back.
+        return (type(self), (self.machine_id, self.used_words, self.capacity_words))
+
 
 class CommunicationLimitExceeded(MPCModelError):
     """A machine sent or received more than ``S`` words in a single round."""
@@ -65,6 +70,12 @@ class CommunicationLimitExceeded(MPCModelError):
             f"exceeding the per-round cap of {capacity_words} words"
         )
 
+    def __reduce__(self):
+        return (
+            type(self),
+            (self.machine_id, self.direction, self.volume_words, self.capacity_words),
+        )
+
 
 class GlobalMemoryExceeded(MPCModelError):
     """The total memory across all machines exceeded the configured budget."""
@@ -75,6 +86,9 @@ class GlobalMemoryExceeded(MPCModelError):
         super().__init__(
             f"global memory use of {used_words} words exceeds the budget of {budget_words} words"
         )
+
+    def __reduce__(self):
+        return (type(self), (self.used_words, self.budget_words))
 
 
 class QuotaExceededError(MPCModelError):
@@ -97,6 +111,55 @@ class QuotaExceededError(MPCModelError):
             f"of {quota_words} words"
         )
 
+    def __reduce__(self):
+        return (type(self), (self.used_words, self.quota_words, self.scope))
+
 
 class SimulationError(ReproError):
     """Raised when the simulator is driven through an invalid sequence of calls."""
+
+
+class WorkerCrashError(ReproError):
+    """A process-backend worker died mid-superstep (killed, OOM, hard crash).
+
+    The executor discards the broken pool when raising this, so the next
+    parallel map respawns a fresh set of workers — published shared-memory
+    shards live in the parent and survive the crash untouched.  The failed
+    superstep itself is lost; callers with atomic batch semantics (the
+    streaming service) leave their state exactly as before the call.
+    """
+
+    def __init__(self, backend: str, detail: str = "") -> None:
+        self.backend = backend
+        self.detail = detail
+        suffix = f": {detail}" if detail else ""
+        super().__init__(
+            f"a {backend}-backend worker died mid-superstep{suffix}; "
+            f"the pool was discarded and will respawn on the next parallel map"
+        )
+
+    def __reduce__(self):
+        return (type(self), (self.backend, self.detail))
+
+
+class StaleShardError(ReproError):
+    """A task tried to read a shared-memory shard generation that was retired.
+
+    Raised on either side of the registry: the owner rejects handles whose
+    key was republished or invalidated (e.g. after a dynamic-graph
+    compaction), and a worker attaching a retired segment finds it unlinked.
+    Catching it and re-fetching a fresh handle is always safe — the data of
+    the *current* generation is unaffected.
+    """
+
+    def __init__(self, key: str, generation: int, reason: str) -> None:
+        self.key = key
+        self.generation = generation
+        self.reason = reason
+        super().__init__(
+            f"shard {key!r} generation {generation} is stale ({reason}); "
+            f"republish and ship a fresh handle"
+        )
+
+    def __reduce__(self):
+        return (type(self), (self.key, self.generation, self.reason))

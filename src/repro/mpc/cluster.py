@@ -115,6 +115,20 @@ controls refine the multi-tenant model without changing the fold arithmetic:
   post-batch graph size would breach (keeping the offending batch intact in
   its queue); the fold-time check is the backstop for growth an admission
   estimate cannot see (e.g. a rebuild's working set).
+
+**Resident workers and shared-memory shards (PR 6).**  How a parallel task
+physically executes is invisible to this ledger.  The engine's
+:class:`~repro.engine.pool.WorkerPool` keeps process workers resident and
+publishes graph shards into :mod:`multiprocessing.shared_memory` segments
+(:mod:`repro.engine.shm`), so a host superstep ships only a shard-handle
+descriptor + deltas instead of re-pickling its inputs — but that is *host*
+shipping cost, not simulated MPC communication.  Charging is unchanged: a
+task records into its fork exactly what the algorithm's rounds move between
+simulated machines, whether the task ran serial, threaded, or in a resident
+worker reading shared memory, and ``merge_parallel`` folds the forks with
+the same max/sum semantics above.  The determinism contract (same seed ⇒
+identical rounds for any worker count or backend) is what keeps the fold's
+inputs — and therefore every number in this module — reproducible.
 """
 
 from __future__ import annotations

@@ -33,7 +33,10 @@ on one shared :class:`~repro.engine.ParallelExecutor` and one shared
   estimated per-batch round costs fits the budget; everyone else is
   *deferred* with their batches carried over intact, and a tick that serves
   nobody (budget exhausted, or no deficit-round-robin tenant eligible yet)
-  folds an empty superstep — zero rounds charged.  Scheduling never changes
+  folds an empty superstep — zero rounds charged.  Per-tenant
+  ``add_tenant(..., weight=w)`` gives proportional budget shares under
+  ``deficit-round-robin`` (credit accrues ``quantum × weight`` per tick);
+  the no-starvation bound holds at every weight.  Scheduling never changes
   *what* a served tenant computes, only *when*: a tenant served under any
   policy stays byte-identical to its standalone run.
 
@@ -48,7 +51,10 @@ on one shared :class:`~repro.engine.ParallelExecutor` and one shared
   fold-time ``check_quota`` backstop catches growth the projection cannot
   see (rebuild working sets); in that rarer path the triggering batch has
   already been applied, so the quarantined tenant is consistent but the
-  batch is consumed.
+  batch is consumed.  Quarantine is not a death sentence:
+  :meth:`StreamEngine.lift_quarantine` re-admits the tenant (optionally with
+  a raised quota) and it resumes byte-identical to a never-quarantined run
+  of its remaining trace.
 
 * **Reporting.**  Per-tenant :class:`~repro.stream.updates.StreamSummary`
   objects are the tenants' own (:meth:`tenant_summary`); the engine-level
@@ -67,7 +73,7 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass, field
 
-from repro.engine import IN_PROCESS, THREAD, ParallelExecutor, derive_seed
+from repro.engine import IN_PROCESS, THREAD, ParallelExecutor, WorkerPool, derive_seed
 from repro.errors import GraphError, QuotaExceededError
 from repro.graph.graph import Graph
 from repro.mpc.cluster import MPCCluster
@@ -95,6 +101,8 @@ class _Tenant:
     name: str
     index: int
     service: StreamingService
+    weight: int = 1
+    """Proportional budget share under weighted-fair policies (DRR)."""
     queue: deque = field(default_factory=deque)
     round_mark: int = 0
     """Rounds of the tenant's sub-ledger already folded into the shared one."""
@@ -204,9 +212,24 @@ class StreamEngine:
         if round_budget is not None and round_budget < 1:
             raise GraphError("round_budget must be at least 1 (or None to disable)")
         self.round_budget = round_budget
+        self._pool: WorkerPool | None = None
         self._tenants: dict[str, _Tenant] = {}
         self.summary = StreamSummary()
         self.ticks: list[TickReport] = []
+
+    @property
+    def pool(self) -> WorkerPool | None:
+        """The engine-owned worker pool (``None`` until the first tenant)."""
+        return self._pool
+
+    def _ensure_pool(self) -> WorkerPool:
+        """Create the engine's pool lazily — no registry, segments or worker
+        processes exist until a tenant needs them; :meth:`close` (and, as
+        backstops, a finalizer and an ``atexit`` sweep in
+        :mod:`repro.engine.shm`) guarantees the segments are unlinked."""
+        if self._pool is None:
+            self._pool = WorkerPool(executor=self._executor)
+        return self._pool
 
     # ------------------------------------------------------------------ #
     # Tenant management
@@ -222,6 +245,7 @@ class StreamEngine:
         maintain_coloring: bool = True,
         proactive_flips: bool = True,
         memory_quota: int | None = None,
+        weight: int = 1,
     ) -> StreamingService:
         """Register a tenant and build its initial structures.
 
@@ -238,9 +262,20 @@ class StreamEngine:
         fit: a quota the initial graph (or the construction build's peak)
         already exceeds raises :class:`~repro.errors.QuotaExceededError` and
         leaves the tenant unregistered and the engine untouched.
+
+        ``weight`` (integer ≥ 1, default 1) is the tenant's proportional
+        share of the tick round budget under weighted-fair policies: with
+        ``deficit-round-robin`` the tenant accrues ``quantum × weight``
+        round credits per backlogged tick, so a weight-3 tenant is served
+        about three times as often as a weight-1 sibling on a congested
+        fleet.  Policies without a fairness notion ignore it.
         """
         if name in self._tenants:
             raise GraphError(f"tenant {name!r} is already registered")
+        if not isinstance(weight, int) or weight < 1:
+            raise GraphError(
+                f"tenant weight must be an integer >= 1, got {weight!r}"
+            )
         initial_words = graph_memory_words(initial.num_vertices, initial.num_edges)
         if memory_quota is not None and initial_words > memory_quota:
             raise QuotaExceededError(
@@ -254,6 +289,13 @@ class StreamEngine:
         tenant_seed = (
             seed if seed is not None else derive_seed(self._seed, len(self._tenants))
         )
+        # Each tenant gets a *derived* pool: its own (serial) repair executor
+        # — tick tasks already run on the engine's thread pool, and nesting a
+        # tenant's repair onto that same pool could deadlock it — but the
+        # engine pool's shard registry, borrowed, so every tenant's shard
+        # publications live (scoped, collision-free) in one registry whose
+        # lifetime the engine owns.
+        tenant_pool = WorkerPool(workers=1, registry=self._ensure_pool().registry)
         service = StreamingService(
             initial,
             delta=self._delta,
@@ -262,7 +304,7 @@ class StreamEngine:
             seed=tenant_seed,
             cluster=ledger,
             maintain_coloring=maintain_coloring,
-            workers=1,
+            pool=tenant_pool,
             proactive_flips=proactive_flips,
         )
         # The construction build's memory peak must fit the quota too; a
@@ -282,6 +324,7 @@ class StreamEngine:
             name=name,
             index=len(self._tenants),
             service=service,
+            weight=weight,
             round_mark=ledger.stats.num_rounds,
         )
         # Co-residency holds from registration, not from the first tick: the
@@ -313,6 +356,42 @@ class StreamEngine:
             for tenant in self._tenants.values()
             if tenant.quarantine is not None
         }
+
+    def lift_quarantine(
+        self, name: str, new_quota: int | None = None
+    ) -> QuotaExceededError:
+        """Re-admit a quarantined tenant after operator intervention.
+
+        ``new_quota`` replaces the tenant's sub-ledger quota (``None`` keeps
+        the current one — legitimate when the operator freed memory another
+        way).  Quarantine froze the tenant consistent with its queue intact,
+        so the lifted tenant simply resumes: its remaining trace applies
+        byte-identically to a run that was never quarantined.
+
+        The lift must actually fit: if the tenant's recorded global-memory
+        peak already exceeds the effective quota (the fold-time breach path
+        — the triggering batch was applied before the breach was seen), the
+        next fold would re-quarantine it immediately, so the lift raises
+        :class:`~repro.errors.QuotaExceededError` and leaves the tenant
+        quarantined with nothing changed.  Returns the breach that had
+        sidelined the tenant (for operator logs).
+        """
+        tenant = self._tenant(name)
+        if tenant.quarantine is None:
+            raise GraphError(f"tenant {name!r} is not quarantined")
+        if new_quota is not None and new_quota < 1:
+            raise GraphError("new_quota must be at least 1 word (or None to keep)")
+        cluster = tenant.service.cluster
+        effective = new_quota if new_quota is not None else cluster.memory_quota
+        peak = cluster.stats.peak_global_memory_words
+        if effective is not None and peak > effective:
+            raise QuotaExceededError(
+                peak, effective, scope=f"lifting quarantine on tenant {name!r}"
+            )
+        cluster.memory_quota = effective
+        breach = tenant.quarantine
+        tenant.quarantine = None
+        return breach
 
     def _tenant(self, name: str) -> _Tenant:
         tenant = self._tenants.get(name)
@@ -366,6 +445,7 @@ class StreamEngine:
                         tenant.service.cluster.words_per_machine,
                         tenant.service.dynamic.min_compaction_journal,
                     ),
+                    weight=tenant.weight,
                 )
             )
         return loads
@@ -586,9 +666,11 @@ class StreamEngine:
             tenant.service.verify()
 
     def close(self) -> None:
-        """Release the shared executor and every tenant's resources."""
+        """Release every tenant, the engine pool's segments, the executor."""
         for tenant in self._tenants.values():
             tenant.service.close()
+        if self._pool is not None:
+            self._pool.close()
         if self._owns_executor:
             self._executor.close()
 

@@ -45,15 +45,17 @@ serial and deterministically ordered.
 
 Cap-safe groups run on **any** backend.  In-process backends (serial,
 thread) mutate the shared out-table directly through its disjoint slices;
-the process backend cannot (workers would mutate pickled copies), so each
-group ships as an explicit out-table *shard* — the slice of ``out[·]``
-covering exactly the group's vertices, a few tuples per group — to the
-module-level :func:`_apply_group_sharded`, and the returned shards are
-written back into the table.  Cap-safety proves the group's pointer work
-never leaves its vertex set, so the shard is closed under every read and
-write the group performs, and the write-back is conflict-free.  The
-determinism contract is unchanged: the sharded function replays the exact
-same tail rule (:func:`_choose_tail`) on the exact same degrees.
+the process backend cannot (workers would mutate pickled copies), so the
+groups' out-table *shards* — the slices of ``out[·]`` covering exactly each
+group's vertices — are published into the worker pool's shared-memory shard
+registry (:mod:`repro.engine.shm`), each task ships only a shard handle, a
+slot index and the group's updates to :func:`_apply_group_shm` (whose pure
+core is :func:`_apply_group_sharded`), and the returned *deltas* are written
+back into the table.  Cap-safety proves the group's pointer work never
+leaves its vertex set, so the shard is closed under every read and write the
+group performs, and the write-back is conflict-free.  The determinism
+contract is unchanged: the sharded function replays the exact same tail
+rule (:func:`_choose_tail`) on the exact same degrees.
 """
 
 from __future__ import annotations
@@ -62,7 +64,9 @@ from collections import deque
 from collections.abc import Iterable, Sequence
 from dataclasses import dataclass
 
-from repro.engine import IN_PROCESS, PROCESS
+from repro.engine import IN_PROCESS, PROCESS, WorkerPool
+from repro.engine import shm
+from repro.engine.shm import ShardHandle
 from repro.errors import GraphError
 from repro.graph.arboricity import arboricity_upper_bound
 from repro.graph.graph import Graph, normalize_edge
@@ -163,6 +167,31 @@ def _apply_group_sharded(
             else:
                 raise GraphError(f"edge {normalize_edge(u, v)} is not oriented")
     return {vertex: sorted(heads) for vertex, heads in out.items()}, freed
+
+
+def _apply_group_shm(
+    handle: ShardHandle,
+    slot: int,
+    group_updates: list,
+    cap: int,
+) -> tuple[dict[int, list[int]], list[int]]:
+    """The shared-memory twin of :func:`_apply_group_sharded`.
+
+    The group's out-table shard is *not* in the task tuple: it is read from
+    the published shard segment (:func:`repro.engine.shm.out_shard`) — the
+    owner's dict zero-copy in-process, rebuilt from flat columns in a process
+    worker.  The task ships only the handle, the slot, and the group's
+    updates (the batch delta), and ships back only the shard *delta* — the
+    vertices whose out-sets actually changed — plus the freed tails.
+    """
+    shard = shm.out_shard(handle, slot)
+    new_shard, freed = _apply_group_sharded(shard, group_updates, cap)
+    delta = {
+        vertex: heads
+        for vertex, heads in new_shard.items()
+        if tuple(heads) != shard[vertex]
+    }
+    return delta, freed
 
 
 @dataclass(frozen=True)
@@ -341,21 +370,34 @@ class IncrementalOrientation:
     # Batch-parallel repair (vertex-disjoint conflict groups)
     # ------------------------------------------------------------------ #
 
-    def apply_batch(self, updates: Iterable, executor=None) -> GroupedApplyReport:
+    def apply_batch(
+        self,
+        updates: Iterable,
+        executor=None,
+        pool: WorkerPool | None = None,
+        shard_key: str = "repair-shards",
+    ) -> GroupedApplyReport:
         """Resolve a whole update batch through conflict-group supersteps.
 
         The caller must have applied every update of the batch to the
         dynamic graph already (the :class:`~repro.stream.service.StreamingService`
         sequences exactly that); this method only maintains the orientation.
         The batch is split by :func:`plan_conflict_groups`; groups whose
-        updates provably stay under the outdegree cap run concurrently
-        through ``executor`` — in-process backends mutate the shared
-        out-table's disjoint slices directly, the process backend ships each
-        group's out-table shard to :func:`_apply_group_sharded` and writes
-        the returned shards back — while groups that may need a flip path
+        updates provably stay under the outdegree cap run concurrently —
+        in-process backends mutate the shared out-table's disjoint slices
+        directly, the process backend publishes the groups' out-table shards
+        into the worker pool's shared-memory registry and maps
+        :func:`_apply_group_shm` (handle + slot + updates per task), writing
+        the returned deltas back — while groups that may need a flip path
         run serially afterwards in group order.  Deferred proactive flips
         are swept serially at the end.  The resulting structure is identical
         for any worker count and backend.
+
+        ``pool`` is the resident :class:`~repro.engine.WorkerPool` to run on
+        (its executor doubles as the in-process engine); with only
+        ``executor`` given, a transient borrowed pool wraps it for the call.
+        ``shard_key`` scopes the shard publication so several maintainers
+        (one per tenant) can share one pool without colliding.
 
         A mid-batch Theorem 1.1 rebuild (saturated flip search in a serial
         group) re-orients the *final* batch state in one stroke — the
@@ -379,36 +421,57 @@ class IncrementalOrientation:
         freed_by_group: dict[int, list[int]] = {}
         if safe:
             work = sum(len(grouped[position]) for position in safe)
+            engine = pool.executor if pool is not None else executor
             backend = (
-                executor.resolve_backend(len(safe), work)
-                if executor is not None and len(safe) > 1
+                engine.resolve_backend(len(safe), work)
+                if engine is not None and len(safe) > 1
                 else None
             )
             if backend == PROCESS:
-                # Out-table sharding: ship each group's slice of the table
+                # Out-table sharding: publish each group's slice of the table
                 # (cap-safety proves the group reads and writes nothing
-                # outside it) and write the returned shards back — disjoint
-                # vertex sets make the write-back conflict-free.
+                # outside it) as one shared-memory shard set, ship only
+                # (handle, slot, updates) per task, and write the returned
+                # deltas back — disjoint vertex sets make the write-back
+                # conflict-free.
                 out = self._out
                 cap = self.outdegree_cap
-                tasks = []
-                for position in safe:
-                    group_updates = grouped[position]
-                    vertices = sorted(
-                        {update.u for update in group_updates}
-                        | {update.v for update in group_updates}
+                owns_pool = pool is None
+                if owns_pool:
+                    pool = WorkerPool(executor=executor)
+                try:
+                    shards = []
+                    for position in safe:
+                        group_updates = grouped[position]
+                        vertices = sorted(
+                            {update.u for update in group_updates}
+                            | {update.v for update in group_updates}
+                        )
+                        shards.append(
+                            {vertex: tuple(sorted(out[vertex])) for vertex in vertices}
+                        )
+                    handle = pool.publish_out_shards(shard_key, shards)
+                    results = pool.map(
+                        _apply_group_shm,
+                        [
+                            (handle, slot, grouped[position], cap)
+                            for slot, position in enumerate(safe)
+                        ],
+                        total_work=work,
+                        backend=PROCESS,
+                        handles=(handle,),
                     )
-                    shard = {vertex: tuple(sorted(out[vertex])) for vertex in vertices}
-                    tasks.append((shard, group_updates, cap))
-                results = executor.map(_apply_group_sharded, tasks, total_work=work)
-                for position, (shard, freed) in zip(safe, results):
-                    for vertex, heads in shard.items():
+                finally:
+                    if owns_pool:
+                        pool.close()
+                for position, (delta, freed) in zip(safe, results):
+                    for vertex, heads in delta.items():
                         out[vertex] = set(heads)
                     freed_by_group[position] = freed
             else:
                 tasks = [(grouped[position], False, rebuilds_before) for position in safe]
                 if backend in IN_PROCESS:
-                    freed_lists = executor.map(
+                    freed_lists = engine.map(
                         self._apply_group, tasks, total_work=work, backend=backend
                     )
                 else:

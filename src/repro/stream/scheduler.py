@@ -15,11 +15,13 @@ policies:
   the largest queued-update backlog (ties break toward earlier registration),
   the classical "serve the longest queues" heuristic for bursty fleets.
 * ``deficit-round-robin`` (:class:`DeficitRoundRobinPlanner`) — each
-  backlogged tenant accrues ``quantum`` round-credits per tick and is served
-  once its deficit covers its estimated cost; credits are spent on service
-  and dropped when a tenant drains.  A rotating cursor breaks ties, so every
-  continuously backlogged tenant is served within a bounded number of ticks
-  (no starvation) regardless of how large its neighbours' backlogs are.
+  backlogged tenant accrues ``quantum × weight`` round-credits per tick
+  (:attr:`TenantLoad.weight`, default 1, gives weighted-fair proportional
+  shares) and is served once its deficit covers its estimated cost; credits
+  are spent on service and dropped when a tenant drains.  A rotating cursor
+  breaks ties, so every continuously backlogged tenant is served within a
+  bounded number of ticks (no starvation) regardless of how large its
+  neighbours' backlogs or weights are.
 
 **The round budget.**  A tick's ledger charge is the *max* over the served
 tenants' tick deltas (the parallel fold), but the cluster's *work* for the
@@ -102,6 +104,11 @@ class TenantLoad:
     """Size of the head batch — what serving the tenant this tick applies."""
     estimated_rounds: int
     """:func:`estimate_batch_rounds` of the head batch on the tenant's ledger."""
+    weight: int = 1
+    """Proportional share of the tick budget under weighted-fair policies: a
+    weight-``w`` tenant accrues deficit-round-robin credit ``w`` times as fast
+    as a weight-1 one.  Integer (credits stay exact); policies without a
+    fairness notion ignore it."""
 
 
 def admit_within_budget(
@@ -181,19 +188,25 @@ class TopKBacklogPlanner(TickPlanner):
 class DeficitRoundRobinPlanner(TickPlanner):
     """Deficit round-robin: round-credit accrual with a rotating cursor.
 
-    Every tick, each backlogged tenant's deficit grows by ``quantum`` round
-    credits; a tenant is *eligible* once its deficit covers its estimated
-    head-batch cost.  Eligible tenants are considered in round-robin order
-    starting at the cursor, admitted under the shared budget, and pay their
-    estimate out of the deficit; the cursor then advances past the last
-    served tenant.  A tenant that drains its queue forfeits its credit
-    (classic DRR — idle tenants must not hoard priority).
+    Every tick, each backlogged tenant's deficit grows by
+    ``quantum × weight`` round credits (:attr:`TenantLoad.weight`, default 1
+    — the weighted-fair variant: a weight-``w`` tenant accrues ``w`` times
+    as fast, so over a congested stretch it receives a proportional share of
+    the tick budget); a tenant is *eligible* once its deficit covers its
+    estimated head-batch cost.  Eligible tenants are considered in
+    round-robin order starting at the cursor, admitted under the shared
+    budget, and pay their estimate out of the deficit; the cursor then
+    advances past the last served tenant.  A tenant that drains its queue
+    forfeits its credit (classic DRR — idle tenants must not hoard
+    priority).
 
-    No starvation: a continuously backlogged tenant with head estimate ``E``
-    is eligible after at most ``⌈E/quantum⌉`` ticks and keeps its credit
-    until served; once eligible it is served as soon as the cursor reaches
-    it, which takes at most one full rotation.  The bound asserted by the
-    property suite is ``⌈E/quantum⌉ + num_tenants`` ticks between services.
+    No starvation, at any weight: a continuously backlogged tenant with head
+    estimate ``E`` and weight ``w`` is eligible after at most
+    ``⌈E/(quantum·w)⌉`` ticks and keeps its credit until served; once
+    eligible it is served as soon as the cursor reaches it, which takes at
+    most one full rotation.  The bound asserted by the property suite is
+    ``⌈E/(quantum·w)⌉ + num_tenants`` ticks between services — weights speed
+    tenants up, they never push anyone below the weight-1 floor.
     """
 
     name = DEFICIT_ROUND_ROBIN
@@ -216,7 +229,14 @@ class DeficitRoundRobinPlanner(TickPlanner):
         for name in [name for name in self._deficits if name not in active]:
             del self._deficits[name]
         for load in loads:
-            self._deficits[load.name] = self._deficits.get(load.name, 0) + self.quantum
+            if load.weight < 1:
+                raise GraphError(
+                    f"tenant {load.name!r} has weight {load.weight}; "
+                    "weights must be integers >= 1"
+                )
+            self._deficits[load.name] = (
+                self._deficits.get(load.name, 0) + self.quantum * load.weight
+            )
 
         rotation = max((load.index for load in loads), default=0) + 1
         ordered = sorted(

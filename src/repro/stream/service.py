@@ -42,7 +42,7 @@ Per-batch costs and structure quality are returned as
 
 from __future__ import annotations
 
-from repro.engine import THREAD, ParallelExecutor
+from repro.engine import THREAD, ParallelExecutor, WorkerPool
 from repro.errors import GraphError
 from repro.graph.graph import Graph, normalize_edge
 from repro.mpc.cluster import MPCCluster
@@ -95,6 +95,14 @@ class StreamingService:
     executor:
         Optional pre-built :class:`~repro.engine.ParallelExecutor`
         (overrides ``workers`` and ``backend``); any backend works.
+    pool:
+        Optional pre-built :class:`~repro.engine.WorkerPool` (overrides
+        ``workers``, ``backend`` and ``executor``).  The service then runs
+        its batch repair on the pool's resident workers and publishes its
+        out-table shards into the pool's shard registry under a
+        service-scoped key — several services (one per engine tenant) can
+        share one registry without colliding.  When omitted, the service
+        builds and owns a pool around ``executor``/``workers``/``backend``.
     proactive_flips:
         Forwarded to :class:`IncrementalOrientation`.
     """
@@ -111,16 +119,19 @@ class StreamingService:
         workers: int = 1,
         backend: str = THREAD,
         executor: ParallelExecutor | None = None,
+        pool: WorkerPool | None = None,
         proactive_flips: bool = True,
     ) -> None:
         if cluster is None:
             cluster = MPCCluster(MPCConfig.for_graph(initial, delta=delta))
         self.cluster = cluster
-        self._executor = (
-            executor
-            if executor is not None
-            else ParallelExecutor(workers=workers, backend=backend)
+        self._pool = (
+            pool
+            if pool is not None
+            else WorkerPool(workers=workers, backend=backend, executor=executor)
         )
+        self._executor = self._pool.executor
+        self._shard_key = self._pool.allocate_scope("repair-shards-")
         self.dynamic = DynamicGraph(initial)
         self._account_graph_storage()
         self.orientation = IncrementalOrientation(
@@ -204,7 +215,9 @@ class StreamingService:
             else:
                 dynamic.remove_edge(update.u, update.v)
 
-        grouped = orientation.apply_batch(batch.updates, executor=self._executor)
+        grouped = orientation.apply_batch(
+            batch.updates, pool=self._pool, shard_key=self._shard_key
+        )
 
         if coloring is not None:
             for update in batch.updates:
@@ -228,6 +241,11 @@ class StreamingService:
             cluster.charge_rounds(1, label="stream:recolor")
         if compactions:
             cluster.charge_rounds(compactions, label="stream:compact")
+            # A compaction rewrote the graph wholesale: retire the published
+            # out-table shards now so no handle from before the compaction
+            # can ever resolve again (the next process-backend batch
+            # republishes a fresh generation).
+            self._pool.invalidate(self._shard_key)
         self._account_graph_storage()
 
         report = BatchReport(
@@ -277,12 +295,17 @@ class StreamingService:
         return self.summary
 
     def close(self) -> None:
-        """Release the repair executor's worker pool (idempotent).
+        """Release the repair pool's workers and shard segments (idempotent).
 
-        With ``workers > 1`` the service lazily spins up a thread pool;
-        sweeps that create one service per workload should close each when
-        done rather than leaving the release to garbage collection.
+        With ``workers > 1`` the service lazily spins up worker pools, and a
+        process-backend batch publishes shared-memory shards; sweeps that
+        create one service per workload should close each when done rather
+        than leaving the release to garbage collection.  A pool passed in by
+        an engine keeps its shared pieces — only this service's shard scope
+        is retired.
         """
+        self._pool.invalidate(self._shard_key)
+        self._pool.close()
         self._executor.close()
 
     def __enter__(self) -> "StreamingService":

@@ -102,6 +102,21 @@ class TestWorkerDeterminism:
         assert run.local_subroutine_rounds == reference.local_subroutine_rounds
         run.coloring.validate_proper()
 
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_matrix_of_workers_and_backends_is_byte_identical(self, workers, backend):
+        """ISSUE 6 acceptance: the full workers × backends matrix — including
+        workers=4 on the process backend, which reads its parts from the
+        shared-memory registry — matches the serial reference exactly."""
+        graph = dense_graph()
+        reference = color(graph, seed=9)
+        with ParallelExecutor(workers=workers, backend=backend) as executor:
+            run = color(graph, seed=9, executor=executor)
+        assert run.coloring.as_dict() == reference.coloring.as_dict()
+        assert run.rounds == reference.rounds
+        assert run.palette_size == reference.palette_size
+        assert run.part_rounds == reference.part_rounds
+
     def test_small_lambda_branch_ignores_workers(self):
         """The single-part branch never fans out; workers must not change it."""
         graph = union_of_random_forests(128, arboricity=2, seed=4)

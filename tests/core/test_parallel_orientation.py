@@ -94,3 +94,17 @@ class TestWorkerDeterminism:
         assert bytes(run.orientation._heads) == bytes(reference.orientation._heads)
         assert run.orientation.graph == reference.orientation.graph
         assert run.rounds == reference.rounds
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_matrix_of_workers_and_backends_is_byte_identical(self, workers, backend):
+        """ISSUE 6 acceptance: the full workers × backends matrix — including
+        workers=4 on the process backend, which reads its parts from the
+        shared-memory registry — matches the serial reference exactly."""
+        graph = dense_graph()
+        reference = orient(graph, seed=9)
+        with ParallelExecutor(workers=workers, backend=backend) as executor:
+            run = orient(graph, seed=9, executor=executor)
+        assert bytes(run.orientation._heads) == bytes(reference.orientation._heads)
+        assert run.rounds == reference.rounds
+        assert run.max_outdegree == reference.max_outdegree

@@ -179,9 +179,9 @@ class TestServiceDeterminism:
         out-table sharding with the exact same determinism contract."""
 
         class RecordingExecutor(ParallelExecutor):
-            """Counts maps of the sharded task so the test proves the
-            process branch ran (``parallel_groups`` alone would stay
-            positive even if the branch degraded to the serial loop)."""
+            """Counts maps of the shared-memory sharded task so the test
+            proves the process branch ran (``parallel_groups`` alone would
+            stay positive even if the branch degraded to the serial loop)."""
 
             def __init__(self):
                 super().__init__(workers=4, backend=PROCESS)
@@ -189,7 +189,7 @@ class TestServiceDeterminism:
 
             def map(self, fn, tasks, total_work=None, backend=None):
                 tasks = [tuple(args) for args in tasks]
-                if fn.__name__ == "_apply_group_sharded":
+                if fn.__name__ == "_apply_group_shm":
                     self.sharded_maps += 1
                 return super().map(fn, tasks, total_work=total_work, backend=backend)
 

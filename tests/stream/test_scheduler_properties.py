@@ -147,6 +147,57 @@ class TestNoStarvation:
         finally:
             engine.close()
 
+    @pytest.mark.parametrize("seed", [3, 17])
+    def test_weighted_tenants_meet_the_scaled_bound(self, seed):
+        """ISSUE 6 satellite: under weighted deficit-round-robin every tenant
+        keeps the no-starvation bound scaled by its own weight —
+        ``⌈E/(quantum·w)⌉ + N`` ticks of eligibility wait plus the documented
+        budget slack — and drains completely."""
+        quantum = 2
+        traces = _fleet(4, seed, num_batches=4)
+        weights = dict(zip((trace.name for trace in traces), (3, 1, 2, 1)))
+        engine = StreamEngine(
+            seed=7,
+            planner=make_planner("deficit-round-robin", quantum=quantum),
+            round_budget=12,
+        )
+        for trace in traces:
+            engine.add_tenant(trace.name, trace.initial, weight=weights[trace.name])
+            engine.submit_all(trace.name, trace.batches)
+        try:
+            engine.run_until_drained(max_ticks=MAX_TICKS)
+            engine.verify()
+            estimate = _max_estimate(engine, traces)
+            waits = {trace.name: 0 for trace in traces}
+            for tick in engine.ticks:
+                for name in tick.deferred:
+                    waits[name] += 1
+                    eligibility = -(-estimate // (quantum * weights[name]))
+                    bound = 2 * (len(traces) + eligibility) + 2
+                    assert waits[name] <= bound, (
+                        f"weight-{weights[name]} tenant {name} backlogged "
+                        f"{waits[name]} consecutive ticks (bound {bound}) "
+                        f"at tick {tick.tick_index}"
+                    )
+                for name in tick.reports:
+                    waits[name] = 0
+            # Conservation and transparency survive weighting: everything
+            # drains and weights change *when*, never *what*.
+            for index, trace in enumerate(traces):
+                summary = engine.tenant_summary(trace.name)
+                assert summary.num_batches == len(trace.batches)
+                standalone = StreamingService(
+                    trace.initial, seed=derive_seed(7, index)
+                )
+                standalone.apply_all(trace.batches)
+                hosted = engine.tenant_service(trace.name)
+                assert TestScheduleTransparency._fingerprint(hosted) == (
+                    TestScheduleTransparency._fingerprint(standalone)
+                )
+                standalone.close()
+        finally:
+            engine.close()
+
     def test_drained_tenants_forfeit_their_credit(self):
         planner = DeficitRoundRobinPlanner(quantum=4)
         load = TenantLoad(
@@ -328,6 +379,50 @@ class TestPlannerUnits:
             for i in range(3)
         ]
         assert planner.plan(ties) == ["t0", "t1"]
+
+    def test_weight_scales_credit_accrual(self):
+        """A weight-3 tenant reaches eligibility in one tick where its
+        weight-1 sibling with the same estimate needs three."""
+        planner = DeficitRoundRobinPlanner(quantum=2)
+        loads = [
+            TenantLoad(
+                name="heavy",
+                index=0,
+                backlog_batches=5,
+                backlog_updates=50,
+                head_updates=10,
+                estimated_rounds=6,
+                weight=3,
+            ),
+            TenantLoad(
+                name="light",
+                index=1,
+                backlog_batches=5,
+                backlog_updates=50,
+                head_updates=10,
+                estimated_rounds=6,
+                weight=1,
+            ),
+        ]
+        assert planner.plan(loads) == ["heavy"]  # 6 credits vs 2
+        assert planner.plan(loads) == ["heavy"]  # 6 vs 4
+        assert planner.plan(loads) == ["light", "heavy"]  # light reaches 6
+        assert planner.deficit("heavy") == 0
+        assert planner.deficit("light") == 0
+
+    def test_planner_rejects_weights_below_one(self):
+        planner = DeficitRoundRobinPlanner(quantum=2)
+        load = TenantLoad(
+            name="bad",
+            index=0,
+            backlog_batches=1,
+            backlog_updates=10,
+            head_updates=10,
+            estimated_rounds=4,
+            weight=0,
+        )
+        with pytest.raises(GraphError, match="weights must be integers >= 1"):
+            planner.plan([load])
 
     def test_estimate_is_monotone_and_zero_for_empty(self):
         assert estimate_batch_rounds(0, 32) == 0

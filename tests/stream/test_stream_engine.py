@@ -87,6 +87,16 @@ class TestTenantIsolation:
             with pytest.raises(GraphError, match="unknown tenant"):
                 engine.submit("b", None)
 
+    def test_add_tenant_rejects_bad_weights(self):
+        with StreamEngine() as engine:
+            initial = union_of_random_forests(32, arboricity=2, seed=1)
+            with pytest.raises(GraphError, match="weight must be an integer"):
+                engine.add_tenant("w", initial, weight=0)
+            with pytest.raises(GraphError, match="weight must be an integer"):
+                engine.add_tenant("w", initial, weight=1.5)
+            engine.add_tenant("w", initial, weight=2)
+            assert engine.tenant_names() == ("w",)
+
     def test_tenant_seeds_derive_from_registration_position(self):
         traces = _fleet(num_tenants=2)
         with _run_engine(traces, seed=31) as engine:
@@ -210,16 +220,21 @@ class TestTickAccounting:
                 engine.run_until_drained(max_ticks=1)
 
 
-def _absent_edge_inserts(graph, count):
-    """A batch of ``count`` inserts of edges absent from ``graph``."""
+def _absent_edge_ops(graph, count):
+    """``count`` insert ops for edges absent from ``graph``, scan order."""
     ops = []
     for u in range(graph.num_vertices):
         for v in range(u + 1, graph.num_vertices):
             if not graph.has_edge(u, v):
                 ops.append(("+", u, v))
                 if len(ops) == count:
-                    return UpdateBatch.from_ops(ops)
+                    return ops
     raise AssertionError("graph too dense to build the insert batch")
+
+
+def _absent_edge_inserts(graph, count):
+    """A batch of ``count`` inserts of edges absent from ``graph``."""
+    return UpdateBatch.from_ops(_absent_edge_ops(graph, count))
 
 
 class TestMemoryQuotas:
@@ -301,6 +316,83 @@ class TestMemoryQuotas:
                 _tenant_fingerprint(standalone)
             )
             standalone.close()
+
+    def test_lift_quarantine_resumes_byte_identical(self):
+        """ISSUE 6 satellite: after the operator raises the quota, the lifted
+        tenant drains its intact queue and ends byte-identical to a
+        standalone service that was never quarantined."""
+        initial = union_of_random_forests(48, arboricity=1, seed=3)
+        build_peak, in_use = self._standalone_peaks(initial, derive_seed(5, 0))
+        quota = max(build_peak, in_use) + 20
+        ops = _absent_edge_ops(initial, 45)
+        batches = [
+            UpdateBatch.from_ops(ops[:30]),  # +60 words: breaches the quota
+            UpdateBatch.from_ops(  # mixed follow-up once the quota is raised
+                [("-", u, v) for _op, u, v in ops[:10]] + ops[30:]
+            ),
+        ]
+        with StreamEngine(seed=5) as engine:
+            engine.add_tenant("t", initial, memory_quota=quota)
+            engine.submit_all("t", batches)
+            with pytest.raises(QuotaExceededError):
+                engine.tick()
+            assert set(engine.quarantined()) == {"t"}
+            assert engine.pending("t") == 2  # projection path: nothing consumed
+
+            breach = engine.lift_quarantine("t", new_quota=quota + 1000)
+            assert isinstance(breach, QuotaExceededError)
+            assert engine.quarantined() == {}
+            assert engine.tenant_service("t").cluster.memory_quota == quota + 1000
+
+            engine.run_until_drained(max_ticks=10)
+            engine.verify()
+            assert engine.tenant_summary("t").num_batches == len(batches)
+
+            standalone = StreamingService(initial, seed=derive_seed(5, 0))
+            standalone.apply_all(batches)
+            standalone.verify()
+            assert _tenant_fingerprint(engine.tenant_service("t")) == (
+                _tenant_fingerprint(standalone)
+            )
+            assert _report_rows(engine.tenant_summary("t")) == _report_rows(
+                standalone.summary
+            )
+            standalone.close()
+
+    def test_lift_quarantine_validates_its_inputs(self):
+        initial = union_of_random_forests(48, arboricity=1, seed=3)
+        build_peak, in_use = self._standalone_peaks(initial, derive_seed(5, 0))
+        quota = max(build_peak, in_use) + 20
+        with StreamEngine(seed=5) as engine:
+            engine.add_tenant("t", initial, memory_quota=quota)
+            with pytest.raises(GraphError, match="unknown tenant"):
+                engine.lift_quarantine("ghost")
+            with pytest.raises(GraphError, match="not quarantined"):
+                engine.lift_quarantine("t")
+            engine.submit("t", _absent_edge_inserts(initial, 30))
+            with pytest.raises(QuotaExceededError):
+                engine.tick()
+            with pytest.raises(GraphError, match="at least 1 word"):
+                engine.lift_quarantine("t", new_quota=0)
+            assert set(engine.quarantined()) == {"t"}  # failed lifts change nothing
+
+    def test_lift_rejects_a_quota_the_frozen_peak_already_breaches(self):
+        """The fold-time path applies the batch before the breach is seen, so
+        a lift whose quota the recorded peak still exceeds must refuse —
+        otherwise the next fold re-quarantines immediately."""
+        initial = union_of_random_forests(48, arboricity=1, seed=3)
+        build_peak, in_use = self._standalone_peaks(initial, derive_seed(5, 0))
+        quota = max(build_peak, in_use) + 20
+        with StreamEngine(seed=5) as engine:
+            engine.add_tenant("t", initial, memory_quota=quota)
+            engine.submit("t", _absent_edge_inserts(initial, 30))
+            with pytest.raises(QuotaExceededError):
+                engine.tick()
+            peak = engine.tenant_service("t").cluster.stats.peak_global_memory_words
+            with pytest.raises(QuotaExceededError, match="lifting quarantine"):
+                engine.lift_quarantine("t", new_quota=max(1, peak - 1))
+            assert set(engine.quarantined()) == {"t"}
+            assert engine.tenant_service("t").cluster.memory_quota == quota
 
     def test_quota_fits_when_growth_stays_inside_the_cap(self):
         """The same shape of batch passes when the quota leaves headroom —
