@@ -10,10 +10,16 @@ pytest-driven runs.
 
 from __future__ import annotations
 
+import glob
 import json
 import os
 import platform
 import time
+
+# Version of the snapshot payload layout.  Bump when the header shape
+# changes; readers (repro bench-report) accept older snapshots without the
+# field.
+SCHEMA_VERSION = 1
 
 
 def _available_cpus() -> int:
@@ -33,6 +39,7 @@ def write_snapshot(name: str, results: dict, meta: dict | None = None) -> str:
     """
     stamp = time.strftime("%Y%m%dT%H%M%SZ", time.gmtime())
     payload = {
+        "schema": SCHEMA_VERSION,
         "bench": name,
         "timestamp_utc": stamp,
         "host": {
@@ -49,3 +56,10 @@ def write_snapshot(name: str, results: dict, meta: dict | None = None) -> str:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")
     return path
+
+
+def list_snapshots(name: str | None = None) -> list[str]:
+    """Paths of persisted snapshots, oldest first (all benches by default)."""
+    directory = os.path.dirname(os.path.abspath(__file__))
+    pattern = f"BENCH_{name}_*.json" if name else "BENCH_*.json"
+    return sorted(glob.glob(os.path.join(directory, pattern)))

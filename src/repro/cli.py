@@ -34,13 +34,22 @@ Commands
     Run a registered experiment sweep (E1/E2/E3/S1/S2/S3/S4) through its
     harness runner and print the result table (ASCII, or Markdown with
     ``--markdown``).
+``trace-report``
+    Summarise a ``--trace`` artifact (Chrome trace-event JSON) as text
+    tables: per-span wall-clock totals with ledger deltas, plus the counter
+    and histogram snapshots.
+``bench-report``
+    Render a trend table over the ``BENCH_*.json`` snapshots in a directory
+    (latest vs. previous value per metric, per benchmark).
 
 Every command accepts ``--seed`` for reproducibility and ``--output`` to write
 the main artifact to a file instead of stdout.  ``orient``, ``color``,
 ``stream``, ``stream-multi`` and ``experiment`` also accept ``--workers N`` —
 host-side parallelism for the superstep engine (Lemma 2.1 part orientation,
 Lemma 2.2 part coloring, batch-parallel flip repair, cross-tenant ticks);
-results are identical for any worker count.
+results are identical for any worker count — and ``--trace out.json``, which
+records host-side spans for the run and writes a Perfetto-loadable Chrome
+trace (results are identical with tracing on or off).
 """
 
 from __future__ import annotations
@@ -91,6 +100,31 @@ def _add_workers_argument(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_trace_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="record host-side spans and write a Chrome trace-event JSON "
+        "(Perfetto-loadable) to PATH; results are identical with tracing "
+        "on or off",
+    )
+
+
+def _make_tracer(args):
+    """A live tracer when ``--trace`` was given, else ``None``."""
+    if getattr(args, "trace", None) is None:
+        return None
+    from repro.obs import Tracer
+
+    return Tracer()
+
+
+def _export_trace(tracer, args) -> None:
+    if tracer is not None:
+        tracer.export_chrome(args.trace)
+
+
 def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("graph", help="path to an edge-list file ('u v' per line)")
     parser.add_argument("--seed", type=int, default=0, help="random seed (default 0)")
@@ -111,10 +145,12 @@ def build_parser() -> argparse.ArgumentParser:
     orient_parser = subparsers.add_parser("orient", help="compute an O(λ log log n) orientation")
     _add_common_arguments(orient_parser)
     _add_workers_argument(orient_parser)
+    _add_trace_argument(orient_parser)
 
     color_parser = subparsers.add_parser("color", help="compute an O(λ log log n) coloring")
     _add_common_arguments(color_parser)
     _add_workers_argument(color_parser)
+    _add_trace_argument(color_parser)
 
     layers_parser = subparsers.add_parser("layers", help="compute the Lemma 3.15 H-partition")
     _add_common_arguments(layers_parser)
@@ -161,16 +197,36 @@ def build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true", help="suppress the human-readable summary on stderr"
     )
     _add_workers_argument(stream_parser)
+    _add_trace_argument(stream_parser)
 
     multi_parser = subparsers.add_parser(
         "stream-multi", help="multiplex N streaming tenants on one shared engine"
     )
-    multi_parser.add_argument("num_vertices", type=int, help="vertices per tenant graph")
     multi_parser.add_argument(
-        "--tenants", type=int, default=4, help="number of tenants (default 4)"
+        "num_vertices",
+        type=int,
+        nargs="?",
+        default=None,
+        help="vertices per tenant graph (optional with --smoke, which defaults to 96)",
     )
-    multi_parser.add_argument("--batches", type=int, default=6, help="batches per tenant")
-    multi_parser.add_argument("--batch-size", type=int, default=120, help="updates per batch")
+    multi_parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny CI-sized preset: 96 vertices, 3 tenants, 3 batches of 40 "
+        "updates (explicit flags still win)",
+    )
+    multi_parser.add_argument(
+        "--tenants", type=int, default=None, help="number of tenants (default 4; 3 with --smoke)"
+    )
+    multi_parser.add_argument(
+        "--batches", type=int, default=None, help="batches per tenant (default 6; 3 with --smoke)"
+    )
+    multi_parser.add_argument(
+        "--batch-size",
+        type=int,
+        default=None,
+        help="updates per batch (default 120; 40 with --smoke)",
+    )
     multi_parser.add_argument("--seed", type=int, default=0)
     multi_parser.add_argument(
         "--delta", type=float, default=0.5, help="memory exponent δ (default 0.5)"
@@ -210,6 +266,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true", help="suppress the human-readable summary on stderr"
     )
     _add_workers_argument(multi_parser)
+    _add_trace_argument(multi_parser)
 
     experiment_parser = subparsers.add_parser(
         "experiment", help="run a registered experiment sweep and print its table"
@@ -231,6 +288,32 @@ def build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true", help="suppress the human-readable summary on stderr"
     )
     _add_workers_argument(experiment_parser)
+    _add_trace_argument(experiment_parser)
+
+    trace_report_parser = subparsers.add_parser(
+        "trace-report", help="summarise a --trace artifact as text tables"
+    )
+    trace_report_parser.add_argument(
+        "trace", help="path to a Chrome trace-event JSON written by --trace"
+    )
+    trace_report_parser.add_argument(
+        "--markdown", action="store_true", help="emit the tables as Markdown instead of ASCII"
+    )
+    trace_report_parser.add_argument("--output", help="write the tables to this file")
+
+    bench_report_parser = subparsers.add_parser(
+        "bench-report", help="trend table over BENCH_*.json benchmark snapshots"
+    )
+    bench_report_parser.add_argument(
+        "directory",
+        nargs="?",
+        default="benchmarks",
+        help="directory holding BENCH_*.json snapshots (default: benchmarks)",
+    )
+    bench_report_parser.add_argument(
+        "--markdown", action="store_true", help="emit the tables as Markdown instead of ASCII"
+    )
+    bench_report_parser.add_argument("--output", help="write the tables to this file")
     return parser
 
 
@@ -273,8 +356,9 @@ def main(argv: Sequence[str] | None = None) -> int:
                 else max(2, min(32, args.num_vertices))
             )
         trace = generate_trace(args.family, args.num_vertices, seed=args.seed, **params)
+        tracer = _make_tracer(args)
         service = StreamingService(
-            trace.initial, delta=args.delta, seed=args.seed, workers=args.workers
+            trace.initial, delta=args.delta, seed=args.seed, workers=args.workers, tracer=tracer
         )
         header = (
             "batch inserts deletes flips recolors rebuilds compactions "
@@ -291,6 +375,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             )
         service.verify()
         service.close()
+        _export_trace(tracer, args)
         _emit("\n".join(lines), args.output)
         summary = service.summary
         final = summary.final_report()
@@ -311,11 +396,18 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 0
 
     if args.command == "stream-multi":
+        if args.num_vertices is None:
+            if not args.smoke:
+                parser.error("stream-multi: num_vertices is required unless --smoke is given")
+            args.num_vertices = 96
+        num_tenants = args.tenants if args.tenants is not None else (3 if args.smoke else 4)
+        num_batches = args.batches if args.batches is not None else (3 if args.smoke else 6)
+        batch_size = args.batch_size if args.batch_size is not None else (40 if args.smoke else 120)
         traces = multi_tenant_traces(
-            num_tenants=args.tenants,
+            num_tenants=num_tenants,
             num_vertices=args.num_vertices,
-            num_batches=args.batches,
-            batch_size=args.batch_size,
+            num_batches=num_batches,
+            batch_size=batch_size,
             seed=args.seed,
         )
         policy_options = {}
@@ -324,12 +416,14 @@ def main(argv: Sequence[str] | None = None) -> int:
         if args.policy == "deficit-round-robin":
             policy_options["quantum"] = args.quantum
         planner = make_planner(args.policy, **policy_options)
+        tracer = _make_tracer(args)
         with StreamEngine(
             delta=args.delta,
             seed=args.seed,
             workers=args.workers,
             planner=planner,
             round_budget=args.round_budget,
+            tracer=tracer,
         ) as engine:
             for trace in traces:
                 engine.add_tenant(trace.name, trace.initial, memory_quota=args.quota)
@@ -362,7 +456,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             ]
             _summary(
                 [
-                    f"tenants: {args.tenants} (n={args.num_vertices} each), "
+                    f"tenants: {num_tenants} (n={args.num_vertices} each), "
                     f"ticks: {len(engine.ticks)}, updates: {summary.total_updates}",
                     f"policy: {args.policy}, round budget: {budget}, "
                     f"served: {summary.total_served}, deferred: {summary.total_deferred}, "
@@ -376,6 +470,7 @@ def main(argv: Sequence[str] | None = None) -> int:
                 ],
                 args.quiet,
             )
+        _export_trace(tracer, args)
         return 0
 
     if args.command == "experiment":
@@ -384,10 +479,14 @@ def main(argv: Sequence[str] | None = None) -> int:
 
         spec = get_experiment(args.experiment_id)
         runner = get_runner(args.experiment_id)
+        tracer = _make_tracer(args)
         table = Table(title=f"{spec.experiment_id}: {spec.claim}", columns=list(spec.columns))
         for workload in spec.workloads:
-            row = runner(workload, delta=args.delta, seed=args.seed, workers=args.workers)
+            row = runner(
+                workload, delta=args.delta, seed=args.seed, workers=args.workers, tracer=tracer
+            )
             table.add_row(row.as_dict())
+        _export_trace(tracer, args)
         _emit(table.to_markdown() if args.markdown else table.to_ascii(), args.output)
         _summary(
             [
@@ -399,10 +498,35 @@ def main(argv: Sequence[str] | None = None) -> int:
         )
         return 0
 
+    if args.command == "trace-report":
+        from repro.obs.report import trace_report_tables
+
+        tables = trace_report_tables(args.trace)
+        rendered = "\n\n".join(
+            table.to_markdown() if args.markdown else table.to_ascii() for table in tables
+        )
+        _emit(rendered, args.output)
+        return 0
+
+    if args.command == "bench-report":
+        from repro.obs.report import bench_trend_tables
+
+        tables = bench_trend_tables(args.directory)
+        if not tables:
+            print(f"no benchmark snapshots under {args.directory}", file=sys.stderr)
+            return 1
+        rendered = "\n\n".join(
+            table.to_markdown() if args.markdown else table.to_ascii() for table in tables
+        )
+        _emit(rendered, args.output)
+        return 0
+
     graph = read_edge_list(args.graph)
 
     if args.command == "orient":
-        run = orient(graph, delta=args.delta, seed=args.seed, workers=args.workers)
+        tracer = _make_tracer(args)
+        run = orient(graph, delta=args.delta, seed=args.seed, workers=args.workers, tracer=tracer)
+        _export_trace(tracer, args)
         _emit(format_orientation(run.orientation), args.output)
         _summary(
             [
@@ -416,7 +540,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 0
 
     if args.command == "color":
-        run = color(graph, delta=args.delta, seed=args.seed, workers=args.workers)
+        tracer = _make_tracer(args)
+        run = color(graph, delta=args.delta, seed=args.seed, workers=args.workers, tracer=tracer)
+        _export_trace(tracer, args)
         _emit(format_coloring(run.coloring), args.output)
         _summary(
             [

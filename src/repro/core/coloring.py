@@ -68,6 +68,7 @@ from repro.graph.hpartition import HPartition
 from repro.local.list_coloring import random_list_coloring
 from repro.mpc.cluster import MPCCluster
 from repro.mpc.config import MPCConfig
+from repro.obs.tracer import NULL_TRACER
 
 
 @dataclass
@@ -224,6 +225,7 @@ def color(
     workers: int = 1,
     executor: ParallelExecutor | None = None,
     pool: WorkerPool | None = None,
+    tracer=None,
 ) -> ColoringRun:
     """Compute an ``O(λ log log n)``-coloring of ``graph`` (Theorem 1.2).
 
@@ -237,6 +239,9 @@ def color(
     :class:`~repro.engine.WorkerPool` — the parts are then published into
     the pool's shard registry and each task ships only a handle and a slot
     index.  Results are byte-identical for any worker count and backend.
+    ``tracer`` records kernel-level wall-clock spans (layer+color, fan-out,
+    palette union) with their ledger deltas — observation only, results are
+    identical with tracing on or off.
     """
     if graph.num_vertices == 0:
         empty = Coloring(graph, {})
@@ -256,6 +261,9 @@ def color(
     if cluster is None:
         cluster = MPCCluster(MPCConfig.for_graph(graph, delta=delta))
         cluster.load_graph(graph)
+    tracer = NULL_TRACER if tracer is None else tracer
+    if tracer.enabled:
+        cluster.instrument(tracer)
     rng = random.Random(seed)
 
     if k is None:
@@ -274,20 +282,21 @@ def color(
 
     if not large_lambda:
         # Small-λ branch: one part, colored in place on the parent ledger.
-        run = complete_layer_assignment(graph, k=k, delta=delta, cluster=cluster)
-        hpartition = run.to_hpartition()
-        hpartitions.append(hpartition)
-        out_degree = max(hpartition.max_out_degree(), 1)
-        palette_size = palette_slack * out_degree
-        colors, local_rounds = _color_layered_graph(
-            graph,
-            hpartition,
-            palette_base=0,
-            palette_size=palette_size,
-            cluster=cluster,
-            rng=rng,
-            delta=delta,
-        )
+        with tracer.span("color:layers", cat="kernel", cluster=cluster):
+            run = complete_layer_assignment(graph, k=k, delta=delta, cluster=cluster)
+            hpartition = run.to_hpartition()
+            hpartitions.append(hpartition)
+            out_degree = max(hpartition.max_out_degree(), 1)
+            palette_size = palette_slack * out_degree
+            colors, local_rounds = _color_layered_graph(
+                graph,
+                hpartition,
+                palette_base=0,
+                palette_size=palette_size,
+                cluster=cluster,
+                rng=rng,
+                delta=delta,
+            )
         coloring = Coloring(graph, colors)
         return ColoringRun(
             coloring=coloring,
@@ -324,41 +333,47 @@ def color(
         # A borrowed executor is wrapped (not owned): closing the transient
         # pool unlinks its segments but leaves the caller's workers resident.
         pool = WorkerPool(workers=workers, executor=executor)
+    if tracer.enabled:
+        pool.instrument(tracer)
     try:
-        handle = pool.publish_vertex_parts(
-            "color-parts", [part for _index, part in nonempty]
-        )
-        results = pool.map(
-            _color_part_task,
-            [
-                (handle, slot, per_part_k, delta, palette_slack, part_seeds[index], cluster.fork())
-                for slot, (index, _part) in enumerate(nonempty)
-            ],
-            total_work=vertex_partition.total_edges + graph.num_vertices,
-            handles=(handle,),
-        )
+        with tracer.span(
+            "color:fanout", cat="kernel", cluster=cluster, parts=len(nonempty)
+        ):
+            handle = pool.publish_vertex_parts(
+                "color-parts", [part for _index, part in nonempty]
+            )
+            results = pool.map(
+                _color_part_task,
+                [
+                    (handle, slot, per_part_k, delta, palette_slack, part_seeds[index], cluster.fork())
+                    for slot, (index, _part) in enumerate(nonempty)
+                ],
+                total_work=vertex_partition.total_edges + graph.num_vertices,
+                handles=(handle,),
+            )
     finally:
         if owns_pool:
             pool.close()
 
-    cluster.merge_parallel([stats for *_rest, stats in results])
-    # Disjoint palette offsets: part i's colors shift by the total palette
-    # size of the parts before it.  The prefix sums are one broadcast.
-    cluster.charge_rounds(1, label="palette-offsets")
+    with tracer.span("color:merge", cat="kernel", cluster=cluster):
+        cluster.merge_parallel([stats for *_rest, stats in results])
+        # Disjoint palette offsets: part i's colors shift by the total palette
+        # size of the parts before it.  The prefix sums are one broadcast.
+        cluster.charge_rounds(1, label="palette-offsets")
 
-    local_rounds = 0
-    part_rounds: list[int] = []
-    palette_base = 0
-    for (_index, part), result in zip(nonempty, results):
-        color_column, layer_column, palette_size, part_local_rounds, stats = result
-        for local_vertex in part.vertices:
-            colors[part.to_parent(local_vertex)] = palette_base + color_column[local_vertex]
-        hpartitions.append(
-            HPartition(part, {v: layer_column[v] for v in part.vertices})
-        )
-        local_rounds += part_local_rounds
-        part_rounds.append(stats.num_rounds)
-        palette_base += palette_size
+        local_rounds = 0
+        part_rounds: list[int] = []
+        palette_base = 0
+        for (_index, part), result in zip(nonempty, results):
+            color_column, layer_column, palette_size, part_local_rounds, stats = result
+            for local_vertex in part.vertices:
+                colors[part.to_parent(local_vertex)] = palette_base + color_column[local_vertex]
+            hpartitions.append(
+                HPartition(part, {v: layer_column[v] for v in part.vertices})
+            )
+            local_rounds += part_local_rounds
+            part_rounds.append(stats.num_rounds)
+            palette_base += palette_size
 
     coloring = Coloring(graph, colors)
     return ColoringRun(

@@ -49,6 +49,7 @@ from repro.graph.hpartition import HPartition
 from repro.graph.orientation import Orientation
 from repro.mpc.cluster import MPCCluster
 from repro.mpc.config import MPCConfig
+from repro.obs.tracer import NULL_TRACER
 
 
 @dataclass
@@ -153,6 +154,7 @@ def orient(
     workers: int = 1,
     executor: ParallelExecutor | None = None,
     pool: WorkerPool | None = None,
+    tracer=None,
 ) -> OrientationRun:
     """Compute an ``O(λ log log n)``-outdegree orientation (Theorem 1.1).
 
@@ -190,6 +192,11 @@ def orient(
         ``workers`` and ``executor``).  The Lemma 2.1 parts are published
         into the pool's shard registry and each task ships only a handle and
         a part index; repeated calls on one pool reuse its resident workers.
+    tracer:
+        Optional :class:`repro.obs.Tracer`: records kernel-level wall-clock
+        spans (layer assignment, part fan-out, merge tree) carrying the
+        ledger delta each charged.  Observation only — results and round
+        counts are byte-identical with tracing on or off.
     """
     if graph.num_vertices == 0:
         empty = Orientation(graph, {})
@@ -205,6 +212,9 @@ def orient(
     if cluster is None:
         cluster = MPCCluster(MPCConfig.for_graph(graph, delta=delta))
         cluster.load_graph(graph)
+    tracer = NULL_TRACER if tracer is None else tracer
+    if tracer.enabled:
+        cluster.instrument(tracer)
 
     rng = random.Random(seed)
     if k is None:
@@ -225,8 +235,9 @@ def orient(
 
     partition_runs: list[LayerAssignmentRun] = []
     if not large_lambda:
-        run = complete_layer_assignment(graph, k=k, delta=delta, cluster=cluster)
-        orientation, hpartition = _orient_from_run(graph, run)
+        with tracer.span("orient:layers", cat="kernel", cluster=cluster):
+            run = complete_layer_assignment(graph, k=k, delta=delta, cluster=cluster)
+            orientation, hpartition = _orient_from_run(graph, run)
         partition_runs.append(run)
         return OrientationRun(
             orientation=orientation,
@@ -253,23 +264,29 @@ def orient(
         # A borrowed executor is wrapped (not owned): closing the transient
         # pool unlinks its segments but leaves the caller's workers resident.
         pool = WorkerPool(workers=workers, executor=executor)
+    if tracer.enabled:
+        pool.instrument(tracer)
     try:
-        handle = pool.publish_edge_parts("orient-parts", graph.num_vertices, parts)
-        results = pool.map(
-            _orient_part_task,
-            [(handle, i, per_part_k, delta, cluster.fork()) for i in range(len(parts))],
-            total_work=sum(part.num_edges for part in parts),
-            handles=(handle,),
-        )
+        with tracer.span(
+            "orient:fanout", cat="kernel", cluster=cluster, parts=len(parts)
+        ):
+            handle = pool.publish_edge_parts("orient-parts", graph.num_vertices, parts)
+            results = pool.map(
+                _orient_part_task,
+                [(handle, i, per_part_k, delta, cluster.fork()) for i in range(len(parts))],
+                total_work=sum(part.num_edges for part in parts),
+                handles=(handle,),
+            )
     finally:
         if owns_pool:
             pool.close()
-    partition_runs.extend(run for run, _orientation, _stats in results)
-    cluster.merge_parallel([stats for _run, _orientation, stats in results])
-    merged = _merge_orientation_tree(
-        [part_orientation for _run, part_orientation, _stats in results], cluster
-    )
-    merged = _check_merged_covers(graph, merged)
+    with tracer.span("orient:merge", cat="kernel", cluster=cluster):
+        partition_runs.extend(run for run, _orientation, _stats in results)
+        cluster.merge_parallel([stats for _run, _orientation, stats in results])
+        merged = _merge_orientation_tree(
+            [part_orientation for _run, part_orientation, _stats in results], cluster
+        )
+        merged = _check_merged_covers(graph, merged)
 
     return OrientationRun(
         orientation=merged,

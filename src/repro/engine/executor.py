@@ -36,12 +36,16 @@ determinism tests use to pin each backend down on tiny inputs.
 
 from __future__ import annotations
 
+import os
+import threading
+import time
 from collections.abc import Callable, Iterable, Sequence
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from typing import Any
 
 from repro.errors import ParameterError, WorkerCrashError
+from repro.obs.tracer import NULL_TRACER
 
 SERIAL = "serial"
 THREAD = "thread"
@@ -79,6 +83,22 @@ def seed_stream(base_seed: int | None, count: int) -> list[int]:
     return [derive_seed(base_seed, index) for index in range(count)]
 
 
+def _timed_task(fn: Callable[..., Any], args: Sequence[Any]) -> tuple:
+    """Run ``fn(*args)`` and report where/when it ran (tracing only).
+
+    This wrapper is what stitches worker-side spans across the pickle
+    boundary: it executes inside the worker and returns monotonic
+    ``perf_counter_ns`` readings (CLOCK_MONOTONIC on Linux, comparable
+    across processes on one machine) plus the worker identity.  The parent
+    unwraps the result in submission order, so tracing cannot reorder or
+    alter what callers observe.
+    """
+    start_ns = time.perf_counter_ns()
+    result = fn(*args)
+    end_ns = time.perf_counter_ns()
+    return result, os.getpid(), threading.get_ident(), start_ns, end_ns
+
+
 class ParallelExecutor:
     """Runs independent tasks concurrently, preserving submission order.
 
@@ -112,6 +132,32 @@ class ParallelExecutor:
         # callers like the streaming service map once per batch, and paying
         # pool startup/teardown per call would swamp small batches.
         self._pools: dict[str, ThreadPoolExecutor | ProcessPoolExecutor] = {}
+        # Health counters, maintained whether or not tracing is attached —
+        # `WorkerPool.stats()` reads them when diagnosing failures.
+        self.tasks_run = 0
+        self.respawns = 0
+        self._tracer = NULL_TRACER
+
+    def instrument(self, tracer) -> None:
+        """Attach a tracer for map/task spans; ``None`` restores the no-op."""
+        self._tracer = NULL_TRACER if tracer is None else tracer
+
+    def live_workers(self) -> int:
+        """Workers currently alive across this executor's lazy pools.
+
+        Best-effort introspection of the stdlib pool internals (0 when no
+        pool has been spun up yet) — used by ``WorkerPool.stats()``.
+        """
+        count = 0
+        for pool in self._pools.values():
+            processes = getattr(pool, "_processes", None)
+            if processes is not None:
+                count += sum(1 for process in processes.values() if process.is_alive())
+                continue
+            threads = getattr(pool, "_threads", None)
+            if threads is not None:
+                count += sum(1 for thread in threads if thread.is_alive())
+        return count
 
     def resolve_backend(
         self,
@@ -157,18 +203,12 @@ class ParallelExecutor:
             raise ParameterError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
         task_list = [tuple(args) for args in tasks]
         backend = self.resolve_backend(len(task_list), total_work, backend=backend)
+        self.tasks_run += len(task_list)
+        if self._tracer.enabled:
+            return self._map_traced(fn, task_list, backend)
         if backend == SERIAL:
             return [fn(*args) for args in task_list]
-        pool = self._pools.get(backend)
-        if pool is None:
-            pool_cls = ThreadPoolExecutor if backend == THREAD else ProcessPoolExecutor
-            pool = pool_cls(max_workers=self.workers)
-            self._pools[backend] = pool
-        try:
-            futures = [pool.submit(fn, *args) for args in task_list]
-        except BrokenProcessPool as exc:
-            self._discard_pool(backend)
-            raise WorkerCrashError(backend, str(exc)) from exc
+        futures = self._submit_all(fn, task_list, backend)
         try:
             return [future.result() for future in futures]
         except BrokenProcessPool as exc:
@@ -183,10 +223,90 @@ class ParallelExecutor:
             wait(futures)
             raise
 
+    def _map_traced(self, fn: Callable[..., Any], task_list: list, backend: str) -> list[Any]:
+        """The :meth:`map` body with span recording (tracer attached).
+
+        Identical result semantics: tasks run through the same backends in
+        the same order; only timing is observed.  Pooled tasks run through
+        :func:`_timed_task` and are unwrapped here in submission order.
+        """
+        tracer = self._tracer
+        name = getattr(fn, "__name__", "task")
+        with tracer.span(
+            f"map:{name}", cat="executor", backend=backend, tasks=len(task_list)
+        ) as map_span:
+            if backend == SERIAL:
+                results = []
+                for args in task_list:
+                    with tracer.span(f"task:{name}", cat="executor"):
+                        results.append(fn(*args))
+                return results
+            submit_marks: list[int] = []
+            futures = self._submit_all(
+                _timed_task,
+                [(fn, args) for args in task_list],
+                backend,
+                submit_marks=submit_marks,
+            )
+            try:
+                outcomes = [future.result() for future in futures]
+            except BrokenProcessPool as exc:
+                self._discard_pool(backend)
+                raise WorkerCrashError(backend, str(exc)) from exc
+            except BaseException:
+                for future in futures:
+                    future.cancel()
+                wait(futures)
+                raise
+            metrics = tracer.metrics
+            results = []
+            for outcome, submit_ns in zip(outcomes, submit_marks):
+                result, pid, thread_id, start_ns, end_ns = outcome
+                worker = pid if backend == PROCESS else thread_id
+                tracer.record_span(
+                    f"task:{name}",
+                    start_ns,
+                    end_ns,
+                    cat="worker",
+                    tid=worker,
+                    parent=map_span.span_id,
+                    args={"backend": backend},
+                )
+                metrics.observe(f"pool.queue_wait_ns.worker:{worker}", start_ns - submit_ns)
+                metrics.observe(f"pool.run_ns.worker:{worker}", end_ns - start_ns)
+                results.append(result)
+            return results
+
+    def _submit_all(
+        self,
+        fn: Callable[..., Any],
+        task_list: list,
+        backend: str,
+        submit_marks: list[int] | None = None,
+    ) -> list:
+        """Submit every task to the (lazily created) pool for ``backend``."""
+        pool = self._pools.get(backend)
+        if pool is None:
+            pool_cls = ThreadPoolExecutor if backend == THREAD else ProcessPoolExecutor
+            pool = pool_cls(max_workers=self.workers)
+            self._pools[backend] = pool
+        futures = []
+        try:
+            for args in task_list:
+                if submit_marks is not None:
+                    submit_marks.append(time.perf_counter_ns())
+                futures.append(pool.submit(fn, *args))
+        except BrokenProcessPool as exc:
+            self._discard_pool(backend)
+            raise WorkerCrashError(backend, str(exc)) from exc
+        return futures
+
     def _discard_pool(self, backend: str) -> None:
         """Drop a (broken) pool; a later map lazily creates a fresh one."""
         pool = self._pools.pop(backend, None)
         if pool is not None:
+            self.respawns += 1
+            self._tracer.metrics.inc("pool.respawns")
             pool.shutdown(wait=False, cancel_futures=True)
 
     def close(self) -> None:

@@ -82,6 +82,34 @@ class WorkerPool:
     def workers(self) -> int:
         return self.executor.workers
 
+    def instrument(self, tracer) -> None:
+        """Attach a tracer to the executor and its metrics to the registry.
+
+        Safe to call on borrowed pieces: instrumenting is observation-only,
+        and re-instrumenting with the same tracer is idempotent.  ``None``
+        restores the no-op defaults.
+        """
+        self.executor.instrument(tracer)
+        self.registry.instrument(None if tracer is None else tracer.metrics)
+
+    def stats(self) -> dict:
+        """Health snapshot for diagnostics (cheap, side-effect free).
+
+        Included in :meth:`repro.stream.engine.StreamEngine.verify` error
+        messages so pool-related failures are diagnosable from the exception
+        alone.
+        """
+        generations = self.registry.generations()
+        return {
+            "workers": self.workers,
+            "live_workers": self.executor.live_workers(),
+            "tasks_run": self.executor.tasks_run,
+            "respawns": self.executor.respawns,
+            "segments": len(self.registry.segment_names()),
+            "registry_keys": len(generations),
+            "registry_generations": sum(generations.values()),
+        }
+
     def allocate_scope(self, prefix: str) -> str:
         """A registry-unique key prefix, so co-resident publishers (one
         registry per engine, one scope per tenant service) can never collide

@@ -54,6 +54,7 @@ from dataclasses import dataclass
 from multiprocessing import shared_memory
 
 from repro.errors import GraphError, StaleShardError
+from repro.obs.metrics import NULL_METRICS
 
 _ITEMSIZE = array("l").itemsize
 _HEADER_LEN = struct.Struct("<Q")
@@ -165,7 +166,19 @@ class ShardRegistry:
         self._segment_names: list[str] = []
         self._scope_counter = 0
         self._finalizer = weakref.finalize(self, _unlink_segments, self._segment_names)
+        self.metrics = NULL_METRICS
         _REGISTRIES[self.uid] = self
+
+    def instrument(self, metrics) -> None:
+        """Attach a metrics registry (owner-side counters only).
+
+        Worker-side segment attaches happen in other processes that cannot
+        reach this object, so they are deliberately not counted here; the
+        owner-side figures (publishes, materialisations and their bytes,
+        zero-copy resolutions, retirements) describe what this registry
+        shipped versus shared in place.
+        """
+        self.metrics = NULL_METRICS if metrics is None else metrics
 
     def allocate_scope(self, prefix: str) -> str:
         """A registry-unique key prefix.
@@ -203,6 +216,7 @@ class ShardRegistry:
             self._retire_segment(self._segment_name(key, previous.generation))
         entry = _Entry(generation, kind, objects, build_columns, dict(meta or {}))
         self._entries[key] = entry
+        self.metrics.inc("shm.publishes")
         return ShardHandle(
             registry_uid=self.uid,
             key=key,
@@ -222,6 +236,7 @@ class ShardRegistry:
         if entry is None:
             return
         self._retire_segment(self._segment_name(key, entry.generation))
+        self.metrics.inc("shm.invalidations")
         # Keep a tombstone carrying the generation counter forward.
         entry.objects = None
         entry.build_columns = None
@@ -267,6 +282,8 @@ class ShardRegistry:
             raw = column.tobytes()
             buf[base + col_offset : base + col_offset + len(raw)] = raw
         entry.shared = True
+        self.metrics.inc("shm.segments_materialised")
+        self.metrics.inc("shm.bytes_shipped", total)
 
     # ------------------------------------------------------------------ #
     # Resolution (owner side)
@@ -277,6 +294,7 @@ class ShardRegistry:
         entry = self._current_entry(handle)
         if entry.objects is None:
             raise StaleShardError(handle.key, handle.generation, "invalidated")
+        self.metrics.inc("shm.zero_copy_views")
         return ShardView(objects=entry.objects, meta=entry.meta)
 
     def _current_entry(self, handle: ShardHandle) -> _Entry:
@@ -305,6 +323,7 @@ class ShardRegistry:
                 segment.unlink()
             except FileNotFoundError:  # pragma: no cover - already reclaimed
                 pass
+            self.metrics.inc("shm.segments_evicted")
         if name in self._segment_names:
             self._segment_names.remove(name)
 
@@ -315,6 +334,10 @@ class ShardRegistry:
     def segment_names(self) -> tuple[str, ...]:
         """Names of the segments currently materialised by this registry."""
         return tuple(self._segment_names)
+
+    def generations(self) -> dict[str, int]:
+        """Current generation per published key (tombstones included)."""
+        return {key: entry.generation for key, entry in self._entries.items()}
 
     def close(self) -> None:
         """Unlink every materialised segment and drop all entries (idempotent)."""

@@ -67,15 +67,18 @@ def run_orientation_experiment(
     seed: int = 0,
     exact_density: bool = False,
     workers: int = 1,
+    tracer=None,
 ) -> ExperimentRow:
     """E1: run Theorem 1.1 on a workload and record quality/round metrics.
 
     ``workers`` fans the large-λ Lemma 2.1 parts out through the superstep
-    engine; results are identical for any worker count.
+    engine; results are identical for any worker count.  ``tracer`` (a
+    :class:`repro.obs.Tracer`, optional) records host-side spans without
+    affecting any result.
     """
     graph = workload.materialize()
     row = _base_row(workload, graph, exact_density=exact_density)
-    run = orient(graph, delta=delta, seed=seed, workers=workers)
+    run = orient(graph, delta=delta, seed=seed, workers=workers, tracer=tracer)
     quality = validate_orientation_quality(
         run.orientation, row.arboricity_upper, graph.num_vertices
     )
@@ -105,6 +108,7 @@ def run_coloring_experiment(
     seed: int = 0,
     exact_density: bool = False,
     workers: int = 1,
+    tracer=None,
 ) -> ExperimentRow:
     """E2: run Theorem 1.2 on a workload, with the centralised baselines alongside.
 
@@ -114,7 +118,7 @@ def run_coloring_experiment(
     """
     graph = workload.materialize()
     row = _base_row(workload, graph, exact_density=exact_density)
-    run = color(graph, delta=delta, seed=seed, workers=workers)
+    run = color(graph, delta=delta, seed=seed, workers=workers, tracer=tracer)
     quality = validate_coloring_quality(run.coloring, row.arboricity_upper, graph.num_vertices)
     rounds_check = validate_round_complexity(run.rounds, graph.num_vertices)
     delta_baseline = greedy_delta_coloring(graph)
@@ -141,12 +145,13 @@ def run_round_scaling_experiment(
     delta: float = 0.5,
     seed: int = 0,
     workers: int = 1,
+    tracer=None,
 ) -> ExperimentRow:
     """E3: round counts of ours vs GLM19-style vs LOCAL-in-MPC on one workload."""
     graph = workload.materialize()
     row = _base_row(workload, graph)
     arboricity = row.arboricity_upper
-    ours = orient(graph, delta=delta, seed=seed, workers=workers)
+    ours = orient(graph, delta=delta, seed=seed, workers=workers, tracer=tracer)
     glm = glm19_orientation(graph, arboricity=arboricity, delta=delta)
     be = barenboim_elkin_in_mpc(graph, arboricity=arboricity, delta=delta)
     row.metrics.update(

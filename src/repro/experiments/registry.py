@@ -160,7 +160,7 @@ _REGISTRY: dict[str, ExperimentSpec] = {
         bench_module="benchmarks/bench_s3_multi_tenant.py",
         workloads=tuple(multi_tenant_suite(seed=10)),
         notes="Ticks fold tenant sub-ledgers with merge_parallel; round_savings = sequential-sum / parallel-max, approaching the tenant count on balanced fleets.",
-        columns=("workload", "tenants", "ticks", "updates", "flips", "rebuilds", "rounds_parallel", "rounds_sequential", "round_savings", "max_outdegree", "colors", "proper"),
+        columns=("workload", "tenants", "ticks", "updates", "flips", "rebuilds", "rounds_parallel", "rounds_sequential", "round_savings", "max_outdegree", "colors", "proper", "wall_clock_s"),
     ),
     "S4": ExperimentSpec(
         experiment_id="S4",
@@ -168,7 +168,7 @@ _REGISTRY: dict[str, ExperimentSpec] = {
         bench_module="benchmarks/bench_s4_scheduler.py",
         workloads=tuple(scheduler_suite(seed=11)),
         notes="Skewed fleet (2 bursty, 6 steady); unserved tenants' batches carry over intact; served tenants stay byte-identical to standalone runs.",
-        columns=("workload", "tenants", "policy", "budget", "ticks", "updates", "served", "deferred", "max_backlog", "tail_latency", "rounds_parallel", "rounds_sequential", "budget_ok", "conserved", "proper"),
+        columns=("workload", "tenants", "policy", "budget", "ticks", "updates", "served", "deferred", "max_backlog", "tail_latency", "rounds_parallel", "rounds_sequential", "budget_ok", "conserved", "proper", "wall_clock_s"),
     ),
     "S2": ExperimentSpec(
         experiment_id="S2",
@@ -195,7 +195,7 @@ def get_runner(experiment_id: str):
     """The harness runner for an experiment id, for CLI-driven sweeps.
 
     Every returned callable has the uniform signature
-    ``runner(workload, delta=..., seed=..., workers=...) -> ExperimentRow``.
+    ``runner(workload, delta=..., seed=..., workers=..., tracer=...) -> ExperimentRow``.
     Experiments whose tables are produced by bespoke benchmark code rather
     than a harness runner (E4–E7) raise ``KeyError`` — run their
     ``bench_module`` instead.  Imported lazily so importing the registry

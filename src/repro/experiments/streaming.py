@@ -48,10 +48,17 @@ def run_streaming_experiment(
     delta: float = 0.5,
     seed: int = 0,
     workers: int = 1,
+    tracer=None,
 ) -> ExperimentRow:
-    """S1: stream a trace through the service and record cost/quality metrics."""
+    """S1: stream a trace through the service and record cost/quality metrics.
+
+    ``tracer`` (a :class:`repro.obs.Tracer`, optional) records host-side
+    spans for the run; results are identical with tracing on or off.
+    """
     trace = workload.materialize()
-    with StreamingService(trace.initial, delta=delta, seed=seed, workers=workers) as service:
+    with StreamingService(
+        trace.initial, delta=delta, seed=seed, workers=workers, tracer=tracer
+    ) as service:
         summary = service.apply_all(trace.batches)
         service.verify()
 
@@ -86,6 +93,7 @@ def run_batch_size_experiment(
     delta: float = 0.5,
     seed: int = 0,
     workers: int = 1,
+    tracer=None,
 ) -> ExperimentRow:
     """S2: amortised rounds/update of one windowed trace at one batch size.
 
@@ -96,7 +104,9 @@ def run_batch_size_experiment(
     primitives + compaction + rebuilds) over total updates.
     """
     trace = workload.materialize()
-    with StreamingService(trace.initial, delta=delta, seed=seed, workers=workers) as service:
+    with StreamingService(
+        trace.initial, delta=delta, seed=seed, workers=workers, tracer=tracer
+    ) as service:
         summary = service.apply_all(trace.batches)
         service.verify()
 
@@ -137,6 +147,7 @@ def run_multi_tenant_experiment(
     delta: float = 0.5,
     seed: int = 0,
     workers: int = 1,
+    tracer=None,
 ) -> ExperimentRow:
     """S3: stream a tenant fleet through one engine and record the round fold.
 
@@ -149,7 +160,7 @@ def run_multi_tenant_experiment(
     end of the run.
     """
     traces = workload.materialize()
-    with StreamEngine(delta=delta, seed=seed, workers=workers) as engine:
+    with StreamEngine(delta=delta, seed=seed, workers=workers, tracer=tracer) as engine:
         for trace in traces:
             engine.add_tenant(trace.name, trace.initial)
             engine.submit_all(trace.name, trace.batches)
@@ -202,6 +213,7 @@ def run_multi_tenant_experiment(
                 "outdegree_ok": 1.0 if (worst_quality is None or worst_quality.passed) else 0.0,
                 "colors": float(final.num_colors),
                 "proper": 1.0 if proper else 0.0,
+                "wall_clock_s": summary.total_wall_clock_s,
             }
         )
     return row
@@ -230,6 +242,7 @@ def run_scheduler_experiment(
     delta: float = 0.5,
     seed: int = 0,
     workers: int = 1,
+    tracer=None,
 ) -> ExperimentRow:
     """S4: serve a skewed fleet under one scheduling policy + round budget.
 
@@ -249,6 +262,7 @@ def run_scheduler_experiment(
         workers=workers,
         planner=workload.make_planner(),
         round_budget=workload.round_budget,
+        tracer=tracer,
     ) as engine:
         for trace in traces:
             engine.add_tenant(trace.name, trace.initial)
@@ -315,6 +329,7 @@ def run_scheduler_experiment(
                 "budget_ok": 1.0 if budget_ok else 0.0,
                 "conserved": 1.0 if conserved else 0.0,
                 "proper": 1.0 if proper else 0.0,
+                "wall_clock_s": summary.total_wall_clock_s,
             }
         )
     return row

@@ -129,6 +129,20 @@ worker reading shared memory, and ``merge_parallel`` folds the forks with
 the same max/sum semantics above.  The determinism contract (same seed ⇒
 identical rounds for any worker count or backend) is what keeps the fold's
 inputs — and therefore every number in this module — reproducible.
+
+**Host-side observability (PR 7).**  The tracing layer in :mod:`repro.obs`
+records *wall-clock* spans of the host process (how long a tick, batch, or
+kernel fan-out actually took to execute) and is **disjoint from this
+ledger**: a span's duration is real time on the simulating machine, while a
+:class:`~repro.mpc.metrics.RoundRecord` is a synchronous round of the
+*simulated* MPC cluster.  Spans may *annotate* themselves with the ledger
+delta charged while they were open (read-only ``RoundStats`` marks — see
+``repro.obs.tracer``), which is how a timeline shows both clocks side by
+side, but tracing never writes to the ledger, never consumes randomness, and
+never changes what an algorithm computes.  ``MPCCluster.instrument`` attaches
+a tracer for aggregate round/volume counters; forks never inherit it (they
+cross the pickle boundary), so instrumentation stays a parent-process-only
+observation.
 """
 
 from __future__ import annotations
@@ -140,6 +154,7 @@ from repro.errors import GlobalMemoryExceeded, QuotaExceededError, SimulationErr
 from repro.mpc.config import MPCConfig
 from repro.mpc.machine import Machine
 from repro.mpc.metrics import RoundStats
+from repro.obs.tracer import NULL_TRACER
 
 Message = tuple[int, int, int]
 """A message is ``(source_key, destination_key, size_in_words)``."""
@@ -178,6 +193,23 @@ class MPCCluster:
         self._num_machines = config.num_machines()
         self._capacity = config.words_per_machine
         self._global_budget = config.global_memory_words()
+        self._tracer = NULL_TRACER
+
+    def instrument(self, tracer) -> None:
+        """Attach a tracer for aggregate round/volume counters.
+
+        Observation-only (see the module docstring): the tracer reads what
+        the ledger records, never the other way around.  Forks do not
+        inherit it — they cross the pickle boundary into workers.
+        """
+        self._tracer = NULL_TRACER if tracer is None else tracer
+
+    def __getstate__(self) -> dict:
+        # Tracers hold locks and thread-local state; a pickled cluster
+        # (a fork travelling to a worker) must never carry one.
+        state = self.__dict__.copy()
+        state["_tracer"] = NULL_TRACER
+        return state
 
     # ------------------------------------------------------------------ #
     # Machine access / storage accounting
@@ -337,6 +369,9 @@ class MPCCluster:
             rounds_needed = -(-max_volume // self._capacity)
 
         self.stats.record_round(label, total_words, max_sent, max_received)
+        if self._tracer.enabled:
+            self._tracer.metrics.inc("mpc.rounds")
+            self._tracer.metrics.inc("mpc.words_sent", total_words)
         if rounds_needed > 1:
             self.charge_rounds(rounds_needed - 1, label=f"{label}:oversized-split")
         self._observe_memory()
@@ -354,6 +389,8 @@ class MPCCluster:
             raise SimulationError("cannot charge a negative number of rounds")
         for _ in range(count):
             self.stats.record_round(label, 0, 0, 0)
+        if count and self._tracer.enabled:
+            self._tracer.metrics.inc("mpc.rounds", count)
 
     # ------------------------------------------------------------------ #
     # Sub-ledgers (parallel task fan-out; see repro.engine.ledger)

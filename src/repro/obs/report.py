@@ -1,0 +1,217 @@
+"""Text reports over trace artifacts and benchmark snapshots.
+
+Two consumers:
+
+- ``repro trace-report <trace.json>`` — summarise a Chrome trace written by
+  :meth:`repro.obs.Tracer.export_chrome`: wall-clock and ledger totals per
+  span name, plus the embedded metrics snapshot.
+- ``repro bench-report [--dir benchmarks/]`` — collect every persisted
+  ``BENCH_*.json`` snapshot (written by ``benchmarks/_bench_results.py``)
+  into one trend table: per benchmark and metric, the latest value against
+  the previous snapshot and their ratio.  This is the report half of the
+  ROADMAP "persistent perf trajectory" item.
+
+Both render through :class:`repro.analysis.reporting.Table` so the output
+matches the rest of the tooling.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..analysis.reporting import Table
+
+__all__ = [
+    "load_trace",
+    "span_summary_table",
+    "metrics_tables",
+    "trace_report_tables",
+    "load_bench_snapshots",
+    "bench_trend_tables",
+]
+
+BENCH_SNAPSHOT_GLOB = "BENCH_*.json"
+
+
+# --------------------------------------------------------------------------
+# trace-report
+# --------------------------------------------------------------------------
+
+
+def load_trace(path) -> dict:
+    """Read a Chrome trace-event payload written by ``Tracer.export_chrome``."""
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if "traceEvents" not in payload:
+        raise ValueError(f"{path}: not a Chrome trace (missing 'traceEvents')")
+    return payload
+
+
+def span_summary_table(payload: dict) -> Table:
+    """Aggregate events by span name: count, wall-clock, ledger deltas."""
+    groups: dict[str, list[float]] = {}
+    for event in payload.get("traceEvents", ()):
+        name = event.get("name", "?")
+        args = event.get("args", {})
+        entry = groups.setdefault(name, [0, 0.0, 0, 0])
+        entry[0] += 1
+        entry[1] += float(event.get("dur", 0.0))
+        entry[2] += int(args.get("rounds", 0) or 0)
+        entry[3] += int(args.get("volume", 0) or 0)
+    table = Table(
+        title="trace spans",
+        columns=["span", "count", "total_ms", "mean_ms", "rounds", "volume"],
+    )
+    for name in sorted(groups, key=lambda key: -groups[key][1]):
+        count, total_us, rounds, volume = groups[name]
+        table.add_row(
+            {
+                "span": name,
+                "count": count,
+                "total_ms": total_us / 1000.0,
+                "mean_ms": total_us / 1000.0 / count,
+                "rounds": rounds,
+                "volume": volume,
+            }
+        )
+    return table
+
+
+def metrics_tables(payload: dict) -> list[Table]:
+    """Render the embedded metrics snapshot (counters, gauges, histograms)."""
+    snapshot = payload.get("metrics", {})
+    tables: list[Table] = []
+    scalars = dict(snapshot.get("counters", {}))
+    scalars.update(snapshot.get("gauges", {}))
+    if scalars:
+        table = Table(title="metrics", columns=["metric", "value"])
+        for name in sorted(scalars):
+            table.add_row({"metric": name, "value": scalars[name]})
+        tables.append(table)
+    histograms = snapshot.get("histograms", {})
+    if histograms:
+        table = Table(
+            title="histograms",
+            columns=["metric", "count", "mean", "min", "max"],
+        )
+        for name in sorted(histograms):
+            hist = histograms[name]
+            table.add_row(
+                {
+                    "metric": name,
+                    "count": hist.get("count", 0),
+                    "mean": hist.get("mean", 0.0),
+                    "min": hist.get("min", 0.0),
+                    "max": hist.get("max", 0.0),
+                }
+            )
+        tables.append(table)
+    return tables
+
+
+def trace_report_tables(path) -> list[Table]:
+    """All tables for ``repro trace-report``: spans first, then metrics."""
+    payload = load_trace(path)
+    return [span_summary_table(payload), *metrics_tables(payload)]
+
+
+# --------------------------------------------------------------------------
+# bench-report
+# --------------------------------------------------------------------------
+
+
+def load_bench_snapshots(directory) -> dict[str, list[dict]]:
+    """Group ``BENCH_*.json`` payloads by benchmark name, oldest first.
+
+    Snapshots predating the schema header (no ``"schema"`` key) are accepted;
+    files that fail to parse or lack the bench/results shape are skipped
+    rather than failing the whole report.
+    """
+    directory = Path(directory)
+    by_bench: dict[str, list[dict]] = {}
+    for path in sorted(directory.glob(BENCH_SNAPSHOT_GLOB)):
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            continue
+        if not isinstance(payload, dict) or "bench" not in payload:
+            continue
+        payload.setdefault("timestamp_utc", path.stem)
+        payload["_path"] = str(path)
+        by_bench.setdefault(payload["bench"], []).append(payload)
+    for snapshots in by_bench.values():
+        snapshots.sort(key=lambda payload: payload["timestamp_utc"])
+    return by_bench
+
+
+def _numeric_metrics(results) -> dict[str, float]:
+    """Flatten a snapshot's results into ``{metric: value}``.
+
+    The common shape (``write_snapshot``) is one flat dict of metric →
+    value; a list of row dicts is also accepted, with rows keyed by their
+    first string-valued cell (else by position) as ``row/metric``.
+    Non-numeric cells are dropped.
+    """
+    metrics: dict[str, float] = {}
+    if isinstance(results, dict):
+        for key, value in results.items():
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            metrics[str(key)] = float(value)
+        return metrics
+    if not isinstance(results, list):
+        return metrics
+    for index, row in enumerate(results):
+        if not isinstance(row, dict):
+            continue
+        label = next(
+            (str(value) for value in row.values() if isinstance(value, str)),
+            str(index),
+        )
+        for key, value in row.items():
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            metrics[f"{label}/{key}"] = float(value)
+    return metrics
+
+
+def bench_trend_tables(directory) -> list[Table]:
+    """One trend table per benchmark: latest vs previous snapshot per metric."""
+    by_bench = load_bench_snapshots(directory)
+    tables: list[Table] = []
+    for bench in sorted(by_bench):
+        snapshots = by_bench[bench]
+        latest = snapshots[-1]
+        previous = snapshots[-2] if len(snapshots) > 1 else None
+        latest_metrics = _numeric_metrics(latest.get("results"))
+        previous_metrics = (
+            _numeric_metrics(previous.get("results")) if previous else {}
+        )
+        table = Table(
+            title=(
+                f"{bench} — {len(snapshots)} snapshot(s), "
+                f"latest {latest['timestamp_utc']}"
+            ),
+            columns=["metric", "previous", "latest", "ratio"],
+        )
+        for metric in sorted(latest_metrics):
+            latest_value = latest_metrics[metric]
+            previous_value = previous_metrics.get(metric)
+            if previous_value is None:
+                ratio = "-"
+            elif previous_value == 0:
+                ratio = "inf" if latest_value else "1.000"
+            else:
+                ratio = f"{latest_value / previous_value:.3f}"
+            table.add_row(
+                {
+                    "metric": metric,
+                    "previous": "-" if previous_value is None else previous_value,
+                    "latest": latest_value,
+                    "ratio": ratio,
+                }
+            )
+        tables.append(table)
+    return tables

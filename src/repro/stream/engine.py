@@ -70,11 +70,13 @@ tenant counts through :func:`repro.experiments.streaming.run_multi_tenant_experi
 
 from __future__ import annotations
 
+import time
 from collections import deque
 from dataclasses import dataclass, field
 
 from repro.engine import IN_PROCESS, THREAD, ParallelExecutor, WorkerPool, derive_seed
 from repro.errors import GraphError, QuotaExceededError
+from repro.obs.tracer import NULL_TRACER
 from repro.graph.graph import Graph
 from repro.mpc.cluster import MPCCluster
 from repro.mpc.config import MPCConfig
@@ -89,9 +91,23 @@ from repro.stream.service import StreamingService, graph_memory_words
 from repro.stream.updates import BatchReport, StreamSummary, UpdateBatch
 
 
-def _apply_tenant_batch(service: StreamingService, batch: UpdateBatch) -> BatchReport:
-    """One tick task: apply one batch to one tenant (disjoint state)."""
-    return service.apply(batch)
+def _apply_tenant_batch(
+    service: StreamingService,
+    batch: UpdateBatch,
+    tracer=None,
+    parent: int | None = None,
+    tenant: str | None = None,
+) -> BatchReport:
+    """One tick task: apply one batch to one tenant (disjoint state).
+
+    With a tracer attached the task wraps itself in a ``tenant`` span
+    parented (explicitly — tick tasks may run on executor threads) under
+    the tick span; the service's own ``batch`` span then nests inside it.
+    """
+    if tracer is None or not tracer.enabled:
+        return service.apply(batch)
+    with tracer.span("tenant", cat="engine", parent=parent, tenant=tenant):
+        return service.apply(batch)
 
 
 @dataclass
@@ -134,6 +150,10 @@ class TickReport:
     planned_rounds: int = 0
     """Sum of the planned tenants' estimated costs (≤ ``round_budget`` unless
     a single head-of-line batch alone exceeds it — the progress guarantee)."""
+    wall_clock_s: float = field(default=0.0, compare=False)
+    """Host wall-clock of the tick (monotonic; populated with tracing off
+    too).  Excluded from equality — it describes this run's hardware, not
+    the simulated outcome."""
 
     @property
     def num_tenants_served(self) -> int:
@@ -185,6 +205,12 @@ class StreamEngine:
         Per-tick work budget: the planner admits tenants while the sum of
         their estimated per-batch round costs fits it (``None`` = unbounded).
         See :mod:`repro.stream.scheduler` for the admission contract.
+    tracer:
+        Optional :class:`repro.obs.Tracer`.  Instruments the executor, the
+        pool registry, the shared ledger and every tenant service, and wraps
+        each tick in a span annotated with the planner's decisions (who was
+        planned, deferred, quarantined, and why the budget said so).
+        Observation only: outcomes are byte-identical with tracing on or off.
     """
 
     def __init__(
@@ -196,15 +222,19 @@ class StreamEngine:
         cluster: MPCCluster | None = None,
         planner: TickPlanner | str | None = None,
         round_budget: int | None = None,
+        tracer=None,
     ) -> None:
         self._delta = delta
         self._seed = seed
+        self.tracer = NULL_TRACER if tracer is None else tracer
         self._owns_executor = executor is None
         self._executor = (
             executor
             if executor is not None
             else ParallelExecutor(workers=workers, backend=THREAD)
         )
+        if tracer is not None:
+            self._executor.instrument(tracer)
         self.cluster = cluster
         if isinstance(planner, str):
             planner = make_planner(planner)
@@ -229,6 +259,8 @@ class StreamEngine:
         :mod:`repro.engine.shm`) guarantees the segments are unlinked."""
         if self._pool is None:
             self._pool = WorkerPool(executor=self._executor)
+            if self.tracer.enabled:
+                self._pool.instrument(self.tracer)
         return self._pool
 
     # ------------------------------------------------------------------ #
@@ -285,6 +317,8 @@ class StreamEngine:
         created_cluster = self.cluster is None
         if created_cluster:
             self.cluster = MPCCluster(tenant_config)
+        if self.tracer.enabled:
+            self.cluster.instrument(self.tracer)
         ledger = self.cluster.fork(config=tenant_config, memory_quota=memory_quota)
         tenant_seed = (
             seed if seed is not None else derive_seed(self._seed, len(self._tenants))
@@ -296,6 +330,8 @@ class StreamEngine:
         # publications live (scoped, collision-free) in one registry whose
         # lifetime the engine owns.
         tenant_pool = WorkerPool(workers=1, registry=self._ensure_pool().registry)
+        if self.tracer.enabled:
+            tenant_pool.instrument(self.tracer)
         service = StreamingService(
             initial,
             delta=self._delta,
@@ -306,6 +342,7 @@ class StreamEngine:
             maintain_coloring=maintain_coloring,
             pool=tenant_pool,
             proactive_flips=proactive_flips,
+            tracer=self.tracer if self.tracer.enabled else None,
         )
         # The construction build's memory peak must fit the quota too; a
         # breach here leaves the engine untouched (nothing folded yet, and a
@@ -391,6 +428,7 @@ class StreamEngine:
         cluster.memory_quota = effective
         breach = tenant.quarantine
         tenant.quarantine = None
+        self.tracer.metrics.inc("engine.quota_lifts")
         return breach
 
     def _tenant(self, name: str) -> _Tenant:
@@ -473,6 +511,7 @@ class StreamEngine:
         quarantined, the tick completes for its siblings, and the
         :class:`~repro.errors.QuotaExceededError` propagates afterwards.
         """
+        started = time.perf_counter()
         candidates = [
             tenant
             for tenant in self._tenants.values()
@@ -480,126 +519,161 @@ class StreamEngine:
         ]
         if not candidates:
             return None
-        loads = self._tenant_loads(candidates)
-        planned_names = list(self.planner.plan(loads, self.round_budget))
-        known = {tenant.name for tenant in candidates}
-        if len(set(planned_names)) != len(planned_names) or not set(
-            planned_names
-        ).issubset(known):
-            raise GraphError(
-                f"planner {self.planner!r} returned an invalid plan "
-                f"{planned_names!r} for candidates {sorted(known)}"
+        tracer = self.tracer
+        with tracer.span(
+            "tick",
+            cat="engine",
+            cluster=self.cluster,
+            tick=len(self.ticks),
+            policy=self.planner.name,
+        ) as tick_span:
+            loads = self._tenant_loads(candidates)
+            planned_names = list(self.planner.plan(loads, self.round_budget))
+            known = {tenant.name for tenant in candidates}
+            if len(set(planned_names)) != len(planned_names) or not set(
+                planned_names
+            ).issubset(known):
+                raise GraphError(
+                    f"planner {self.planner!r} returned an invalid plan "
+                    f"{planned_names!r} for candidates {sorted(known)}"
+                )
+            planned = [self._tenants[name] for name in planned_names]
+            deferred = tuple(
+                tenant.name for tenant in candidates if tenant.name not in set(planned_names)
             )
-        planned = [self._tenants[name] for name in planned_names]
-        deferred = tuple(
-            tenant.name for tenant in candidates if tenant.name not in set(planned_names)
-        )
-        estimates = {load.name: load.estimated_rounds for load in loads}
+            estimates = {load.name: load.estimated_rounds for load in loads}
+            # The planner's decision, annotated on the tick span: who got
+            # scheduled, who was pushed back, and the budget arithmetic
+            # behind it (estimates are the admission inputs).
+            tick_span.annotate(
+                planned=list(planned_names),
+                deferred=list(deferred),
+                round_budget=self.round_budget,
+                planned_rounds=sum(estimates[name] for name in planned_names),
+                estimates={load.name: load.estimated_rounds for load in loads},
+            )
 
-        # Quota admission: project each scheduled tenant's post-batch size
-        # before any state or ledger is touched, so a breaching batch stays
-        # queued intact and the tenant is quarantined consistent.
-        quota_error: QuotaExceededError | None = None
-        breached: list[str] = []
-        admitted: list[_Tenant] = []
-        for tenant in planned:
-            quota = tenant.service.cluster.memory_quota
-            if quota is not None:
-                projected = tenant.service.projected_memory_words(tenant.queue[0])
-                if projected > quota:
-                    exc = QuotaExceededError(
-                        projected, quota, scope=f"tenant {tenant.name!r}"
-                    )
+            # Quota admission: project each scheduled tenant's post-batch size
+            # before any state or ledger is touched, so a breaching batch stays
+            # queued intact and the tenant is quarantined consistent.
+            quota_error: QuotaExceededError | None = None
+            breached: list[str] = []
+            admitted: list[_Tenant] = []
+            for tenant in planned:
+                quota = tenant.service.cluster.memory_quota
+                if quota is not None:
+                    projected = tenant.service.projected_memory_words(tenant.queue[0])
+                    if projected > quota:
+                        exc = QuotaExceededError(
+                            projected, quota, scope=f"tenant {tenant.name!r}"
+                        )
+                        tenant.quarantine = exc
+                        breached.append(tenant.name)
+                        if quota_error is None:
+                            quota_error = exc
+                        continue
+                admitted.append(tenant)
+
+            applied_before = {
+                tenant.name: tenant.service.summary.num_batches for tenant in admitted
+            }
+            if tracer.enabled:
+                tick_parent = tick_span.span_id
+                tasks = [
+                    (tenant.service, tenant.queue[0], tracer, tick_parent, tenant.name)
+                    for tenant in admitted
+                ]
+            else:
+                tasks = [(tenant.service, tenant.queue[0]) for tenant in admitted]
+            error: BaseException | None = None
+            if tasks:
+                work = sum(len(task[1]) for task in tasks)
+                backend = self._executor.resolve_backend(len(tasks), work)
+                try:
+                    if backend in IN_PROCESS:
+                        self._executor.map(
+                            _apply_tenant_batch, tasks, total_work=work, backend=backend
+                        )
+                    else:
+                        # Tenant tasks mutate live tenant state: never ship them
+                        # to worker processes; degrade to the serial loop.
+                        for task in tasks:
+                            _apply_tenant_batch(*task)
+                except BaseException as exc:  # fold the partial tick, then re-raise
+                    error = exc
+            applied = [
+                tenant
+                for tenant in admitted
+                if tenant.service.summary.num_batches > applied_before[tenant.name]
+            ]
+            for tenant in applied:
+                tenant.queue.popleft()
+
+            # Fold-time backstop: a rebuild's working set can outgrow the quota
+            # even though the projected graph size fit.  The batch is already
+            # applied (and consumed) in this path; the tenant stays consistent
+            # and is quarantined from here on.
+            for tenant in applied:
+                try:
+                    tenant.service.cluster.check_quota()
+                except QuotaExceededError as exc:
                     tenant.quarantine = exc
                     breached.append(tenant.name)
                     if quota_error is None:
                         quota_error = exc
-                    continue
-            admitted.append(tenant)
 
-        applied_before = {
-            tenant.name: tenant.service.summary.num_batches for tenant in admitted
-        }
-        tasks = [(tenant.service, tenant.queue[0]) for tenant in admitted]
-        error: BaseException | None = None
-        if tasks:
-            work = sum(len(batch) for _service, batch in tasks)
-            backend = self._executor.resolve_backend(len(tasks), work)
-            try:
-                if backend in IN_PROCESS:
-                    self._executor.map(
-                        _apply_tenant_batch, tasks, total_work=work, backend=backend
-                    )
-                else:
-                    # Tenant tasks mutate live tenant state: never ship them
-                    # to worker processes; degrade to the serial loop.
-                    for task in tasks:
-                        _apply_tenant_batch(*task)
-            except BaseException as exc:  # fold the partial tick, then re-raise
-                error = exc
-        applied = [
-            tenant
-            for tenant in admitted
-            if tenant.service.summary.num_batches > applied_before[tenant.name]
-        ]
-        for tenant in applied:
-            tenant.queue.popleft()
+            # Fold every tenant — not just the served ones.  An idle tenant's
+            # delta has zero rounds (its mark is current), so it cannot stretch
+            # the superstep, but its lifetime memory peaks still sum into the
+            # fold: co-resident tenants occupy the fleet whether or not they
+            # had a batch this tick (the charging model in repro.mpc.cluster).
+            # A tick that served nobody folds an empty superstep: zero rounds.
+            deltas = []
+            for tenant in self._tenants.values():
+                stats = tenant.service.cluster.stats
+                deltas.append(stats.since(tenant.round_mark))
+                tenant.round_mark = stats.num_rounds
+            rounds = self.cluster.merge_parallel(deltas)
 
-        # Fold-time backstop: a rebuild's working set can outgrow the quota
-        # even though the projected graph size fit.  The batch is already
-        # applied (and consumed) in this path; the tenant stays consistent
-        # and is quarantined from here on.
-        for tenant in applied:
-            try:
-                tenant.service.cluster.check_quota()
-            except QuotaExceededError as exc:
-                tenant.quarantine = exc
-                breached.append(tenant.name)
-                if quota_error is None:
-                    quota_error = exc
-
-        # Fold every tenant — not just the served ones.  An idle tenant's
-        # delta has zero rounds (its mark is current), so it cannot stretch
-        # the superstep, but its lifetime memory peaks still sum into the
-        # fold: co-resident tenants occupy the fleet whether or not they
-        # had a batch this tick (the charging model in repro.mpc.cluster).
-        # A tick that served nobody folds an empty superstep: zero rounds.
-        deltas = []
-        for tenant in self._tenants.values():
-            stats = tenant.service.cluster.stats
-            deltas.append(stats.since(tenant.round_mark))
-            tenant.round_mark = stats.num_rounds
-        rounds = self.cluster.merge_parallel(deltas)
-
-        report_by_name = {
-            tenant.name: tenant.service.summary.reports[-1] for tenant in applied
-        }
-        tick_report = TickReport(
-            tick_index=len(self.ticks),
-            reports=report_by_name,
-            rounds=rounds,
-            planned=tuple(planned_names),
-            deferred=deferred,
-            quota_breached=tuple(breached),
-            backlog_updates=sum(
+            report_by_name = {
+                tenant.name: tenant.service.summary.reports[-1] for tenant in applied
+            }
+            backlog = sum(
                 tenant.backlog_updates()
                 for tenant in self._tenants.values()
                 if tenant.quarantine is None
-            ),
-            round_budget=self.round_budget,
-            planned_rounds=sum(estimates[name] for name in planned_names),
-        )
-        if applied or rounds or deferred or breached:
-            self.ticks.append(tick_report)
-            self.summary.add(self._aggregate_report(tick_report))
-        # Execution errors outrank quota breaches: a KeyboardInterrupt (or a
-        # sibling's GraphError) must never be swallowed by a concurrent
-        # quota event — quarantine state already records the breach.
-        if error is not None:
-            raise error
-        if quota_error is not None:
-            raise quota_error
-        return tick_report
+            )
+            tick_span.annotate(served=list(report_by_name), quota_breached=list(breached))
+            metrics = tracer.metrics
+            if metrics.enabled:
+                metrics.inc("engine.ticks")
+                metrics.inc("engine.tenants_served", len(report_by_name))
+                metrics.inc("engine.tenants_deferred", len(deferred))
+                metrics.inc("engine.quota_breaches", len(breached))
+                metrics.gauge("engine.backlog_updates", backlog)
+            tick_report = TickReport(
+                tick_index=len(self.ticks),
+                reports=report_by_name,
+                rounds=rounds,
+                planned=tuple(planned_names),
+                deferred=deferred,
+                quota_breached=tuple(breached),
+                backlog_updates=backlog,
+                round_budget=self.round_budget,
+                planned_rounds=sum(estimates[name] for name in planned_names),
+                wall_clock_s=time.perf_counter() - started,
+            )
+            if applied or rounds or deferred or breached:
+                self.ticks.append(tick_report)
+                self.summary.add(self._aggregate_report(tick_report))
+            # Execution errors outrank quota breaches: a KeyboardInterrupt (or a
+            # sibling's GraphError) must never be swallowed by a concurrent
+            # quota event — quarantine state already records the breach.
+            if error is not None:
+                raise error
+            if quota_error is not None:
+                raise quota_error
+            return tick_report
 
     def run_until_drained(self, max_ticks: int | None = None) -> StreamSummary:
         """Tick until no schedulable batches remain; returns the summary.
@@ -654,6 +728,7 @@ class StreamEngine:
             num_colors=sum(
                 s.coloring.num_colors() for s in services if s.coloring is not None
             ),
+            wall_clock_s=tick.wall_clock_s,
         )
 
     # ------------------------------------------------------------------ #
@@ -661,9 +736,21 @@ class StreamEngine:
     # ------------------------------------------------------------------ #
 
     def verify(self) -> None:
-        """Run every tenant's invariant checks (raises on the first drift)."""
+        """Run every tenant's invariant checks (raises on the first drift).
+
+        The re-raised error names the failing tenant and carries the engine
+        pool's health snapshot (:meth:`repro.engine.WorkerPool.stats`), so a
+        pool-related failure — dead workers, respawn churn, stale shard
+        generations — is diagnosable from the exception alone.
+        """
         for tenant in self._tenants.values():
-            tenant.service.verify()
+            try:
+                tenant.service.verify()
+            except GraphError as exc:
+                pool_stats = self._pool.stats() if self._pool is not None else {}
+                raise GraphError(
+                    f"tenant {tenant.name!r}: {exc} [pool {pool_stats}]"
+                ) from exc
 
     def close(self) -> None:
         """Release every tenant, the engine pool's segments, the executor."""

@@ -42,8 +42,11 @@ Per-batch costs and structure quality are returned as
 
 from __future__ import annotations
 
+import time
+
 from repro.engine import THREAD, ParallelExecutor, WorkerPool
 from repro.errors import GraphError
+from repro.obs.tracer import NULL_TRACER
 from repro.graph.graph import Graph, normalize_edge
 from repro.mpc.cluster import MPCCluster
 from repro.mpc.config import MPCConfig
@@ -105,6 +108,12 @@ class StreamingService:
         builds and owns a pool around ``executor``/``workers``/``backend``.
     proactive_flips:
         Forwarded to :class:`IncrementalOrientation`.
+    tracer:
+        Optional :class:`repro.obs.Tracer`.  When given, each batch is
+        wrapped in host wall-clock spans (batch → repair/recolor/quality)
+        carrying the ledger delta charged inside them, and a service-owned
+        pool/cluster is instrumented for metrics.  Tracing is observation
+        only — results are byte-identical with it on or off.
     """
 
     def __init__(
@@ -121,15 +130,22 @@ class StreamingService:
         executor: ParallelExecutor | None = None,
         pool: WorkerPool | None = None,
         proactive_flips: bool = True,
+        tracer=None,
     ) -> None:
         if cluster is None:
             cluster = MPCCluster(MPCConfig.for_graph(initial, delta=delta))
         self.cluster = cluster
+        self.tracer = NULL_TRACER if tracer is None else tracer
+        owns_pool = pool is None
         self._pool = (
             pool
             if pool is not None
             else WorkerPool(workers=workers, backend=backend, executor=executor)
         )
+        if tracer is not None:
+            cluster.instrument(tracer)
+            if owns_pool:
+                self._pool.instrument(tracer)
         self._executor = self._pool.executor
         self._shard_key = self._pool.allocate_scope("repair-shards-")
         self.dynamic = DynamicGraph(initial)
@@ -184,7 +200,41 @@ class StreamingService:
             pending[e] = update.is_insert
 
     def apply(self, batch: UpdateBatch) -> BatchReport:
-        """Apply one batch atomically; returns the per-batch metric report."""
+        """Apply one batch atomically; returns the per-batch metric report.
+
+        ``report.wall_clock_s`` is always populated (monotonic host time,
+        tracing or not); with a tracer attached the batch additionally
+        records a ``batch`` span (with nested repair/recolor/quality spans)
+        carrying the ledger delta charged while it was open.
+        """
+        started = time.perf_counter()
+        with self.tracer.span(
+            "batch",
+            cat="stream",
+            cluster=self.cluster,
+            batch=self.summary.num_batches,
+            updates=len(batch),
+        ) as span:
+            report = self._apply_batch(batch)
+            span.annotate(
+                flips=report.flips,
+                recolors=report.recolors,
+                rebuilds=report.rebuilds,
+                compactions=report.compactions,
+            )
+        report.wall_clock_s = time.perf_counter() - started
+        metrics = self.tracer.metrics
+        if metrics.enabled:
+            metrics.inc("stream.batches")
+            metrics.inc("stream.flips", report.flips)
+            metrics.inc("stream.recolors", report.recolors)
+            metrics.inc("stream.rebuilds", report.rebuilds)
+            metrics.inc("stream.compactions", report.compactions)
+        self.summary.add(report)
+        return report
+
+    def _apply_batch(self, batch: UpdateBatch) -> BatchReport:
+        """The :meth:`apply` body; returns the report *before* aggregation."""
         self._validate_batch(batch)
         orientation = self.orientation
         coloring = self.coloring
@@ -215,22 +265,25 @@ class StreamingService:
             else:
                 dynamic.remove_edge(update.u, update.v)
 
-        grouped = orientation.apply_batch(
-            batch.updates, pool=self._pool, shard_key=self._shard_key
-        )
+        with self.tracer.span("repair", cat="stream", cluster=cluster):
+            grouped = orientation.apply_batch(
+                batch.updates, pool=self._pool, shard_key=self._shard_key
+            )
 
         if coloring is not None:
-            for update in batch.updates:
-                if update.is_insert:
-                    coloring.handle_insert(update.u, update.v)
-                else:
-                    coloring.handle_delete(update.u, update.v)
+            with self.tracer.span("recolor", cat="stream", cluster=cluster):
+                for update in batch.updates:
+                    if update.is_insert:
+                        coloring.handle_insert(update.u, update.v)
+                    else:
+                        coloring.handle_delete(update.u, update.v)
 
         # Amortised quality maintenance at the batch boundary; a rebuild here
         # also refreshes the coloring (the rebuild recomputed everything).
-        orientation.ensure_quality()
-        if coloring is not None and orientation.rebuilds > rebuilds_before:
-            coloring.refresh(dynamic.snapshot())
+        with self.tracer.span("quality", cat="stream", cluster=cluster):
+            orientation.ensure_quality()
+            if coloring is not None and orientation.rebuilds > rebuilds_before:
+                coloring.refresh(dynamic.snapshot())
 
         flips = orientation.flips - flips_before
         recolors = (coloring.recolors - recolors_before) if coloring is not None else 0
@@ -266,7 +319,6 @@ class StreamingService:
             outdegree_cap=orientation.outdegree_cap,
             num_colors=coloring.num_colors() if coloring is not None else 0,
         )
-        self.summary.add(report)
         return report
 
     def projected_memory_words(self, batch: UpdateBatch) -> int:

@@ -87,6 +87,13 @@ class BatchReport:
     *engine-level* aggregate rows — one row per scheduler tick — and stay 0
     on a standalone service's per-batch reports (a lone service serves
     itself every batch).
+
+    ``wall_clock_s`` is *host* time (monotonic, measured whether or not
+    tracing is attached) — a property of this run's hardware and schedule,
+    not of the simulated algorithm.  It is excluded from equality and from
+    :meth:`as_dict` so that byte-identical determinism fingerprints keep
+    comparing only simulated outcomes; trace-level aggregates surface it via
+    :meth:`StreamSummary.as_dict` instead.
     """
 
     batch_index: int
@@ -109,6 +116,7 @@ class BatchReport:
     tenants_deferred: int = 0
     backlog_updates: int = 0
     quota_breaches: int = 0
+    wall_clock_s: float = field(default=0.0, compare=False)
 
     @property
     def num_updates(self) -> int:
@@ -206,6 +214,11 @@ class StreamSummary:
         return max((r.backlog_updates for r in self.reports), default=0)
 
     @property
+    def total_wall_clock_s(self) -> float:
+        """Host wall-clock summed over all reports (monotonic, host-only)."""
+        return sum(r.wall_clock_s for r in self.reports)
+
+    @property
     def amortised_flips(self) -> float:
         """Flips per update across the whole trace."""
         return self.total_flips / max(self.total_updates, 1)
@@ -231,6 +244,7 @@ class StreamSummary:
             "deferred": float(self.total_deferred),
             "quota_breaches": float(self.total_quota_breaches),
             "max_backlog": float(self.max_backlog_updates),
+            "wall_clock_s": float(self.total_wall_clock_s),
         }
         if self.reports:
             final = self.final_report()

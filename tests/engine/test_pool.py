@@ -160,6 +160,66 @@ class TestStaleGenerations:
                 pool.map(_read_part_edges, tasks, backend=PROCESS, handles=())
 
 
+class TestStatsAndInstrumentation:
+    def test_stats_counts_tasks_segments_and_generations(self):
+        graph, parts = _graph_and_parts()
+        with WorkerPool(workers=2) as pool:
+            stats = pool.stats()
+            assert stats["workers"] == 2
+            assert stats["tasks_run"] == 0
+            assert stats["respawns"] == 0
+            handle = pool.publish_edge_parts("parts", graph.num_vertices, parts)
+            pool.registry.ensure_shared(handle)
+            pool.map(_read_part_edges, [(handle, i) for i in range(len(parts))])
+            stats = pool.stats()
+            assert stats["tasks_run"] == len(parts)
+            assert stats["segments"] >= 1
+            assert stats["registry_keys"] >= 1
+            assert stats["registry_generations"] >= 1
+            pool.publish_edge_parts("parts", graph.num_vertices, parts)
+            assert pool.stats()["registry_generations"] >= 2
+
+    def test_worker_crash_bumps_the_respawn_counter_and_metric(self):
+        from repro.obs import Tracer
+
+        graph, parts = _graph_and_parts()
+        tracer = Tracer()
+        with WorkerPool(workers=2, backend=PROCESS) as pool:
+            pool.instrument(tracer)
+            handle = pool.publish_edge_parts("parts", graph.num_vertices, parts)
+            tasks = [(handle, i) for i in range(len(parts))]
+            with pytest.raises(WorkerCrashError):
+                pool.map(_die, tasks, backend=PROCESS, handles=(handle,))
+            assert pool.stats()["respawns"] == 1
+            assert tracer.metrics.snapshot()["counters"]["pool.respawns"] == 1
+            assert tracer.metrics.snapshot()["counters"]["shm.publishes"] == 1
+
+    def test_instrument_none_restores_the_null_tracer(self):
+        from repro.obs import Tracer
+
+        with WorkerPool(workers=1) as pool:
+            tracer = Tracer()
+            pool.instrument(tracer)
+            assert pool.executor._tracer is tracer
+            pool.instrument(None)
+            assert pool.executor._tracer.enabled is False
+            assert pool.registry.metrics.enabled is False
+
+    def test_engine_verify_failure_carries_pool_stats(self):
+        from repro.errors import GraphError
+
+        initial = union_of_random_forests(48, arboricity=2, seed=3)
+        with StreamEngine(seed=5) as engine:
+            engine.add_tenant("t", initial)
+
+            def boom():
+                raise GraphError("invariant broken")
+
+            engine.tenant_service("t").verify = boom
+            with pytest.raises(GraphError, match=r"tenant 't'.*\[pool .*tasks_run"):
+                engine.verify()
+
+
 class TestSegmentCleanup:
     def test_pool_close_unlinks_every_segment(self):
         graph, parts = _graph_and_parts()

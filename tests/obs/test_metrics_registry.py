@@ -1,0 +1,71 @@
+"""MetricsRegistry counters/gauges/histograms and the NullMetrics no-op."""
+
+from __future__ import annotations
+
+import pickle
+import threading
+
+from repro.obs import NULL_METRICS, MetricsRegistry, NullMetrics
+
+
+class TestMetricsRegistry:
+    def test_counters_accumulate(self):
+        metrics = MetricsRegistry()
+        metrics.inc("a")
+        metrics.inc("a", 4)
+        metrics.inc("b")
+        snapshot = metrics.snapshot()
+        assert snapshot["counters"] == {"a": 5, "b": 1}
+
+    def test_gauges_keep_the_last_value(self):
+        metrics = MetricsRegistry()
+        metrics.gauge("depth", 7)
+        metrics.gauge("depth", 3)
+        assert metrics.snapshot()["gauges"] == {"depth": 3}
+
+    def test_histograms_track_count_sum_min_max(self):
+        metrics = MetricsRegistry()
+        for value in (4.0, 1.0, 7.0):
+            metrics.observe("latency", value)
+        hist = metrics.snapshot()["histograms"]["latency"]
+        assert hist["count"] == 3
+        assert hist["sum"] == 12.0
+        assert hist["mean"] == 4.0
+        assert hist["min"] == 1.0
+        assert hist["max"] == 7.0
+
+    def test_snapshot_is_a_copy(self):
+        metrics = MetricsRegistry()
+        metrics.inc("a")
+        snapshot = metrics.snapshot()
+        snapshot["counters"]["a"] = 99
+        assert metrics.snapshot()["counters"]["a"] == 1
+
+    def test_concurrent_increments_do_not_lose_counts(self):
+        metrics = MetricsRegistry()
+
+        def spin():
+            for _ in range(1000):
+                metrics.inc("hits")
+
+        threads = [threading.Thread(target=spin) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert metrics.snapshot()["counters"]["hits"] == 4000
+
+
+class TestNullMetrics:
+    def test_disabled_and_inert(self):
+        assert NULL_METRICS.enabled is False
+        NULL_METRICS.inc("a")
+        NULL_METRICS.gauge("b", 1)
+        NULL_METRICS.observe("c", 2.0)
+        snapshot = NULL_METRICS.snapshot()
+        assert snapshot == {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def test_picklable(self):
+        clone = pickle.loads(pickle.dumps(NULL_METRICS))
+        assert isinstance(clone, NullMetrics)
+        assert clone.enabled is False

@@ -1,0 +1,54 @@
+"""Guard: the no-op tracer must stay under 5% overhead on a hot path.
+
+``NULL_TRACER`` is wired permanently through the engine/stream/kernel hot
+paths, so its per-span cost (one attribute load, one shared inert ``with``
+block) has to be negligible.  Timings interleave the bare and wrapped loops
+and compare best-of-N, so machine noise hits both sides equally.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.obs import NULL_TRACER
+
+OVERHEAD_LIMIT = 1.05
+CHUNKS = 32
+CHUNK_WORK = 2000
+REPEATS = 5
+
+
+def _chunk(acc: int) -> int:
+    for i in range(CHUNK_WORK):
+        acc = (acc + i * i) & 0xFFFFFFF
+    return acc
+
+
+def _plain_pass() -> int:
+    acc = 0
+    for _ in range(CHUNKS):
+        acc = _chunk(acc)
+    return acc
+
+
+def _traced_pass() -> int:
+    acc = 0
+    for _ in range(CHUNKS):
+        with NULL_TRACER.span("chunk"):
+            acc = _chunk(acc)
+    return acc
+
+
+def test_nulltracer_overhead_is_under_five_percent():
+    assert _plain_pass() == _traced_pass()  # warm-up; also: spans change nothing
+    plain_best = float("inf")
+    traced_best = float("inf")
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        _plain_pass()
+        plain_best = min(plain_best, time.perf_counter() - start)
+        start = time.perf_counter()
+        _traced_pass()
+        traced_best = min(traced_best, time.perf_counter() - start)
+    ratio = traced_best / plain_best
+    assert ratio < OVERHEAD_LIMIT, (plain_best, traced_best, ratio)

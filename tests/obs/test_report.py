@@ -1,0 +1,127 @@
+"""trace-report and bench-report table builders."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import Tracer
+from repro.obs.report import (
+    bench_trend_tables,
+    load_bench_snapshots,
+    load_trace,
+    span_summary_table,
+    trace_report_tables,
+)
+
+
+def _write_trace(tmp_path):
+    tracer = Tracer()
+    with tracer.span("tick"):
+        with tracer.span("batch"):
+            pass
+        with tracer.span("batch"):
+            pass
+    tracer.metrics.inc("engine.ticks")
+    tracer.metrics.observe("pool.run_ns.worker:0", 120.0)
+    path = tmp_path / "trace.json"
+    tracer.export_chrome(path)
+    return path
+
+
+class TestTraceReport:
+    def test_load_trace_rejects_non_traces(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text(json.dumps({"rows": []}))
+        with pytest.raises(ValueError, match="traceEvents"):
+            load_trace(path)
+
+    def test_span_summary_groups_by_name(self, tmp_path):
+        payload = load_trace(_write_trace(tmp_path))
+        table = span_summary_table(payload)
+        rendered = table.to_ascii()
+        assert "tick" in rendered
+        assert "batch" in rendered
+        # Two batch spans fold into one row with count 2.
+        batch_row = next(line for line in rendered.splitlines() if line.startswith("batch"))
+        assert " 2 " in f" {batch_row} "
+
+    def test_trace_report_includes_metrics_and_histograms(self, tmp_path):
+        tables = trace_report_tables(_write_trace(tmp_path))
+        rendered = "\n".join(table.to_ascii() for table in tables)
+        assert "trace spans" in rendered
+        assert "engine.ticks" in rendered
+        assert "pool.run_ns.worker:0" in rendered
+
+
+def _snapshot(tmp_path, bench, stamp, results):
+    path = tmp_path / f"BENCH_{bench}_{stamp}.json"
+    path.write_text(
+        json.dumps(
+            {
+                "schema": 1,
+                "bench": bench,
+                "timestamp_utc": stamp,
+                "results": results,
+            }
+        )
+    )
+    return path
+
+
+class TestBenchReport:
+    def test_snapshots_group_by_bench_and_sort_by_timestamp(self, tmp_path):
+        _snapshot(tmp_path, "alpha", "20260102T000000Z", {"speedup": 2.0})
+        _snapshot(tmp_path, "alpha", "20260101T000000Z", {"speedup": 1.0})
+        _snapshot(tmp_path, "beta", "20260101T000000Z", {"rounds": 5})
+        (tmp_path / "BENCH_broken_x.json").write_text("{not json")
+        (tmp_path / "BENCH_shapeless_y.json").write_text("[1, 2]")
+        by_bench = load_bench_snapshots(tmp_path)
+        assert sorted(by_bench) == ["alpha", "beta"]
+        stamps = [payload["timestamp_utc"] for payload in by_bench["alpha"]]
+        assert stamps == ["20260101T000000Z", "20260102T000000Z"]
+
+    def test_trend_table_reports_latest_previous_and_ratio(self, tmp_path):
+        _snapshot(
+            tmp_path, "alpha", "20260101T000000Z", {"speedup": 1.0, "zeroed": 0.0}
+        )
+        _snapshot(
+            tmp_path, "alpha", "20260102T000000Z", {"speedup": 2.0, "zeroed": 3.0}
+        )
+        tables = bench_trend_tables(tmp_path)
+        assert len(tables) == 1
+        rendered = tables[0].to_ascii()
+        assert "2 snapshot(s)" in rendered
+        speedup_row = next(
+            line for line in rendered.splitlines() if line.startswith("speedup")
+        )
+        assert "2.000" in speedup_row  # latest / previous ratio
+        zero_row = next(
+            line for line in rendered.splitlines() if line.startswith("zeroed")
+        )
+        assert "inf" in zero_row
+
+    def test_single_snapshot_has_no_ratio(self, tmp_path):
+        _snapshot(tmp_path, "alpha", "20260101T000000Z", {"speedup": 1.5})
+        rendered = bench_trend_tables(tmp_path)[0].to_ascii()
+        row = next(line for line in rendered.splitlines() if line.startswith("speedup"))
+        assert "-" in row
+
+    def test_row_list_results_are_flattened_with_labels(self, tmp_path):
+        _snapshot(
+            tmp_path,
+            "sweep",
+            "20260101T000000Z",
+            [
+                {"workload": "forest", "rounds": 4, "ok": True},
+                {"rounds": 6},
+            ],
+        )
+        rendered = bench_trend_tables(tmp_path)[0].to_ascii()
+        assert "forest/rounds" in rendered
+        assert "1/rounds" in rendered
+        assert "ok" not in rendered  # booleans are not trend metrics
+
+    def test_empty_directory_yields_no_tables(self, tmp_path):
+        assert bench_trend_tables(tmp_path) == []

@@ -167,6 +167,93 @@ class TestStreamMulti:
             ])
 
 
+class TestTraceFlag:
+    def test_stream_multi_smoke_trace_writes_a_perfetto_payload(self, tmp_path, capsys):
+        import json
+
+        trace_path = tmp_path / "trace.json"
+        assert main([
+            "stream-multi", "--smoke", "--quiet", "--trace", str(trace_path),
+            "--output", str(tmp_path / "ticks.txt"),
+        ]) == 0
+        payload = json.loads(trace_path.read_text())
+        events = payload["traceEvents"]
+        assert events
+        assert all(
+            key in event for event in events for key in ("name", "ph", "ts", "pid", "tid")
+        )
+        names = {event["name"] for event in events}
+        assert {"tick", "tenant", "batch"} <= names
+        assert payload["metrics"]["counters"]["engine.ticks"] > 0
+
+    def test_stream_multi_requires_vertices_unless_smoke(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["stream-multi", "--quiet"])
+
+    def test_smoke_preset_yields_to_explicit_flags(self, capsys):
+        assert main(["stream-multi", "--smoke", "--tenants", "2", "--batches", "2"]) == 0
+        err = capsys.readouterr().err
+        assert "tenants: 2 (n=96 each)" in err
+
+    def test_stream_trace_does_not_change_the_batch_rows(self, tmp_path, capsys):
+        argv = ["stream", "uniform_churn", "96", "--batches", "2", "--batch-size", "30", "--quiet"]
+        assert main(argv) == 0
+        untraced = capsys.readouterr().out
+        trace_path = tmp_path / "trace.json"
+        assert main(argv + ["--trace", str(trace_path)]) == 0
+        assert capsys.readouterr().out == untraced
+        assert trace_path.exists()
+
+    def test_orient_trace_writes_kernel_spans(self, graph_file, tmp_path, capsys):
+        import json
+
+        path, _graph = graph_file
+        trace_path = tmp_path / "trace.json"
+        assert main(["orient", str(path), "--quiet", "--trace", str(trace_path)]) == 0
+        names = {
+            event["name"]
+            for event in json.loads(trace_path.read_text())["traceEvents"]
+        }
+        assert any(name.startswith("orient:") for name in names)
+
+
+class TestReportCommands:
+    def test_trace_report_renders_span_and_metrics_tables(self, tmp_path, capsys):
+        trace_path = tmp_path / "trace.json"
+        assert main([
+            "stream-multi", "--smoke", "--quiet", "--trace", str(trace_path),
+            "--output", str(tmp_path / "ticks.txt"),
+        ]) == 0
+        assert main(["trace-report", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "trace spans" in out
+        assert "tick" in out
+        assert "engine.ticks" in out
+
+    def test_bench_report_renders_a_trend_table(self, tmp_path, capsys):
+        import json
+
+        for stamp, speedup in (("20260101T000000Z", 1.0), ("20260102T000000Z", 3.0)):
+            (tmp_path / f"BENCH_demo_{stamp}.json").write_text(
+                json.dumps(
+                    {
+                        "schema": 1,
+                        "bench": "demo",
+                        "timestamp_utc": stamp,
+                        "results": {"speedup": speedup},
+                    }
+                )
+            )
+        assert main(["bench-report", str(tmp_path), "--markdown"]) == 0
+        out = capsys.readouterr().out
+        assert "demo" in out
+        assert "3.000" in out
+
+    def test_bench_report_fails_on_an_empty_directory(self, tmp_path, capsys):
+        assert main(["bench-report", str(tmp_path)]) == 1
+        assert "no benchmark snapshots" in capsys.readouterr().err
+
+
 class TestExperimentCommand:
     def test_experiment_e3_prints_the_table(self, capsys):
         # S2's registry sweep is sized for benchmarks; the CLI path is the
@@ -194,3 +281,12 @@ class TestExperimentCommand:
     def test_experiment_rejects_unrunnable_ids(self, capsys):
         with pytest.raises(SystemExit):
             main(["experiment", "E4"])
+
+    def test_experiment_trace_covers_the_whole_sweep(self, tmp_path, capsys):
+        import json
+
+        trace_path = tmp_path / "trace.json"
+        assert main(["experiment", "E3", "--quiet", "--trace", str(trace_path)]) == 0
+        payload = json.loads(trace_path.read_text())
+        assert payload["traceEvents"]
+        assert payload["metrics"]["counters"]["mpc.rounds"] > 0
