@@ -25,6 +25,8 @@ from __future__ import annotations
 
 import time
 
+from _bench_results import write_snapshot
+from repro import kernels
 from repro.core.layering import UNASSIGNED, PartialLayerAssignment
 from repro.graph.generators import union_of_random_forests
 from repro.graph.graph import Graph, normalize_edge
@@ -233,8 +235,18 @@ def _print_table(results: dict[str, float]) -> None:
     print(f"  composite speedup: {results['speedup']:.1f}x (target ≥ {SPEEDUP_TARGET}x)")
 
 
+def _meta() -> dict:
+    return {
+        "num_vertices": NUM_VERTICES,
+        "arboricity": ARBORICITY,
+        "peel_threshold": PEEL_THRESHOLD,
+        "kernel_backend": kernels.active_backend(),
+    }
+
+
 def test_core_hotpaths_speedup():
     results = run_composite()
+    write_snapshot("core_hotpaths", results, meta=_meta())
     _print_table(results)
     assert results["speedup"] >= SPEEDUP_TARGET, (
         f"composite speedup {results['speedup']:.2f}x below the {SPEEDUP_TARGET}x bar: {results}"
@@ -242,4 +254,6 @@ def test_core_hotpaths_speedup():
 
 
 if __name__ == "__main__":
-    _print_table(run_composite())
+    results = run_composite()
+    _print_table(results)
+    print(f"  snapshot: {write_snapshot('core_hotpaths', results, meta=_meta())}")

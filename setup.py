@@ -3,8 +3,17 @@
 The project metadata lives in ``pyproject.toml``; this file exists so that
 ``pip install -e . --no-build-isolation --no-use-pep517`` works in offline
 environments where the ``wheel`` package is unavailable.
+
+The core has zero runtime dependencies.  ``pip install .[numpy]`` pulls in
+numpy for the vectorized kernel backend (``repro.kernels``) — optional,
+byte-identical to the pure-python reference, and auto-falling back to
+``pure`` when absent.
 """
 
 from setuptools import setup
 
-setup()
+setup(
+    extras_require={
+        "numpy": ["numpy>=1.24"],
+    },
+)

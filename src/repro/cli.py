@@ -50,6 +50,12 @@ Lemma 2.2 part coloring, batch-parallel flip repair, cross-tenant ticks);
 results are identical for any worker count — and ``--trace out.json``, which
 records host-side spans for the run and writes a Perfetto-loadable Chrome
 trace (results are identical with tracing on or off).
+
+The compute-heavy commands (``orient``, ``color``, ``layers``, ``stream``,
+``stream-multi``, ``experiment``) accept ``--kernels {pure,numpy}`` to pick
+the :mod:`repro.kernels` backend for the CSR hot paths; the flag overrides
+the ``REPRO_KERNELS`` environment variable, and outputs are byte-identical
+under either backend.
 """
 
 from __future__ import annotations
@@ -58,6 +64,7 @@ import argparse
 import sys
 from collections.abc import Sequence
 
+from repro import kernels
 from repro.core.coloring import color
 from repro.core.coreness import approximate_coreness, exact_coreness
 from repro.core.full_assignment import complete_layer_assignment
@@ -97,6 +104,16 @@ def _add_workers_argument(parser: argparse.ArgumentParser) -> None:
         default=1,
         help="superstep-engine workers (default 1 = serial; results are "
         "identical for any worker count)",
+    )
+
+
+def _add_kernels_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--kernels",
+        choices=sorted(kernels.BACKENDS),
+        default=None,
+        help="compute-kernel backend (default: the REPRO_KERNELS env var, "
+        "else pure python; numpy is vectorized but byte-identical)",
     )
 
 
@@ -145,11 +162,13 @@ def build_parser() -> argparse.ArgumentParser:
     orient_parser = subparsers.add_parser("orient", help="compute an O(λ log log n) orientation")
     _add_common_arguments(orient_parser)
     _add_workers_argument(orient_parser)
+    _add_kernels_argument(orient_parser)
     _add_trace_argument(orient_parser)
 
     color_parser = subparsers.add_parser("color", help="compute an O(λ log log n) coloring")
     _add_common_arguments(color_parser)
     _add_workers_argument(color_parser)
+    _add_kernels_argument(color_parser)
     _add_trace_argument(color_parser)
 
     layers_parser = subparsers.add_parser("layers", help="compute the Lemma 3.15 H-partition")
@@ -157,6 +176,7 @@ def build_parser() -> argparse.ArgumentParser:
     layers_parser.add_argument(
         "--k", type=int, default=None, help="arboricity proxy k (default: 2·degeneracy)"
     )
+    _add_kernels_argument(layers_parser)
 
     coreness_parser = subparsers.add_parser("coreness", help="approximate coreness decomposition")
     _add_common_arguments(coreness_parser)
@@ -197,6 +217,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true", help="suppress the human-readable summary on stderr"
     )
     _add_workers_argument(stream_parser)
+    _add_kernels_argument(stream_parser)
     _add_trace_argument(stream_parser)
 
     multi_parser = subparsers.add_parser(
@@ -266,6 +287,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true", help="suppress the human-readable summary on stderr"
     )
     _add_workers_argument(multi_parser)
+    _add_kernels_argument(multi_parser)
     _add_trace_argument(multi_parser)
 
     experiment_parser = subparsers.add_parser(
@@ -288,6 +310,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true", help="suppress the human-readable summary on stderr"
     )
     _add_workers_argument(experiment_parser)
+    _add_kernels_argument(experiment_parser)
     _add_trace_argument(experiment_parser)
 
     trace_report_parser = subparsers.add_parser(
@@ -328,6 +351,9 @@ def main(argv: Sequence[str] | None = None) -> int:
     """Entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    # Select the kernel backend for the whole run; ``None`` (flag absent or
+    # command without the flag) defers to REPRO_KERNELS, then pure.
+    kernels.set_backend(getattr(args, "kernels", None))
 
     if args.command == "generate":
         kwargs = {}

@@ -54,6 +54,7 @@ import random
 from array import array
 from dataclasses import dataclass, field
 
+from repro import kernels
 from repro.core.directed_expo import directed_reachability
 from repro.core.full_assignment import complete_layer_assignment
 from repro.core.partitioning import random_vertex_partition
@@ -278,7 +279,6 @@ def color(
         large_lambda = force_vertex_partitioning
 
     hpartitions: list[HPartition] = []
-    colors: dict[int, int] = {}
 
     if not large_lambda:
         # Small-λ branch: one part, colored in place on the parent ledger.
@@ -361,21 +361,30 @@ def color(
         # size of the parts before it.  The prefix sums are one broadcast.
         cluster.charge_rounds(1, label="palette-offsets")
 
+        # The prefix-sum offsets and the shifted per-part color scatters run
+        # as one kernel pass over the flat columns (vectorized on the numpy
+        # backend); the per-vertex mapping materialises once, in vertex
+        # order, inside ``Coloring.from_column`` — byte-identical to the old
+        # per-part dict accumulation.
+        column, offsets = kernels.assemble_color_columns(
+            graph.num_vertices,
+            [
+                (part.parent_ids, result[0], result[2])
+                for (_index, part), result in zip(nonempty, results)
+            ],
+        )
         local_rounds = 0
         part_rounds: list[int] = []
-        palette_base = 0
         for (_index, part), result in zip(nonempty, results):
-            color_column, layer_column, palette_size, part_local_rounds, stats = result
-            for local_vertex in part.vertices:
-                colors[part.to_parent(local_vertex)] = palette_base + color_column[local_vertex]
+            _color_column, layer_column, _palette_size, part_local_rounds, stats = result
             hpartitions.append(
                 HPartition(part, {v: layer_column[v] for v in part.vertices})
             )
             local_rounds += part_local_rounds
             part_rounds.append(stats.num_rounds)
-            palette_base += palette_size
+        palette_base = offsets[-1]
 
-    coloring = Coloring(graph, colors)
+    coloring = Coloring.from_column(graph, column)
     return ColoringRun(
         coloring=coloring,
         num_colors=coloring.num_colors(),

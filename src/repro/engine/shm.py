@@ -39,6 +39,13 @@ column bytes]`` where the header lists ``(column name, byte offset, item
 count)`` triples plus small picklable metadata.  Columns are flat
 ``array('l')`` buffers — the same representation the CSR core uses — so a
 worker slice is a single ``frombytes`` memcpy, not element-wise pickling.
+
+**Zero-copy numpy views.**  When numpy is present, :func:`numpy_column`
+exposes a column slice as an ``np.frombuffer`` view mapped directly onto the
+segment — no memcpy at all — for the vectorized kernels in
+:mod:`repro.kernels`.  Such views are read-only and must not outlive the
+segment mapping (a republish retires it); see the function docstring for the
+full aliasing/lifetime rules.
 """
 
 from __future__ import annotations
@@ -445,6 +452,51 @@ def _column_value(view: ShardView, name: str, index: int) -> int:
     if not (0 <= index < count):
         raise GraphError(f"column {name!r} index {index} outside 0..{count - 1}")
     return _column_slice(view, name, index, index + 1)[0]
+
+
+def numpy_column(handle: ShardHandle, name: str, start: int = 0, stop: int | None = None):
+    """Zero-copy read-only numpy view over one shared-memory column slice.
+
+    Where :func:`_column_slice` copies the bytes out into an ``array('l')``,
+    this maps the numpy kernels straight onto the segment: one
+    ``np.frombuffer`` over the mapped buffer, no memcpy.  The rules match the
+    kernel layer's (:mod:`repro.kernels.numpy_backend`):
+
+    * the view is returned **read-only** — shards are published data, and a
+      write would silently corrupt every attached reader;
+    * the view is only valid while the segment mapping is alive — never
+      stash it past the shard's generation (a republish retires the
+      segment); the view keeps the mapping referenced meanwhile, so the
+      owner's ``close`` is deferred (not broken) by a live view.
+
+    The segment must be materialised (:meth:`ShardRegistry.ensure_shared`
+    runs automatically before any process-backend map); raises
+    :class:`~repro.errors.StaleShardError` otherwise, and
+    :class:`~repro.errors.GraphError` without numpy.
+    """
+    from repro.kernels import numpy_available
+
+    if not numpy_available():
+        raise GraphError(
+            "numpy_column needs numpy (install the [numpy] extra); "
+            "use attach()/_column_slice for the pure path"
+        )
+    import numpy as np
+
+    view = _attach_segment(handle)
+    byte_base, count = view.columns[name]
+    if stop is None:
+        stop = count
+    if not (0 <= start <= stop <= count):
+        raise GraphError(f"column {name!r} slice {start}:{stop} outside 0..{count}")
+    arr = np.frombuffer(
+        view._segment.buf,
+        dtype=f"i{_ITEMSIZE}",
+        count=stop - start,
+        offset=byte_base + start * _ITEMSIZE,
+    )
+    arr.flags.writeable = False
+    return arr
 
 
 # ---------------------------------------------------------------------- #

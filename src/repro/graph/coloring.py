@@ -32,6 +32,37 @@ class Coloring:
         self._graph = graph
         self._color_of = {v: int(color_of[v]) for v in graph.vertices}
 
+    @classmethod
+    def from_column(cls, graph: Graph, column) -> "Coloring":
+        """Fast path from a flat per-vertex color column (vertex id = index).
+
+        ``column`` is any int sequence of length ``num_vertices`` — typically
+        the ``array('l')`` assembled by
+        :func:`repro.kernels.assemble_color_columns` — where a negative entry
+        marks a vertex with no color (the kernel's ``-1`` sentinel).  The
+        validation outcome (including error messages) and the resulting
+        vertex -> color mapping — built in vertex order, exactly like
+        ``__init__`` — are byte-identical to the dict constructor.
+        """
+        from repro import kernels  # deferred: kernels must stay graph-free
+
+        if len(column) != graph.num_vertices:
+            raise InvalidColoringError(
+                f"color column has {len(column)} entries for "
+                f"{graph.num_vertices} vertices"
+            )
+        # One vectorized pass in the happy case; on failure fall back to the
+        # reference scans so the offender lists (and messages) match exactly.
+        if kernels.min_value(column) < 0:
+            missing = [v for v in graph.vertices if column[v] < 0]
+            raise InvalidColoringError(
+                f"{len(missing)} vertices have no color (e.g. {missing[:5]})"
+            )
+        self = object.__new__(cls)
+        self._graph = graph
+        self._color_of = {v: int(column[v]) for v in graph.vertices}
+        return self
+
     @property
     def graph(self) -> Graph:
         """The colored graph."""

@@ -23,6 +23,15 @@ peeling kernel, connected components — walk the flat arrays directly instead
 of scanning Python object structures, which is what lets the layering and
 orientation pipelines scale to 10^5-vertex inputs.
 
+**Zero-copy numpy views.**  Because every column is a flat ``array('l')``
+(int64 on the supported platforms), the optional numpy kernel backend
+(:mod:`repro.kernels`) wraps them with ``np.frombuffer`` without copying.
+The rules: views alias the column buffer and must be treated as read-only
+(the columns are frozen by the immutability contract above); a view is valid
+exactly as long as the graph is alive; and any column a kernel *produces*
+crosses back as a real ``array('l')`` (one ``tobytes`` memcpy), so pickling,
+``__reduce__`` and byte-level identity checks never see numpy types.
+
 The graph is immutable, which keeps the simulators honest — an algorithm
 cannot "cheat" by editing the input in place; it must produce explicit outputs
 (orientations, colorings, layerings).  Iteration order everywhere is
@@ -38,6 +47,7 @@ from collections.abc import Iterable, Iterator, Sequence
 from operator import itemgetter
 from typing import Optional
 
+from repro import kernels
 from repro.errors import GraphError
 
 Edge = tuple[int, int]
@@ -427,44 +437,23 @@ class Graph:
         a vertex enters the next round's frontier the moment its remaining
         degree first drops to the threshold, so the total work is O(n + m)
         regardless of the number of rounds — the O(rounds · n) rescan of the
-        naive formulation is gone.
+        naive formulation is gone.  The loop itself lives in
+        :mod:`repro.kernels` and dispatches to the active backend: the
+        ``numpy`` backend wraps the CSR columns in zero-copy
+        ``np.frombuffer`` views and runs each round as one bincount-style
+        frontier decrement plus a boolean-mask bucket extraction, with
+        byte-identical ``(layers, rounds_used)`` output.
         """
         if threshold < 0:
             raise GraphError("threshold must be non-negative")
-        indptr = self.csr_indptr
-        indices = self.csr_indices
-        degree = list(self.degrees)
-        layers = [0] * self._n
-        frontier = [v for v, d in enumerate(degree) if d <= threshold]
-        for v in frontier:
-            layers[v] = 1
-        rounds_used = 0
-        while frontier and (max_rounds is None or rounds_used < max_rounds):
-            rounds_used += 1
-            next_round = rounds_used + 1
-            next_frontier: list[int] = []
-            append = next_frontier.append
-            for v in frontier:
-                # Iterating a materialised slice keeps the inner loop at
-                # C speed; only the per-neighbor bookkeeping is Python.
-                # A neighbor is stamped with its (future) layer the moment
-                # its remaining degree crosses the threshold, so subsequent
-                # removals skip it with a single check.
-                for w in indices[indptr[v] : indptr[v + 1]]:
-                    if layers[w] == 0:
-                        d = degree[w] - 1
-                        if d == threshold:
-                            layers[w] = next_round
-                            append(w)
-                        else:
-                            degree[w] = d
-            frontier = next_frontier
-        if frontier:
-            # max_rounds cut the process short; the queued wave was stamped
-            # with a round that never ran, so un-assign it.
-            for v in frontier:
-                layers[v] = 0
-        return array("l", layers), rounds_used
+        return kernels.peel_layers(
+            self._n,
+            self.csr_indptr,
+            self.csr_indices,
+            self.degrees,
+            threshold,
+            max_rounds,
+        )
 
     # ------------------------------------------------------------------ #
     # Construction helpers

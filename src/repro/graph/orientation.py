@@ -19,6 +19,7 @@ from array import array
 from collections.abc import Iterable, Iterator, Mapping
 from dataclasses import dataclass, field
 
+from repro import kernels
 from repro.errors import InvalidOrientationError
 from repro.graph.graph import Edge, Graph, normalize_edge
 
@@ -221,18 +222,14 @@ class Orientation:
 
         ``rank`` is either a mapping vertex -> rank or a sequence listing the
         rank of each vertex.  Ties are broken toward the larger vertex id,
-        matching the paper's "break ties by identifier" convention.
+        matching the paper's "break ties by identifier" convention.  The head
+        flips run through :mod:`repro.kernels` — one vectorized ``np.where``
+        over the edge columns on the numpy backend, the reference loop on
+        ``pure`` — with identical heads either way.
         """
-        if isinstance(rank, Mapping):
-            lookup = rank.__getitem__
-        else:
-            lookup = list(rank).__getitem__
+        ranks = rank if isinstance(rank, Mapping) else list(rank)
         edge_u, edge_v = graph.edge_endpoints
-        heads = array("l")
-        append = heads.append
-        for u, v in zip(edge_u, edge_v):
-            # u < v in canonical form, so rank ties resolve toward v.
-            append(v if lookup(u) <= lookup(v) else u)
+        heads = kernels.orient_by_rank(edge_u, edge_v, ranks)
         return cls._from_heads(graph, heads)
 
     @classmethod
@@ -259,53 +256,23 @@ class Orientation:
         """
         if other.graph.num_vertices != self.graph.num_vertices:
             raise InvalidOrientationError("cannot merge orientations over different vertex sets")
-        # Both canonical edge lists are sorted, so edges and heads merge in a
-        # single two-pointer walk with no hash lookups; overlapping edges are
-        # detected as they are encountered.
-        a_edges = self.graph.edges
-        b_edges = other.graph.edges
-        a_heads = self._heads
-        b_heads = other._heads
+        # Both canonical edge lists are sorted, so edges and heads merge
+        # without hash lookups: a two-pointer walk on the pure backend, a
+        # searchsorted permutation scatter on numpy; overlapping edges are
+        # detected before any result is assembled.
         a_u, a_v = self.graph.edge_endpoints
         b_u, b_v = other.graph.edge_endpoints
-        la, lb = len(a_edges), len(b_edges)
-        edge_u = array("l")
-        edge_v = array("l")
-        heads = array("l")
-        i = j = 0
-        overlap = 0
-        while i < la and j < lb:
-            ea, eb = a_edges[i], b_edges[j]
-            if ea < eb:
-                edge_u.append(ea[0])
-                edge_v.append(ea[1])
-                heads.append(a_heads[i])
-                i += 1
-            elif eb < ea:
-                edge_u.append(eb[0])
-                edge_v.append(eb[1])
-                heads.append(b_heads[j])
-                j += 1
-            else:
-                overlap += 1
-                i += 1
-                j += 1
+        edge_u, edge_v, heads, overlap = kernels.merge_oriented_columns(
+            self.graph.num_vertices, a_u, a_v, self._heads, b_u, b_v, other._heads
+        )
         if overlap:
             raise InvalidOrientationError(
                 f"cannot merge orientations sharing {overlap} edges"
             )
-        if i < la:
-            edge_u.extend(a_u[i:])
-            edge_v.extend(a_v[i:])
-            heads.extend(a_heads[i:])
-        if j < lb:
-            edge_u.extend(b_u[j:])
-            edge_v.extend(b_v[j:])
-            heads.extend(b_heads[j:])
         merged_graph = Graph._from_columns(self.graph.num_vertices, edge_u, edge_v)
         # Edge-disjoint union: the merged outdegrees are the per-vertex sums
         # of the (already endpoint-checked) part tallies.
-        outdegree = tuple(x + y for x, y in zip(self._outdegree, other._outdegree))
+        outdegree = kernels.sum_counts(self._outdegree, other._outdegree)
         return Orientation._from_heads(merged_graph, heads, outdegree=outdegree)
 
 
@@ -315,19 +282,9 @@ def _rebuild_orientation(graph: Graph, heads: array) -> "Orientation":
 
 
 def _tally_outdegrees(graph: Graph, heads: array) -> tuple[int, ...]:
-    """Single pass over the edge columns: outdegree per vertex + endpoint check."""
+    """Outdegree per vertex + endpoint check (kernel-dispatched, one pass)."""
     edge_u, edge_v = graph.edge_endpoints
-    outdegree = [0] * graph.num_vertices
-    for u, v, head in zip(edge_u, edge_v, heads):
-        if head == v:
-            outdegree[u] += 1
-        elif head == u:
-            outdegree[v] += 1
-        else:
-            raise InvalidOrientationError(
-                f"edge {(u, v)} oriented toward {head}, which is not an endpoint"
-            )
-    return tuple(outdegree)
+    return kernels.tally_outdegrees(graph.num_vertices, edge_u, edge_v, heads)
 
 
 def validate_outdegree_bound(orientation: Orientation, bound: int) -> None:

@@ -1,0 +1,228 @@
+"""Pluggable kernel backends for the CSR hot paths.
+
+The graph core's inner loops — frontier peeling, head flips, outdegree
+tallies, orientation merges, palette assembly — are pure-python passes over
+flat ``array('l')`` columns.  This package puts one *dispatch seam* in front
+of each of them: the reference implementations live in
+:mod:`repro.kernels.pure`, and :mod:`repro.kernels.numpy_backend` provides
+vectorized equivalents that are **byte-identical** on every input (same
+layers, same heads, same tallies, same error messages on the same
+offenders).  numpy stays an optional dependency: when it is not importable,
+every request for the ``numpy`` backend silently resolves to ``pure``.
+
+Backend selection order (first match wins):
+
+1. an explicit ``backend=...`` argument on a dispatcher call;
+2. a process-wide :func:`set_backend` selection (the CLI's ``--kernels``
+   flag calls this after parsing);
+3. the ``REPRO_KERNELS`` environment variable;
+4. the default, ``pure``.
+
+An unknown backend name raises :class:`~repro.errors.ParameterError` loudly
+— a typo must not silently change which code runs — while a *valid* request
+for ``numpy`` on a host without numpy falls back to ``pure``, because the
+two backends are output-identical by contract and availability is an
+environment fact, not a correctness knob.
+
+The dispatchers deliberately take primitive columns (ints, ``array('l')``
+buffers, tuples) rather than graph objects, so this package imports nothing
+from :mod:`repro.graph` and the graph core can import it without cycles.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+
+from repro.errors import ParameterError
+
+__all__ = [
+    "PURE",
+    "NUMPY",
+    "BACKENDS",
+    "numpy_available",
+    "available_backends",
+    "active_backend",
+    "set_backend",
+    "use_backend",
+    "peel_layers",
+    "orient_by_rank",
+    "tally_outdegrees",
+    "merge_oriented_columns",
+    "sum_counts",
+    "min_value",
+    "max_sizes",
+    "sum_sizes",
+    "assemble_color_columns",
+    "flip_repair_group",
+]
+
+PURE = "pure"
+NUMPY = "numpy"
+BACKENDS = (PURE, NUMPY)
+
+ENV_VAR = "REPRO_KERNELS"
+
+# Process-wide selection (None = fall through to the environment/default).
+_selected: str | None = None
+# Cached availability probe; populated on first use so importing this package
+# never imports numpy.
+_numpy_ok: bool | None = None
+
+
+def numpy_available() -> bool:
+    """Whether the numpy backend can actually run in this process."""
+    global _numpy_ok
+    if _numpy_ok is None:
+        try:
+            import numpy  # noqa: F401
+
+            _numpy_ok = True
+        except Exception:
+            _numpy_ok = False
+    return _numpy_ok
+
+
+def available_backends() -> tuple[str, ...]:
+    """The backends that can run here (``pure`` always; ``numpy`` if importable)."""
+    return BACKENDS if numpy_available() else (PURE,)
+
+
+def set_backend(name: str | None) -> None:
+    """Select the process-wide backend (``None`` resets to env/default).
+
+    Selecting ``numpy`` on a host without numpy is legal — dispatch falls
+    back to ``pure`` — but an unknown name raises immediately.
+    """
+    global _selected
+    if name is not None and name not in BACKENDS:
+        raise ParameterError(
+            f"unknown kernel backend {name!r} (choose from {BACKENDS})"
+        )
+    _selected = name
+
+
+def active_backend() -> str:
+    """The backend dispatch will use right now (fallback already applied)."""
+    requested = _selected
+    if requested is None:
+        requested = os.environ.get(ENV_VAR) or PURE
+    if requested not in BACKENDS:
+        raise ParameterError(
+            f"{ENV_VAR}={requested!r} is not a kernel backend (choose from {BACKENDS})"
+        )
+    if requested == NUMPY and not numpy_available():
+        return PURE
+    return requested
+
+
+@contextmanager
+def use_backend(name: str | None):
+    """Temporarily select a backend (tests and benchmarks).
+
+    Yields the backend that will actually run (after the numpy-missing
+    fallback), so callers can label results truthfully.
+    """
+    global _selected
+    previous = _selected
+    set_backend(name)
+    try:
+        yield active_backend()
+    finally:
+        _selected = previous
+
+
+def _module(backend: str | None):
+    """Resolve a backend name (or the active selection) to its module."""
+    name = backend if backend is not None else active_backend()
+    if name == NUMPY and numpy_available():
+        from repro.kernels import numpy_backend
+
+        return numpy_backend
+    if name not in BACKENDS:
+        raise ParameterError(
+            f"unknown kernel backend {name!r} (choose from {BACKENDS})"
+        )
+    from repro.kernels import pure
+
+    return pure
+
+
+# ---------------------------------------------------------------------- #
+# Dispatchers.  Signatures take primitive columns so both backends (and any
+# future one) share one contract; see the pure module for the reference
+# semantics each numpy kernel must reproduce byte-for-byte.
+# ---------------------------------------------------------------------- #
+
+
+def peel_layers(num_vertices, indptr, indices, degrees, threshold, max_rounds=None, backend=None):
+    """Round-synchronous peel over a CSR adjacency; ``(array('l') layers, rounds)``."""
+    return _module(backend).peel_layers(
+        num_vertices, indptr, indices, degrees, threshold, max_rounds
+    )
+
+
+def orient_by_rank(edge_u, edge_v, ranks, backend=None):
+    """Heads column: each edge points at the higher-ranked endpoint (ties → v)."""
+    return _module(backend).orient_by_rank(edge_u, edge_v, ranks)
+
+
+def tally_outdegrees(num_vertices, edge_u, edge_v, heads, backend=None):
+    """Outdegree per vertex as a tuple; raises on a head that is no endpoint."""
+    return _module(backend).tally_outdegrees(num_vertices, edge_u, edge_v, heads)
+
+
+def merge_oriented_columns(num_vertices, a_u, a_v, a_heads, b_u, b_v, b_heads, backend=None):
+    """Merge two sorted canonical edge/head column sets.
+
+    Returns ``(edge_u, edge_v, heads, overlap)``; when ``overlap`` is
+    non-zero the columns are ``None`` and the caller raises (matching the
+    two-pointer reference, which detects sharing before building a result).
+    """
+    return _module(backend).merge_oriented_columns(
+        num_vertices, a_u, a_v, a_heads, b_u, b_v, b_heads
+    )
+
+
+def sum_counts(a, b, backend=None):
+    """Elementwise sum of two equal-length count tuples, as a tuple of ints."""
+    return _module(backend).sum_counts(a, b)
+
+
+def min_value(column, backend=None):
+    """Minimum of a flat column (0 for an empty column)."""
+    return _module(backend).min_value(column)
+
+
+def max_sizes(collections, backend=None):
+    """``max(len(c) for c in collections)`` (0 when empty)."""
+    return _module(backend).max_sizes(collections)
+
+
+def sum_sizes(collections, backend=None):
+    """``sum(len(c) for c in collections)``."""
+    return _module(backend).sum_sizes(collections)
+
+
+def assemble_color_columns(num_vertices, parts, backend=None):
+    """Scatter per-part color columns under prefix-sum palette offsets.
+
+    ``parts`` is a sequence of ``(parent_ids, color_column, palette_size)``
+    triples in part order.  Returns ``(column, offsets)``: a flat
+    ``array('l')`` of final colors (−1 where no part covered the vertex) and
+    the palette prefix sums ``[0, s0, s0+s1, ...]``.
+    """
+    return _module(backend).assemble_color_columns(num_vertices, parts)
+
+
+def flip_repair_group(shard, group_updates, cap, choose_tail, backend=None):
+    """Replay one cap-safe conflict group against its out-table shard.
+
+    ``shard`` maps each touched vertex to its sorted out-heads tuple;
+    ``choose_tail`` is the caller's tail-selection rule (injected so the
+    stream module keeps exactly one definition of it).  Returns
+    ``(new_shard, freed)`` with sorted python-int head lists and the freed
+    tails in deletion order — the exact contract of the process backend's
+    sharded repair task.
+    """
+    return _module(backend).flip_repair_group(shard, group_updates, cap, choose_tail)

@@ -1,0 +1,264 @@
+"""Vectorized numpy kernels, byte-identical to :mod:`repro.kernels.pure`.
+
+Only imported once :func:`repro.kernels.numpy_available` has confirmed numpy
+is importable, so the top-level ``import numpy`` here never breaks a
+numpy-less host.
+
+**Zero-copy bridge.**  The CSR core stores every column as an ``array('l')``
+— int64 on the platforms we run on — and :func:`np_view` wraps such a buffer
+in an ``np.frombuffer`` view without copying.  The rules for these views:
+
+* they alias the source buffer — treat them as **read-only** (kernels that
+  need a scratch copy take one explicitly, e.g. the peel's degree vector);
+* they are only valid while the source object is alive (the view holds a
+  reference, so ordinary usage is safe, but never stash a view beyond the
+  life of a shared-memory segment's mapping);
+* results that cross back into the CSR core are converted with
+  :func:`to_array` (one ``tobytes`` memcpy), so downstream consumers —
+  pickling, ``extend``, byte-level identity checks — see exactly the
+  ``array('l')`` objects the pure backend produces.
+
+Every kernel here reproduces the pure reference *exactly*: same layers,
+heads, tallies and palette columns, same error messages raised on the same
+first offender.  The equivalence suite in ``tests/kernels/`` pins this on
+randomized inputs.
+"""
+
+from __future__ import annotations
+
+from array import array
+
+import numpy as np
+
+from repro.errors import GraphError, InvalidOrientationError
+
+# array('l') is int64 on every platform this repo targets (Linux/macOS); the
+# dtype is derived rather than hard-coded so a 32-bit ``long`` would still
+# round-trip correctly.
+_ITEMSIZE = array("l").itemsize
+_DTYPE = np.dtype(f"i{_ITEMSIZE}")
+
+
+def np_view(column) -> np.ndarray:
+    """Zero-copy int view over an ``array('l')`` (or any int64 buffer)."""
+    if isinstance(column, np.ndarray):
+        return column
+    return np.frombuffer(column, dtype=_DTYPE)
+
+
+def to_array(values: np.ndarray) -> array:
+    """Copy a flat numpy vector back into an ``array('l')`` (one memcpy)."""
+    out = array("l")
+    out.frombytes(np.ascontiguousarray(values, dtype=_DTYPE).tobytes())
+    return out
+
+
+def peel_layers(num_vertices, indptr, indices, degrees, threshold, max_rounds):
+    """Vectorized frontier peel: bincount decrements + boolean-mask extraction.
+
+    Per round, the frontier's neighbor lists are gathered with one fancy
+    index (CSR multi-slice via cumsum/repeat), the per-vertex removal counts
+    come from one ``bincount``, and the next frontier is the boolean mask
+    ``remaining degree ≤ threshold``.  Stamped vertices keep a stale stored
+    degree exactly like the reference (every later read is gated on
+    ``layers == 0``), so the resulting layers and round count are identical.
+    """
+    n = num_vertices
+    indptr = np_view(indptr)
+    indices = np_view(indices)
+    # Scratch copy; equals the ``degrees`` tuple by CSR construction, but
+    # derived from indptr so no python-level conversion of n ints is needed.
+    degree = indptr[1:] - indptr[:-1]
+    layers = np.zeros(n, dtype=_DTYPE)
+    frontier = np.nonzero(degree <= threshold)[0]
+    layers[frontier] = 1
+    rounds_used = 0
+    while frontier.size and (max_rounds is None or rounds_used < max_rounds):
+        rounds_used += 1
+        starts = indptr[frontier]
+        lens = indptr[frontier + 1] - starts
+        total = int(lens.sum())
+        if total:
+            # Gather indices[starts[k] : starts[k] + lens[k]] for every
+            # frontier vertex k in one shot.
+            cum = np.cumsum(lens) - lens
+            gather = np.arange(total, dtype=_DTYPE) + np.repeat(starts - cum, lens)
+            neighbors = indices[gather]
+            alive = neighbors[layers[neighbors] == 0]
+            removals = np.bincount(alive, minlength=n)
+            newly = (layers == 0) & (removals > 0) & (degree - removals <= threshold)
+            # Stamped vertices take the decrement too (the reference leaves
+            # them one step stale instead) — unobservable either way, since
+            # a non-zero layer gates every future read.
+            degree = degree - removals
+            frontier = np.nonzero(newly)[0]
+            layers[frontier] = rounds_used + 1
+        else:
+            frontier = frontier[:0]
+    if frontier.size:
+        # max_rounds cut the process short; un-assign the queued wave.
+        layers[frontier] = 0
+    return to_array(layers), rounds_used
+
+
+def orient_by_rank(edge_u, edge_v, ranks):
+    """``np.where`` head flips: point each edge at the higher-ranked endpoint."""
+    rank = np.asarray(ranks)
+    if rank.dtype == object:
+        # Arbitrary comparable ranks (not coercible to a numeric vector):
+        # defer to the reference loop.
+        from repro.kernels import pure
+
+        return pure.orient_by_rank(edge_u, edge_v, ranks)
+    eu = np_view(edge_u)
+    ev = np_view(edge_v)
+    # u < v in canonical form, so rank ties resolve toward v.
+    return to_array(np.where(rank[eu] <= rank[ev], ev, eu))
+
+
+def tally_outdegrees(num_vertices, edge_u, edge_v, heads):
+    """One ``bincount`` over the tail column (+ the reference endpoint check)."""
+    eu = np_view(edge_u)
+    ev = np_view(edge_v)
+    h = np_view(heads)
+    to_v = h == ev
+    bad = ~(to_v | (h == eu))
+    if bad.any():
+        i = int(bad.argmax())  # first offender, matching the reference scan
+        raise InvalidOrientationError(
+            f"edge {(int(eu[i]), int(ev[i]))} oriented toward {int(h[i])}, "
+            f"which is not an endpoint"
+        )
+    tails = np.where(to_v, eu, ev)
+    return tuple(np.bincount(tails, minlength=num_vertices).tolist())
+
+
+def merge_oriented_columns(num_vertices, a_u, a_v, a_heads, b_u, b_v, b_heads):
+    """Searchsorted merge of two sorted, disjoint canonical edge column sets.
+
+    Edges are encoded as ``u * n + v`` int64 keys (lexicographic order is
+    preserved, and ``n² < 2⁶³`` for any graph this repo can hold), overlap is
+    one ``isin``, and each side's merged positions are its own index plus the
+    count of smaller keys on the other side — a permutation scatter instead
+    of a 2(m_a + m_b)-step python walk.
+    """
+    au, av, ah = np_view(a_u), np_view(a_v), np_view(a_heads)
+    bu, bv, bh = np_view(b_u), np_view(b_v), np_view(b_heads)
+    stride = max(num_vertices, 1)
+    ka = au * stride + av
+    kb = bu * stride + bv
+    overlap = int(np.count_nonzero(np.isin(kb, ka, assume_unique=True)))
+    if overlap:
+        return None, None, None, overlap
+    la, lb = ka.size, kb.size
+    pos_a = np.arange(la, dtype=_DTYPE) + np.searchsorted(kb, ka)
+    pos_b = np.arange(lb, dtype=_DTYPE) + np.searchsorted(ka, kb)
+    out_u = np.empty(la + lb, dtype=_DTYPE)
+    out_v = np.empty(la + lb, dtype=_DTYPE)
+    out_h = np.empty(la + lb, dtype=_DTYPE)
+    out_u[pos_a] = au
+    out_u[pos_b] = bu
+    out_v[pos_a] = av
+    out_v[pos_b] = bv
+    out_h[pos_a] = ah
+    out_h[pos_b] = bh
+    return to_array(out_u), to_array(out_v), to_array(out_h), 0
+
+
+def sum_counts(a, b):
+    """Elementwise sum of two equal-length count tuples."""
+    if not len(a):
+        return ()
+    return tuple((np.asarray(a, dtype=_DTYPE) + np.asarray(b, dtype=_DTYPE)).tolist())
+
+
+def min_value(column):
+    """Minimum of a flat column (0 when empty)."""
+    view = np_view(column)
+    return int(view.min()) if view.size else 0
+
+
+def max_sizes(collections):
+    """Largest ``len()`` across the collections (0 when there are none)."""
+    sizes = np.fromiter(map(len, collections), dtype=_DTYPE, count=len(collections))
+    return int(sizes.max()) if sizes.size else 0
+
+
+def sum_sizes(collections):
+    """Total ``len()`` across the collections."""
+    sizes = np.fromiter(map(len, collections), dtype=_DTYPE, count=len(collections))
+    return int(sizes.sum())
+
+
+def assemble_color_columns(num_vertices, parts):
+    """Prefix-sum palette offsets + one scatter per part's color column."""
+    column = np.full(num_vertices, -1, dtype=_DTYPE)
+    offsets = [0]
+    base = 0
+    for parents, colors, palette_size in parts:
+        if len(parents):
+            idx = np.fromiter(parents, dtype=_DTYPE, count=len(parents))
+            column[idx] = np_view(colors) + base
+        base += int(palette_size)
+        offsets.append(base)
+    return to_array(column), offsets
+
+
+def _canonical(u, v):
+    return (u, v) if u < v else (v, u)
+
+
+def flip_repair_group(shard, group_updates, cap, choose_tail):
+    """Sharded group replay over sorted head vectors.
+
+    The per-update decision sequence is inherently serial (each tail choice
+    depends on the outdegrees the previous updates produced), so the loop
+    structure matches the reference; the data movement around it — shard
+    decode, membership tests (``searchsorted`` on sorted vectors), head
+    insertion/removal, and the final sorted-list encode — is numpy.  Output
+    (including error messages) is byte-identical to the pure kernel.
+    """
+    out = {
+        vertex: np.asarray(heads, dtype=_DTYPE)
+        for vertex, heads in shard.items()
+    }
+    freed: list[int] = []
+
+    def contains(arr, x):
+        i = int(np.searchsorted(arr, x))
+        return i < arr.size and arr[i] == x, i
+
+    for update in group_updates:
+        u, v = update.u, update.v
+        if update.is_insert:
+            v_in_u, _ = contains(out[u], v)
+            u_in_v, _ = contains(out[v], u)
+            if v_in_u or u_in_v:
+                raise GraphError(
+                    f"insert of already-oriented edge {_canonical(u, v)} "
+                    f"without a mid-batch rebuild: orientation drifted from "
+                    f"the live edge set"
+                )
+            tail = choose_tail(u, v, out[u].size, out[v].size)
+            head = v if tail == u else u
+            arr = out[tail]
+            pos = int(np.searchsorted(arr, head))
+            out[tail] = np.insert(arr, pos, head)
+            if out[tail].size > cap:
+                raise GraphError(
+                    f"cap overflow at vertex {tail} inside a conflict-free "
+                    f"group — the safety precheck is broken"
+                )
+        else:
+            v_in_u, pos_u = contains(out[u], v)
+            if v_in_u:
+                out[u] = np.delete(out[u], pos_u)
+                freed.append(u)
+            else:
+                u_in_v, pos_v = contains(out[v], u)
+                if u_in_v:
+                    out[v] = np.delete(out[v], pos_v)
+                    freed.append(v)
+                else:
+                    raise GraphError(f"edge {_canonical(u, v)} is not oriented")
+    return {vertex: arr.tolist() for vertex, arr in out.items()}, freed

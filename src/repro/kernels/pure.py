@@ -1,0 +1,206 @@
+"""Reference (pure-python) kernel implementations.
+
+These are the loops that used to live inline in ``Graph.peel_layers``,
+``Orientation``, the stream repair path and the Theorem 1.2 combine step,
+lifted out verbatim so they operate on primitive columns.  They define the
+semantics — including error messages and first-offender order — that the
+numpy backend must reproduce byte-for-byte (pinned by the equivalence suite
+in ``tests/kernels/``).
+"""
+
+from __future__ import annotations
+
+from array import array
+
+from repro.errors import GraphError, InvalidOrientationError
+
+
+def peel_layers(num_vertices, indptr, indices, degrees, threshold, max_rounds):
+    """Frontier-based round-synchronous peel (see ``Graph.peel_layers``).
+
+    A vertex is stamped with the *next* round's index the moment its
+    remaining degree first drops to ``threshold``; once stamped, later
+    decrements in the same round skip it, so its stored degree stays stale —
+    harmless, because every read is gated on ``layers[w] == 0``.
+    """
+    degree = list(degrees)
+    layers = [0] * num_vertices
+    frontier = [v for v, d in enumerate(degree) if d <= threshold]
+    for v in frontier:
+        layers[v] = 1
+    rounds_used = 0
+    while frontier and (max_rounds is None or rounds_used < max_rounds):
+        rounds_used += 1
+        next_round = rounds_used + 1
+        next_frontier: list[int] = []
+        append = next_frontier.append
+        for v in frontier:
+            # Iterating a materialised slice keeps the inner loop at
+            # C speed; only the per-neighbor bookkeeping is Python.
+            for w in indices[indptr[v] : indptr[v + 1]]:
+                if layers[w] == 0:
+                    d = degree[w] - 1
+                    if d == threshold:
+                        layers[w] = next_round
+                        append(w)
+                    else:
+                        degree[w] = d
+        frontier = next_frontier
+    if frontier:
+        # max_rounds cut the process short; the queued wave was stamped
+        # with a round that never ran, so un-assign it.
+        for v in frontier:
+            layers[v] = 0
+    return array("l", layers), rounds_used
+
+
+def orient_by_rank(edge_u, edge_v, ranks):
+    """Heads column for "orient toward the higher rank, ties toward v"."""
+    lookup = ranks.__getitem__
+    heads = array("l")
+    append = heads.append
+    for u, v in zip(edge_u, edge_v):
+        # u < v in canonical form, so rank ties resolve toward v.
+        append(v if lookup(u) <= lookup(v) else u)
+    return heads
+
+
+def tally_outdegrees(num_vertices, edge_u, edge_v, heads):
+    """Single pass over the edge columns: outdegree per vertex + endpoint check."""
+    outdegree = [0] * num_vertices
+    for u, v, head in zip(edge_u, edge_v, heads):
+        if head == v:
+            outdegree[u] += 1
+        elif head == u:
+            outdegree[v] += 1
+        else:
+            raise InvalidOrientationError(
+                f"edge {(u, v)} oriented toward {head}, which is not an endpoint"
+            )
+    return tuple(outdegree)
+
+
+def merge_oriented_columns(num_vertices, a_u, a_v, a_heads, b_u, b_v, b_heads):
+    """Two-pointer merge of two sorted canonical edge/head column sets.
+
+    Shared edges are counted, not merged: a non-zero overlap returns
+    ``(None, None, None, overlap)`` and the caller raises, exactly like the
+    original in-class loop (which raised before assembling a result).
+    """
+    la, lb = len(a_u), len(b_u)
+    edge_u = array("l")
+    edge_v = array("l")
+    heads = array("l")
+    i = j = 0
+    overlap = 0
+    while i < la and j < lb:
+        ea = (a_u[i], a_v[i])
+        eb = (b_u[j], b_v[j])
+        if ea < eb:
+            edge_u.append(ea[0])
+            edge_v.append(ea[1])
+            heads.append(a_heads[i])
+            i += 1
+        elif eb < ea:
+            edge_u.append(eb[0])
+            edge_v.append(eb[1])
+            heads.append(b_heads[j])
+            j += 1
+        else:
+            overlap += 1
+            i += 1
+            j += 1
+    if overlap:
+        return None, None, None, overlap
+    if i < la:
+        edge_u.extend(a_u[i:])
+        edge_v.extend(a_v[i:])
+        heads.extend(a_heads[i:])
+    if j < lb:
+        edge_u.extend(b_u[j:])
+        edge_v.extend(b_v[j:])
+        heads.extend(b_heads[j:])
+    return edge_u, edge_v, heads, 0
+
+
+def sum_counts(a, b):
+    """Elementwise sum of two equal-length count tuples."""
+    return tuple(x + y for x, y in zip(a, b))
+
+
+def min_value(column):
+    """Minimum of a flat column (0 when empty)."""
+    return min(column) if len(column) else 0
+
+
+def max_sizes(collections):
+    """Largest ``len()`` across the collections (0 when there are none)."""
+    return max((len(c) for c in collections), default=0)
+
+
+def sum_sizes(collections):
+    """Total ``len()`` across the collections."""
+    return sum(len(c) for c in collections)
+
+
+def assemble_color_columns(num_vertices, parts):
+    """Scatter per-part color columns under prefix-sum palette offsets."""
+    column = array("l", [-1]) * num_vertices
+    offsets = [0]
+    base = 0
+    for parents, colors, palette_size in parts:
+        for local, parent in enumerate(parents):
+            column[parent] = base + colors[local]
+        base += int(palette_size)
+        offsets.append(base)
+    return column, offsets
+
+
+def _canonical(u, v):
+    # Inline normalize_edge: kernels must not import repro.graph (the graph
+    # core imports this package), and the message only needs the tuple repr.
+    return (u, v) if u < v else (v, u)
+
+
+def flip_repair_group(shard, group_updates, cap, choose_tail):
+    """Replay one cap-safe conflict group against its out-table shard.
+
+    The reference body of the process backend's sharded repair task: the
+    updates are applied against the shard alone, and the mutated shard plus
+    the freed tails (deletion order) are returned.  ``choose_tail`` is the
+    stream module's single tail-selection rule — injected rather than
+    duplicated, so the safety precheck and both kernel backends replay the
+    exact same decisions.  Cap-safety was proved by the precheck, so an
+    overflow — or an insert/delete that does not match the shard — means the
+    precheck or the shard extraction is broken, and the kernel raises rather
+    than returning a corrupt shard.
+    """
+    out = {vertex: set(heads) for vertex, heads in shard.items()}
+    freed: list[int] = []
+    for update in group_updates:
+        u, v = update.u, update.v
+        if update.is_insert:
+            if v in out[u] or u in out[v]:
+                raise GraphError(
+                    f"insert of already-oriented edge {_canonical(u, v)} "
+                    f"without a mid-batch rebuild: orientation drifted from "
+                    f"the live edge set"
+                )
+            tail = choose_tail(u, v, len(out[u]), len(out[v]))
+            head = v if tail == u else u
+            out[tail].add(head)
+            if len(out[tail]) > cap:
+                raise GraphError(
+                    f"cap overflow at vertex {tail} inside a conflict-free "
+                    f"group — the safety precheck is broken"
+                )
+        else:
+            if v in out[u]:
+                out[u].discard(v)
+                freed.append(u)
+            elif u in out[v]:
+                out[v].discard(u)
+                freed.append(v)
+            else:
+                raise GraphError(f"edge {_canonical(u, v)} is not oriented")
+    return {vertex: sorted(heads) for vertex, heads in out.items()}, freed

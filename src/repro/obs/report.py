@@ -178,7 +178,12 @@ def _numeric_metrics(results) -> dict[str, float]:
 
 
 def bench_trend_tables(directory) -> list[Table]:
-    """One trend table per benchmark: latest vs previous snapshot per metric."""
+    """One trend table per benchmark: latest vs previous snapshot per metric.
+
+    A bench with a single snapshot has no trend yet — its table carries just
+    ``metric``/``latest`` columns instead of padding ``previous`` and
+    ``ratio`` with dashes.
+    """
     by_bench = load_bench_snapshots(directory)
     tables: list[Table] = []
     for bench in sorted(by_bench):
@@ -186,16 +191,18 @@ def bench_trend_tables(directory) -> list[Table]:
         latest = snapshots[-1]
         previous = snapshots[-2] if len(snapshots) > 1 else None
         latest_metrics = _numeric_metrics(latest.get("results"))
-        previous_metrics = (
-            _numeric_metrics(previous.get("results")) if previous else {}
+        title = (
+            f"{bench} — {len(snapshots)} snapshot(s), "
+            f"latest {latest['timestamp_utc']}"
         )
-        table = Table(
-            title=(
-                f"{bench} — {len(snapshots)} snapshot(s), "
-                f"latest {latest['timestamp_utc']}"
-            ),
-            columns=["metric", "previous", "latest", "ratio"],
-        )
+        if previous is None:
+            table = Table(title=title, columns=["metric", "latest"])
+            for metric in sorted(latest_metrics):
+                table.add_row({"metric": metric, "latest": latest_metrics[metric]})
+            tables.append(table)
+            continue
+        previous_metrics = _numeric_metrics(previous.get("results"))
+        table = Table(title=title, columns=["metric", "previous", "latest", "ratio"])
         for metric in sorted(latest_metrics):
             latest_value = latest_metrics[metric]
             previous_value = previous_metrics.get(metric)

@@ -276,6 +276,7 @@ class StreamEngine:
         quality_interval: int = 1024,
         maintain_coloring: bool = True,
         proactive_flips: bool = True,
+        lambda_seed: str | None = None,
         memory_quota: int | None = None,
         weight: int = 1,
     ) -> StreamingService:
@@ -301,6 +302,10 @@ class StreamEngine:
         round credits per backlogged tick, so a weight-3 tenant is served
         about three times as often as a weight-1 sibling on a congested
         fleet.  Policies without a fairness notion ignore it.
+
+        ``lambda_seed`` is forwarded to :class:`StreamingService` — pass
+        ``"coreness"`` to seed the tenant's λ̂ from the guess-ladder peel
+        instead of the static degeneracy estimate.
         """
         if name in self._tenants:
             raise GraphError(f"tenant {name!r} is already registered")
@@ -342,6 +347,7 @@ class StreamEngine:
             maintain_coloring=maintain_coloring,
             pool=tenant_pool,
             proactive_flips=proactive_flips,
+            lambda_seed=lambda_seed,
             tracer=self.tracer if self.tracer.enabled else None,
         )
         # The construction build's memory peak must fit the quota too; a

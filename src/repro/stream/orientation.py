@@ -64,6 +64,7 @@ from collections import deque
 from collections.abc import Iterable, Sequence
 from dataclasses import dataclass
 
+from repro import kernels
 from repro.engine import IN_PROCESS, PROCESS, WorkerPool
 from repro.engine import shm
 from repro.engine.shm import ShardHandle
@@ -137,36 +138,16 @@ def _apply_group_sharded(
     or the shard extraction is broken, and the task raises rather than
     returning a corrupt shard.  Module-level and dependent only on its
     arguments so ``ProcessPoolExecutor`` can pickle it by reference.
+
+    The replay itself is the :func:`repro.kernels.flip_repair_group` kernel:
+    the per-update decisions are inherently serial (each tail choice depends
+    on the outdegrees the previous updates produced), but the numpy backend
+    vectorizes the data movement around them — shard decode, membership
+    tests, head writes along the flip-free paths — with byte-identical
+    shards and freed lists.  The tail rule is injected so this module keeps
+    its single definition of :func:`_choose_tail`.
     """
-    out = {vertex: set(heads) for vertex, heads in shard.items()}
-    freed: list[int] = []
-    for update in group_updates:
-        u, v = update.u, update.v
-        if update.is_insert:
-            if v in out[u] or u in out[v]:
-                raise GraphError(
-                    f"insert of already-oriented edge {normalize_edge(u, v)} "
-                    f"without a mid-batch rebuild: orientation drifted from "
-                    f"the live edge set"
-                )
-            tail = _choose_tail(u, v, len(out[u]), len(out[v]))
-            head = v if tail == u else u
-            out[tail].add(head)
-            if len(out[tail]) > cap:
-                raise GraphError(
-                    f"cap overflow at vertex {tail} inside a conflict-free "
-                    f"group — the safety precheck is broken"
-                )
-        else:
-            if v in out[u]:
-                out[u].discard(v)
-                freed.append(u)
-            elif u in out[v]:
-                out[v].discard(u)
-                freed.append(v)
-            else:
-                raise GraphError(f"edge {normalize_edge(u, v)} is not oriented")
-    return {vertex: sorted(heads) for vertex, heads in out.items()}, freed
+    return kernels.flip_repair_group(shard, group_updates, cap, _choose_tail)
 
 
 def _apply_group_shm(
@@ -192,6 +173,62 @@ def _apply_group_shm(
         if tuple(heads) != shard[vertex]
     }
     return delta, freed
+
+
+def _peel_guess_task(graph: Graph, threshold: int) -> tuple[bool, int]:
+    """One coreness-ladder guess: does the ``threshold``-peel clear the graph?
+
+    Module-level so the engine's process backend can pickle it by reference.
+    Returns ``(cleared, rounds_used)`` — ``cleared`` means every vertex got a
+    layer, i.e. the graph's degeneracy is at most ``threshold``.
+    """
+    layers, rounds_used = graph.peel_layers(threshold)
+    return all(layers), rounds_used
+
+
+def seed_lambda_from_coreness(
+    snapshot: Graph,
+    epsilon: float = 0.5,
+    executor=None,
+    cluster=None,
+) -> int:
+    """Seed λ̂ from the coreness guess ladder instead of the static degeneracy.
+
+    The default estimate (``arboricity_upper_bound``) is one serial O(n + m)
+    bucket peel yielding the exact degeneracy ``d``.  This helper instead
+    runs the [GLM19] guess ladder ``g = ⌈(1+ε)^i⌉`` — each guess one
+    threshold-``2g`` frontier peel, fanned out through the engine when an
+    ``executor`` is given (the guesses are independent, so rounds charge as
+    the max over guesses plus one combine, exactly like
+    :func:`repro.core.coreness.approximate_coreness`) — and returns
+    ``2 · g*`` where ``g*`` is the smallest guess whose peel clears the
+    graph.  Since the peel clears iff ``2g ≥ d``, the seed lands in
+    ``[d, (1+ε)·d]``: never below the degeneracy, and usually *above* it by
+    the ladder's round-up.  That headroom is the point — on a densifying
+    trace the wider cap absorbs growth that would saturate the
+    degeneracy-seeded cap, so fewer ``"saturated"`` rebuilds fire (pinned by
+    the regression test).  Each peel itself runs on the active kernel
+    backend, so with numpy the whole estimate is a few vectorized sweeps.
+    """
+    from repro.core.coreness import geometric_guesses  # deferred: core imports stream-free
+
+    if snapshot.num_vertices == 0 or snapshot.num_edges == 0:
+        return 1
+    guesses = geometric_guesses(max(snapshot.max_degree(), 1), epsilon)
+    tasks = [(snapshot, 2 * guess) for guess in guesses]
+    if executor is not None and len(tasks) > 1:
+        work = len(tasks) * (snapshot.num_vertices + snapshot.num_edges)
+        results = executor.map(_peel_guess_task, tasks, total_work=work)
+    else:
+        results = [_peel_guess_task(*task) for task in tasks]
+    cleared_at = next(
+        (guess for guess, (cleared, _rounds) in zip(guesses, results) if cleared),
+        guesses[-1],
+    )
+    if cluster is not None:
+        max_rounds = max((rounds for _cleared, rounds in results), default=0)
+        cluster.charge_rounds(max_rounds + 1, label="stream:lambda-seed")
+    return max(1, 2 * cleared_at)
 
 
 @dataclass(frozen=True)
@@ -261,6 +298,9 @@ class IncrementalOrientation:
         self.flips = 0
         self.opportunistic_flips = 0
         self.rebuilds = 0
+        # Per-reason rebuild tally ("saturated", "stale-bound", ...): the
+        # λ̂-seeding regression tests compare saturation rebuilds alone.
+        self.rebuild_reasons: dict[str, int] = {}
         self._updates_since_check = 0
         snapshot = dynamic.snapshot()
         if lambda_bound is None:
@@ -279,8 +319,8 @@ class IncrementalOrientation:
         return len(self._out[v])
 
     def max_outdegree(self) -> int:
-        """Maximum outdegree over all vertices (O(n) scan)."""
-        return max((len(s) for s in self._out), default=0)
+        """Maximum outdegree over all vertices (kernel-dispatched O(n) scan)."""
+        return kernels.max_sizes(self._out)
 
     def out_neighbors(self, v: int) -> tuple[int, ...]:
         """Sorted heads of the edges oriented out of ``v``."""
@@ -308,7 +348,7 @@ class IncrementalOrientation:
 
     def oriented_edge_count(self) -> int:
         """Number of oriented edges (equals the live edge count, invariantly)."""
-        return sum(len(s) for s in self._out)
+        return kernels.sum_sizes(self._out)
 
     # ------------------------------------------------------------------ #
     # Updates
@@ -667,6 +707,7 @@ class IncrementalOrientation:
         self.outdegree_cap = max(self.flip_slack * self.lambda_bound, 1)
         self._install_full_orientation(snapshot)
         self.rebuilds += 1
+        self.rebuild_reasons[reason] = self.rebuild_reasons.get(reason, 0) + 1
         if self._cluster is not None:
             self._cluster.charge_rounds(1, label=f"stream:rebuild:{reason}")
 

@@ -52,7 +52,7 @@ from repro.mpc.cluster import MPCCluster
 from repro.mpc.config import MPCConfig
 from repro.stream.coloring import IncrementalColoring
 from repro.stream.dynamic_graph import DynamicGraph
-from repro.stream.orientation import IncrementalOrientation
+from repro.stream.orientation import IncrementalOrientation, seed_lambda_from_coreness
 from repro.stream.updates import BatchReport, StreamSummary, UpdateBatch
 
 
@@ -108,6 +108,16 @@ class StreamingService:
         builds and owns a pool around ``executor``/``workers``/``backend``.
     proactive_flips:
         Forwarded to :class:`IncrementalOrientation`.
+    lambda_seed:
+        How the initial arboricity estimate λ̂ is obtained.  ``None``
+        (default) keeps the static degeneracy estimate.  ``"coreness"``
+        seeds it from an engine-parallel coreness guess-ladder peel
+        (:func:`~repro.stream.orientation.seed_lambda_from_coreness`) run on
+        the service's own executor and charged to its cluster ledger — the
+        ladder's round-up gives the outdegree cap headroom above the exact
+        degeneracy, so densifying traces trigger fewer saturation rebuilds.
+        Opt-in because it changes the cap, and with it every downstream
+        flip/rebuild count, relative to the pinned default trajectories.
     tracer:
         Optional :class:`repro.obs.Tracer`.  When given, each batch is
         wrapped in host wall-clock spans (batch → repair/recolor/quality)
@@ -130,8 +140,13 @@ class StreamingService:
         executor: ParallelExecutor | None = None,
         pool: WorkerPool | None = None,
         proactive_flips: bool = True,
+        lambda_seed: str | None = None,
         tracer=None,
     ) -> None:
+        if lambda_seed not in (None, "coreness"):
+            raise GraphError(
+                f"unknown lambda_seed {lambda_seed!r} (expected None or 'coreness')"
+            )
         if cluster is None:
             cluster = MPCCluster(MPCConfig.for_graph(initial, delta=delta))
         self.cluster = cluster
@@ -150,8 +165,14 @@ class StreamingService:
         self._shard_key = self._pool.allocate_scope("repair-shards-")
         self.dynamic = DynamicGraph(initial)
         self._account_graph_storage()
+        lambda_bound = None
+        if lambda_seed == "coreness":
+            lambda_bound = seed_lambda_from_coreness(
+                initial, executor=self._executor, cluster=cluster
+            )
         self.orientation = IncrementalOrientation(
             self.dynamic,
+            lambda_bound=lambda_bound,
             flip_slack=flip_slack,
             quality_interval=quality_interval,
             delta=delta,

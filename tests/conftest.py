@@ -7,6 +7,7 @@ import random
 import pytest
 from hypothesis import strategies as st
 
+from repro import kernels
 from repro.graph import generators
 from repro.graph.graph import Graph
 
@@ -15,6 +16,27 @@ from repro.graph.graph import Graph
 def rng() -> random.Random:
     """A deterministic random generator for tests."""
     return random.Random(12345)
+
+
+@pytest.fixture(
+    params=[
+        kernels.PURE,
+        pytest.param(
+            kernels.NUMPY,
+            marks=pytest.mark.skipif(
+                not kernels.numpy_available(), reason="numpy not importable"
+            ),
+        ),
+    ]
+)
+def kernel_backend(request) -> str:
+    """Run the test once per kernel backend (numpy leg skipped when absent).
+
+    Selects the backend process-wide for the test body, so determinism
+    matrices gain the kernel dimension by just taking this fixture.
+    """
+    with kernels.use_backend(request.param):
+        yield request.param
 
 
 @pytest.fixture

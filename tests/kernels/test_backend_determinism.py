@@ -1,0 +1,128 @@
+"""End-to-end: public-API results are byte-identical across kernel backends.
+
+The per-kernel equivalence suite pins each dispatcher in isolation; these
+tests pin the composition — a whole Theorem 1.1 orientation run, a whole
+Theorem 1.2 coloring run (both branches), a full streaming trace — computed
+once per backend and compared as complete result fingerprints.  Also covers
+the zero-copy :func:`repro.engine.shm.numpy_column` bridge against the
+copying reference slice.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import kernels
+from repro.core.coloring import color
+from repro.core.orientation import orient
+from repro.graph.generators import (
+    planted_dense_subgraph,
+    union_of_random_forests,
+)
+from repro.stream.service import StreamingService
+from repro.stream.workloads import uniform_churn_trace
+
+needs_numpy = pytest.mark.skipif(
+    not kernels.numpy_available(), reason="numpy not importable"
+)
+
+
+def _per_backend(fn):
+    results = {}
+    for backend in kernels.BACKENDS:
+        with kernels.use_backend(backend) as resolved:
+            assert resolved == backend  # numpy leg is skipped, not degraded
+            results[backend] = fn()
+    return results
+
+
+@needs_numpy
+class TestEndToEnd:
+    def test_peel_layers_identical(self):
+        graph = planted_dense_subgraph(
+            150,
+            community_size=50,
+            community_probability=0.6,
+            background_probability=0.04,
+            seed=3,
+        )
+        results = _per_backend(lambda: graph.peel_layers(6))
+        assert results[kernels.PURE] == results[kernels.NUMPY]
+
+    def test_orientation_run_identical(self):
+        graph = union_of_random_forests(400, arboricity=4, seed=21)
+        results = _per_backend(
+            lambda: orient(graph, seed=5)
+        )
+        pure, vec = results[kernels.PURE], results[kernels.NUMPY]
+        assert pure.orientation.direction == vec.orientation.direction
+        assert pure.rounds == vec.rounds
+        assert pure.max_outdegree == vec.max_outdegree
+
+    @pytest.mark.parametrize("force_vertex_partitioning", [False, True])
+    def test_coloring_run_identical(self, force_vertex_partitioning):
+        graph = union_of_random_forests(300, arboricity=3, seed=8)
+        results = _per_backend(
+            lambda: color(
+                graph,
+                seed=5,
+                force_vertex_partitioning=force_vertex_partitioning,
+            )
+        )
+        pure, vec = results[kernels.PURE], results[kernels.NUMPY]
+        assert pure.coloring.as_dict() == vec.coloring.as_dict()
+        assert pure.palette_size == vec.palette_size
+        assert pure.num_colors == vec.num_colors
+        assert pure.rounds == vec.rounds
+
+    def test_streamed_trace_identical(self):
+        trace = uniform_churn_trace(
+            120, arboricity=3, num_batches=4, batch_size=80, seed=13
+        )
+
+        def run():
+            service = StreamingService(trace.initial, seed=0)
+            service.apply_all(trace.batches)
+            service.verify()
+            return (
+                tuple(tuple(sorted(out)) for out in service.orientation._out),
+                tuple(service.coloring._colors),
+                service.cluster.stats.num_rounds,
+                [report.as_dict() for report in service.summary.reports],
+            )
+
+        results = _per_backend(run)
+        assert results[kernels.PURE] == results[kernels.NUMPY]
+
+
+@needs_numpy
+class TestShmNumpyColumn:
+    def test_view_matches_the_copying_slice(self):
+        from repro.engine import WorkerPool, shm
+        from repro.errors import GraphError
+
+        graph = union_of_random_forests(64, arboricity=2, seed=4)
+        parts = [graph.induced_subgraph(range(0, 64, 2))]
+        with WorkerPool(workers=1) as pool:
+            handle = pool.publish_vertex_parts("np-view", parts)
+            pool.registry.ensure_shared(handle)
+            view = shm._attach_segment(handle)
+            for name, (_base, count) in view.columns.items():
+                arr = shm.numpy_column(handle, name)
+                assert arr.tolist() == list(shm._column_slice(view, name, 0, count))
+                assert not arr.flags.writeable
+                if count >= 2:
+                    window = shm.numpy_column(handle, name, 1, count - 1)
+                    assert window.tolist() == list(
+                        shm._column_slice(view, name, 1, count - 1)
+                    )
+            with pytest.raises(GraphError, match="slice"):
+                shm.numpy_column(handle, name, 0, count + 1)
+
+    def test_requires_numpy(self, monkeypatch):
+        from repro.engine import shm
+        from repro.errors import GraphError
+
+        monkeypatch.setattr(kernels, "_numpy_ok", False)
+        with pytest.raises(GraphError, match="numpy"):
+            shm.numpy_column(object(), "edge_u")

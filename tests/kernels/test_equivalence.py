@@ -1,0 +1,285 @@
+"""Pure ≡ numpy byte-identity, kernel by kernel, on randomized inputs.
+
+Every test calls the *same dispatcher* once per backend on the same inputs
+and requires exactly equal outputs — container types included (``array('l')``
+columns, tuples, python-int lists) — and, where a kernel raises, the exact
+same exception type and message.  The whole module is skipped on hosts
+without numpy: equivalence against an absent backend is vacuous (the
+fallback itself is covered by the registry tests).
+"""
+
+from __future__ import annotations
+
+import random
+from array import array
+
+import pytest
+
+from repro import kernels
+from repro.errors import GraphError, InvalidOrientationError
+from repro.graph.generators import (
+    planted_dense_subgraph,
+    union_of_random_forests,
+)
+from repro.stream.updates import EdgeUpdate
+
+pytestmark = pytest.mark.skipif(
+    not kernels.numpy_available(), reason="numpy not importable"
+)
+
+GRAPHS = [
+    union_of_random_forests(300, arboricity=3, seed=5),
+    planted_dense_subgraph(
+        200,
+        community_size=60,
+        community_probability=0.6,
+        background_probability=0.03,
+        seed=9,
+    ),
+]
+
+
+def both(kernel_name, *args, **kwargs):
+    """Run one dispatcher on both backends; return (pure_result, numpy_result)."""
+    dispatcher = getattr(kernels, kernel_name)
+    return (
+        dispatcher(*args, backend=kernels.PURE, **kwargs),
+        dispatcher(*args, backend=kernels.NUMPY, **kwargs),
+    )
+
+
+def both_raise(kernel_name, *args, **kwargs):
+    """Both backends must raise; returns the two exceptions for comparison."""
+    dispatcher = getattr(kernels, kernel_name)
+    with pytest.raises(Exception) as pure_err:
+        dispatcher(*args, backend=kernels.PURE, **kwargs)
+    with pytest.raises(Exception) as numpy_err:
+        dispatcher(*args, backend=kernels.NUMPY, **kwargs)
+    return pure_err.value, numpy_err.value
+
+
+class TestPeel:
+    @pytest.mark.parametrize("graph", GRAPHS, ids=["forests", "dense"])
+    @pytest.mark.parametrize("threshold", [0, 1, 3, 8, 50])
+    @pytest.mark.parametrize("max_rounds", [None, 0, 1, 2])
+    def test_layers_and_rounds_identical(self, graph, threshold, max_rounds):
+        pure, vec = both(
+            "peel_layers",
+            graph.num_vertices,
+            graph.csr_indptr,
+            graph.csr_indices,
+            graph.degrees,
+            threshold,
+            max_rounds,
+        )
+        assert pure == vec
+        assert isinstance(vec[0], array) and vec[0].typecode == "l"
+
+    def test_empty_graph(self):
+        pure, vec = both("peel_layers", 0, array("l", [0]), array("l"), (), 3, None)
+        assert pure == vec == (array("l"), 0)
+
+
+class TestOrientAndTally:
+    @pytest.mark.parametrize("graph", GRAPHS, ids=["forests", "dense"])
+    def test_heads_identical_for_list_mapping_and_float_ranks(self, graph):
+        edge_u, edge_v = graph.edge_endpoints
+        rng = random.Random(31)
+        int_ranks = [rng.randrange(50) for _ in range(graph.num_vertices)]
+        for ranks in (
+            int_ranks,
+            dict(enumerate(int_ranks)),
+            [r + 0.5 for r in int_ranks],
+        ):
+            pure, vec = both("orient_by_rank", edge_u, edge_v, ranks)
+            assert pure == vec
+            assert isinstance(vec, array) and vec.typecode == "l"
+
+    @pytest.mark.parametrize("graph", GRAPHS, ids=["forests", "dense"])
+    def test_tallies_identical(self, graph):
+        edge_u, edge_v = graph.edge_endpoints
+        heads = kernels.orient_by_rank(
+            edge_u, edge_v, list(range(graph.num_vertices))
+        )
+        pure, vec = both("tally_outdegrees", graph.num_vertices, edge_u, edge_v, heads)
+        assert pure == vec
+        assert isinstance(vec, tuple) and all(isinstance(x, int) for x in vec)
+
+    def test_tally_first_offender_message_identical(self):
+        graph = GRAPHS[0]
+        edge_u, edge_v = graph.edge_endpoints
+        heads = kernels.orient_by_rank(edge_u, edge_v, list(range(graph.num_vertices)))
+        corrupt = array("l", heads)
+        # Two bad heads; the *first* must be the one reported by both.
+        corrupt[7] = graph.num_vertices + 7
+        corrupt[100] = graph.num_vertices + 100
+        pure_err, numpy_err = both_raise(
+            "tally_outdegrees", graph.num_vertices, edge_u, edge_v, corrupt
+        )
+        assert isinstance(pure_err, InvalidOrientationError)
+        assert type(pure_err) is type(numpy_err)
+        assert str(pure_err) == str(numpy_err)
+
+
+class TestMerge:
+    @pytest.mark.parametrize("graph", GRAPHS, ids=["forests", "dense"])
+    def test_disjoint_interleaved_split_merges_identically(self, graph):
+        edge_u, edge_v = graph.edge_endpoints
+        heads = kernels.orient_by_rank(edge_u, edge_v, list(range(graph.num_vertices)))
+        args = (
+            graph.num_vertices,
+            edge_u[0::2], edge_v[0::2], heads[0::2],
+            edge_u[1::2], edge_v[1::2], heads[1::2],
+        )
+        pure, vec = both("merge_oriented_columns", *args)
+        assert pure == vec
+        assert pure[0] == edge_u and pure[1] == edge_v and pure[2] == heads
+        assert pure[3] == 0
+
+    def test_overlap_counts_identically(self):
+        graph = GRAPHS[0]
+        edge_u, edge_v = graph.edge_endpoints
+        heads = kernels.orient_by_rank(edge_u, edge_v, list(range(graph.num_vertices)))
+        # Full overlap: merging the columns with themselves.
+        pure, vec = both(
+            "merge_oriented_columns",
+            graph.num_vertices,
+            edge_u, edge_v, heads,
+            edge_u, edge_v, heads,
+        )
+        assert pure == vec == (None, None, None, graph.num_edges)
+
+    def test_empty_sides(self):
+        empty = array("l")
+        pure, vec = both(
+            "merge_oriented_columns", 5, empty, empty, empty, empty, empty, empty
+        )
+        assert pure == vec
+        assert pure[3] == 0 and len(pure[0]) == 0
+
+
+class TestSmallReductions:
+    def test_sum_counts(self):
+        rng = random.Random(2)
+        a = tuple(rng.randrange(10) for _ in range(64))
+        b = tuple(rng.randrange(10) for _ in range(64))
+        pure, vec = both("sum_counts", a, b)
+        assert pure == vec
+        assert all(isinstance(x, int) for x in vec)
+        assert both("sum_counts", (), ()) == ((), ())
+
+    def test_min_value(self):
+        assert both("min_value", array("l", [4, -2, 9])) == (-2, -2)
+        assert both("min_value", array("l")) == (0, 0)
+
+    def test_max_and_sum_sizes(self):
+        collections = [set(range(k)) for k in (0, 3, 7, 1)]
+        assert both("max_sizes", collections) == (7, 7)
+        assert both("sum_sizes", collections) == (11, 11)
+        assert both("max_sizes", []) == (0, 0)
+        assert both("sum_sizes", []) == (0, 0)
+
+
+class TestPaletteAssembly:
+    def test_random_parts_identical(self):
+        rng = random.Random(77)
+        n = 150
+        vertices = list(range(n))
+        rng.shuffle(vertices)
+        parts = []
+        cursor = 0
+        while cursor < n:
+            size = rng.randrange(1, 25)
+            parents = tuple(sorted(vertices[cursor : cursor + size]))
+            colors = array("l", [rng.randrange(6) for _ in parents])
+            parts.append((parents, colors, rng.randrange(1, 9)))
+            cursor += size
+        pure, vec = both("assemble_color_columns", n, parts)
+        assert pure == vec
+        column, offsets = pure
+        assert isinstance(vec[0], array) and vec[0].typecode == "l"
+        assert offsets[0] == 0 and len(offsets) == len(parts) + 1
+        assert offsets == [
+            sum(p[2] for p in parts[:i]) for i in range(len(parts) + 1)
+        ]
+        assert min(column) >= 0  # the shuffled parts cover every vertex
+
+    def test_uncovered_vertices_keep_the_sentinel(self):
+        parts = [((1, 3), array("l", [2, 0]), 4)]
+        pure, vec = both("assemble_color_columns", 5, parts)
+        assert pure == vec
+        assert list(pure[0]) == [-1, 2, -1, 0, -1]
+        assert pure[1] == [0, 4]
+
+    def test_no_parts(self):
+        pure, vec = both("assemble_color_columns", 3, [])
+        assert pure == vec == (array("l", [-1, -1, -1]), [0])
+
+
+def _reference_choose_tail(u, v, du, dv):
+    return u if du <= dv else v
+
+
+def _random_group(rng, vertices, shard):
+    """A random, *legal* update sequence over one conflict group's vertices."""
+    live = {
+        (min(v, h), max(v, h)) for v, heads in shard.items() for h in heads
+    }
+    updates = []
+    for _ in range(40):
+        u, v = rng.sample(vertices, 2)
+        e = (min(u, v), max(u, v))
+        if e in live:
+            live.discard(e)
+            updates.append(EdgeUpdate("-", u, v))
+        else:
+            live.add(e)
+            updates.append(EdgeUpdate("+", u, v))
+    return updates
+
+
+class TestFlipRepairGroup:
+    def test_random_groups_identical(self):
+        rng = random.Random(123)
+        vertices = list(range(10))
+        for trial in range(20):
+            shard = {}
+            live = set()
+            for v in vertices:
+                heads = rng.sample([w for w in vertices if w != v], rng.randrange(3))
+                heads = [h for h in heads if (min(v, h), max(v, h)) not in live]
+                live.update((min(v, h), max(v, h)) for h in heads)
+                shard[v] = tuple(sorted(heads))
+            updates = _random_group(rng, vertices, shard)
+            pure, vec = both(
+                "flip_repair_group", shard, updates, 100, _reference_choose_tail
+            )
+            assert pure == vec, f"trial {trial} diverged"
+            new_shard, freed = pure
+            assert all(isinstance(h, int) for hs in vec[0].values() for h in hs)
+            assert all(heads == sorted(heads) for heads in new_shard.values())
+
+    def test_error_messages_identical(self):
+        shard = {0: (1,), 1: (), 2: ()}
+        cases = [
+            # Insert of an edge the shard already orients.
+            [EdgeUpdate("+", 0, 1)],
+            # Delete of an edge nobody orients.
+            [EdgeUpdate("-", 1, 2)],
+        ]
+        for updates in cases:
+            pure_err, numpy_err = both_raise(
+                "flip_repair_group", shard, updates, 10, _reference_choose_tail
+            )
+            assert isinstance(pure_err, GraphError)
+            assert type(pure_err) is type(numpy_err)
+            assert str(pure_err) == str(numpy_err)
+
+    def test_cap_overflow_message_identical(self):
+        shard = {0: (), 1: (), 2: (), 3: ()}
+        updates = [EdgeUpdate("+", 0, 1), EdgeUpdate("+", 0, 2), EdgeUpdate("+", 0, 3)]
+        pure_err, numpy_err = both_raise(
+            "flip_repair_group", shard, updates, 1, lambda u, v, du, dv: u
+        )
+        assert "cap overflow" in str(pure_err)
+        assert str(pure_err) == str(numpy_err)

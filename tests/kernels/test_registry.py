@@ -1,0 +1,74 @@
+"""Kernel backend registry: selection order, fallback, and loud typos."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import kernels
+from repro.errors import ParameterError
+
+
+@pytest.fixture(autouse=True)
+def _reset_selection():
+    """Leave the process-wide selection untouched for other tests."""
+    previous = kernels._selected
+    yield
+    kernels._selected = previous
+
+
+class TestSelection:
+    def test_default_is_pure(self, monkeypatch):
+        monkeypatch.delenv(kernels.ENV_VAR, raising=False)
+        kernels.set_backend(None)
+        assert kernels.active_backend() == kernels.PURE
+
+    def test_env_var_selects_numpy(self, monkeypatch):
+        monkeypatch.setenv(kernels.ENV_VAR, kernels.NUMPY)
+        kernels.set_backend(None)
+        expected = kernels.NUMPY if kernels.numpy_available() else kernels.PURE
+        assert kernels.active_backend() == expected
+
+    def test_explicit_selection_overrides_env(self, monkeypatch):
+        monkeypatch.setenv(kernels.ENV_VAR, kernels.NUMPY)
+        kernels.set_backend(kernels.PURE)
+        assert kernels.active_backend() == kernels.PURE
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ParameterError, match="unknown kernel backend"):
+            kernels.set_backend("fortran")
+
+    def test_unknown_env_value_raises(self, monkeypatch):
+        monkeypatch.setenv(kernels.ENV_VAR, "cuda")
+        kernels.set_backend(None)
+        with pytest.raises(ParameterError, match=kernels.ENV_VAR):
+            kernels.active_backend()
+
+    def test_empty_env_value_means_default(self, monkeypatch):
+        monkeypatch.setenv(kernels.ENV_VAR, "")
+        kernels.set_backend(None)
+        assert kernels.active_backend() == kernels.PURE
+
+    def test_numpy_falls_back_to_pure_when_unavailable(self, monkeypatch):
+        monkeypatch.setattr(kernels, "_numpy_ok", False)
+        kernels.set_backend(kernels.NUMPY)
+        assert kernels.active_backend() == kernels.PURE
+        assert kernels.available_backends() == (kernels.PURE,)
+
+    def test_use_backend_restores_previous_selection(self):
+        kernels.set_backend(kernels.PURE)
+        with kernels.use_backend(kernels.NUMPY) as resolved:
+            assert resolved in kernels.BACKENDS
+        assert kernels.active_backend() == kernels.PURE
+
+    def test_use_backend_yields_the_resolved_backend(self, monkeypatch):
+        monkeypatch.setattr(kernels, "_numpy_ok", False)
+        with kernels.use_backend(kernels.NUMPY) as resolved:
+            assert resolved == kernels.PURE
+
+    def test_dispatcher_accepts_explicit_backend_argument(self):
+        from array import array
+
+        heads = kernels.orient_by_rank(
+            array("l", [0]), array("l", [1]), [5, 3], backend=kernels.PURE
+        )
+        assert list(heads) == [0]

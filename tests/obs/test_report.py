@@ -102,11 +102,14 @@ class TestBenchReport:
         )
         assert "inf" in zero_row
 
-    def test_single_snapshot_has_no_ratio(self, tmp_path):
+    def test_single_snapshot_drops_trend_columns(self, tmp_path):
         _snapshot(tmp_path, "alpha", "20260101T000000Z", {"speedup": 1.5})
-        rendered = bench_trend_tables(tmp_path)[0].to_ascii()
+        table = bench_trend_tables(tmp_path)[0]
+        assert table.columns == ["metric", "latest"]
+        rendered = table.to_ascii()
+        assert "previous" not in rendered and "ratio" not in rendered
         row = next(line for line in rendered.splitlines() if line.startswith("speedup"))
-        assert "-" in row
+        assert "1.5" in row
 
     def test_row_list_results_are_flattened_with_labels(self, tmp_path):
         _snapshot(

@@ -141,7 +141,9 @@ class TestServiceDeterminism:
         ],
         ids=["churn", "window", "densify"],
     )
-    def test_workers_1_2_4_identical(self, make_trace):
+    def test_workers_1_2_4_identical(self, make_trace, kernel_backend):
+        # ``kernel_backend`` (ISSUE 8) re-runs the sweep per kernel backend;
+        # the fingerprints must agree across workers *and* kernels.
         fingerprints = []
         for workers in (1, 2, 4):
             trace = make_trace()
