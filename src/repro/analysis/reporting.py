@@ -6,6 +6,7 @@ documented numbers can be regenerated with a single command.
 
 from __future__ import annotations
 
+import math
 from collections.abc import Mapping, Sequence
 from dataclasses import dataclass, field
 
@@ -33,6 +34,11 @@ class Table:
     @staticmethod
     def _format(value: object) -> str:
         if isinstance(value, float):
+            if not math.isfinite(value):
+                # int(inf) raises OverflowError and int(nan) ValueError, so
+                # non-finite metrics (a bench ratio over a zero baseline,
+                # json's Infinity literal) must short-circuit here.
+                return str(value)
             if value == int(value) and abs(value) < 1e15:
                 return str(int(value))
             return f"{value:.3f}"

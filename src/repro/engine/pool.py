@@ -108,6 +108,8 @@ class WorkerPool:
             "segments": len(self.registry.segment_names()),
             "registry_keys": len(generations),
             "registry_generations": sum(generations.values()),
+            "columns_republished": self.registry.columns_republished,
+            "columns_carried": self.registry.columns_carried,
         }
 
     def allocate_scope(self, prefix: str) -> str:
@@ -131,6 +133,10 @@ class WorkerPool:
     def publish_out_shards(self, key: str, shards) -> ShardHandle:
         """Publish per-group out-table shards under ``key``."""
         return shm.publish_out_shards(self.registry, key, shards)
+
+    def publish_graph_columns(self, key: str, graph) -> dict[str, ShardHandle]:
+        """Publish a compacted snapshot's edge columns, delta-aware."""
+        return shm.publish_graph_columns(self.registry, key, graph)
 
     def invalidate(self, key: str) -> None:
         """Retire a key's current generation (e.g. after a graph compaction)."""

@@ -174,6 +174,15 @@ class ShardRegistry:
         self._scope_counter = 0
         self._finalizer = weakref.finalize(self, _unlink_segments, self._segment_names)
         self.metrics = NULL_METRICS
+        # Plain lifetime counters (metrics-independent, surfaced by stats()).
+        self.publishes = 0
+        self.invalidations = 0
+        self.columns_republished = 0
+        self.columns_carried = 0
+        # Current handle per column subkey, so an unchanged column can be
+        # *carried*: the same generation (and segment) stays live instead of
+        # being retired and republished byte-identically.
+        self._column_handles: dict[str, ShardHandle] = {}
         _REGISTRIES[self.uid] = self
 
     def instrument(self, metrics) -> None:
@@ -223,6 +232,7 @@ class ShardRegistry:
             self._retire_segment(self._segment_name(key, previous.generation))
         entry = _Entry(generation, kind, objects, build_columns, dict(meta or {}))
         self._entries[key] = entry
+        self.publishes += 1
         self.metrics.inc("shm.publishes")
         return ShardHandle(
             registry_uid=self.uid,
@@ -243,11 +253,73 @@ class ShardRegistry:
         if entry is None:
             return
         self._retire_segment(self._segment_name(key, entry.generation))
+        self.invalidations += 1
         self.metrics.inc("shm.invalidations")
         # Keep a tombstone carrying the generation counter forward.
         entry.objects = None
         entry.build_columns = None
         entry.shared = False
+        self._column_handles.pop(key, None)
+
+    def publish_columns(
+        self, key: str, columns: dict, meta: dict | None = None
+    ) -> dict[str, ShardHandle]:
+        """Publish named flat columns as **delta-aware** per-column shards.
+
+        Each column lives under its own subkey ``"{key}.{name}"`` with an
+        independent generation.  Republishing compares the new column against
+        the currently published one: an unchanged column is *carried* — its
+        handle, generation and any materialised segment stay live, and only
+        ``columns_carried`` ticks — while a changed column is republished
+        normally (generation bump, old segment retired).  Streaming
+        compaction uses this so a snapshot that only grew its edge columns
+        republishes exactly the changed columns instead of staleing every
+        tenant's handles.
+
+        Published columns are shared zero-copy with in-process readers, so
+        callers must treat them as frozen once handed over (the CSR edge
+        columns already are).  Returns ``{name: handle}`` for the *current*
+        generation of every column, carried or fresh.
+        """
+        handles: dict[str, ShardHandle] = {}
+        for name, column in columns.items():
+            subkey = f"{key}.{name}"
+            entry = self._entries.get(subkey)
+            carried = self._column_handles.get(subkey)
+            if (
+                carried is not None
+                and entry is not None
+                and entry.objects is not None
+                and entry.objects == column
+            ):
+                self.columns_carried += 1
+                self.metrics.inc("shm.columns_carried")
+                handles[name] = carried
+                continue
+            handle = self.publish(
+                subkey,
+                objects=column,
+                build_columns=lambda name=name, column=column: {name: column},
+                meta=meta,
+                kind="column",
+            )
+            self._column_handles[subkey] = handle
+            self.columns_republished += 1
+            self.metrics.inc("shm.columns_republished")
+            handles[name] = handle
+        return handles
+
+    def stats(self) -> dict[str, int]:
+        """Owner-side lifetime counters plus current table sizes."""
+        return {
+            "keys": len(self._entries),
+            "generations": sum(entry.generation for entry in self._entries.values()),
+            "segments": len(self._segment_names),
+            "publishes": self.publishes,
+            "invalidations": self.invalidations,
+            "columns_republished": self.columns_republished,
+            "columns_carried": self.columns_carried,
+        }
 
     def ensure_shared(self, handle: ShardHandle) -> None:
         """Materialise the segment for ``handle`` (no-op if already shared).
@@ -350,6 +422,7 @@ class ShardRegistry:
         """Unlink every materialised segment and drop all entries (idempotent)."""
         _unlink_segments(self._segment_names)
         self._entries.clear()
+        self._column_handles.clear()
 
     def __enter__(self) -> "ShardRegistry":
         return self
@@ -614,6 +687,38 @@ def shard_graph(handle: ShardHandle, index: int):
         raise GraphError(f"handle kind {handle.kind!r} is not a graph partition")
     generation_objects[1][index] = part
     return part
+
+
+# ---------------------------------------------------------------------- #
+# Graph edge columns (streaming compacted snapshots, delta-aware)
+# ---------------------------------------------------------------------- #
+
+
+def publish_graph_columns(registry: ShardRegistry, key: str, graph) -> dict[str, ShardHandle]:
+    """Publish a CSR graph's canonical edge columns as per-column shards.
+
+    The streaming service calls this after every compaction: columns that
+    the compaction did not change (byte-identical ``array('l')`` content)
+    are carried at their current generation, so readers holding their
+    handles are undisturbed and only the changed columns go stale.
+    """
+    edge_u, edge_v = graph.edge_endpoints
+    return registry.publish_columns(
+        key,
+        {"edge_u": edge_u, "edge_v": edge_v},
+        meta={"num_vertices": graph.num_vertices},
+    )
+
+
+def graph_column(handle: ShardHandle, name: str) -> array:
+    """One published edge column — owner zero-copy, worker one memcpy."""
+    view = attach(handle)
+    if view.objects is not None:
+        return view.objects
+    if handle.kind != "column":
+        raise GraphError(f"handle kind {handle.kind!r} is not a published column")
+    _byte_base, count = view.columns[name]
+    return _column_slice(view, name, 0, count)
 
 
 # ---------------------------------------------------------------------- #

@@ -42,7 +42,6 @@ deterministic, which matters for reproducibility of the randomized algorithms
 from __future__ import annotations
 
 from array import array
-from bisect import bisect_right
 from collections.abc import Iterable, Iterator, Sequence
 from operator import itemgetter
 from typing import Optional
@@ -165,36 +164,14 @@ class Graph:
         """Materialise the CSR adjacency from the edge columns (once).
 
         Each vertex's slice is [smaller neighbors asc | larger neighbors asc],
-        which is fully ascending because edges are stored sorted: the larger
-        ("forward") half of every slice is a contiguous run of ``_edge_v``
-        located by bisection and appended as a C-level block copy, while the
-        smaller ("backward") half is gathered by one bucket-append pass.
+        which is fully ascending because edges are stored sorted.  The
+        assembly itself is a kernel (``kernels.build_csr``) so the streaming
+        data plane — which re-materialises adjacency after every journal
+        compaction — gets the vectorized path when numpy is active.
         """
-        n = self._n
-        edge_u = self._edge_u
-        edge_v = self._edge_v
-        m = len(edge_u)
-        backward: list[list[int]] = [[] for _ in range(n)]
-        for u, v in zip(edge_u, edge_v):
-            backward[v].append(u)
-        indices: list[int] = []
-        extend = indices.extend
-        indptr = [0] * (n + 1)
-        position = 0
-        filled = 0
-        for v in range(n):
-            smaller = backward[v]
-            if smaller:
-                extend(smaller)
-                filled += len(smaller)
-            if position < m and edge_u[position] == v:
-                end = bisect_right(edge_u, v, position)
-                extend(edge_v[position:end])
-                filled += end - position
-                position = end
-            indptr[v + 1] = filled
-        self._indptr = array("l", indptr)
-        self._indices = array("l", indices)
+        self._indptr, self._indices = kernels.build_csr(
+            self._n, self._edge_u, self._edge_v
+        )
 
     # ------------------------------------------------------------------ #
     # Basic accessors

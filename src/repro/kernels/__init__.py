@@ -51,10 +51,17 @@ __all__ = [
     "merge_oriented_columns",
     "sum_counts",
     "min_value",
+    "max_value",
     "max_sizes",
     "sum_sizes",
+    "count_distinct",
     "assemble_color_columns",
     "flip_repair_group",
+    "build_csr",
+    "encode_edge_keys",
+    "first_monochrome",
+    "compact_journal",
+    "validate_batch",
 ]
 
 PURE = "pure"
@@ -213,6 +220,72 @@ def assemble_color_columns(num_vertices, parts, backend=None):
     the palette prefix sums ``[0, s0, s0+s1, ...]``.
     """
     return _module(backend).assemble_color_columns(num_vertices, parts)
+
+
+def max_value(column, backend=None):
+    """Maximum of a flat column (0 for an empty column)."""
+    return _module(backend).max_value(column)
+
+
+def count_distinct(column, backend=None):
+    """Number of distinct values in a flat column."""
+    return _module(backend).count_distinct(column)
+
+
+def build_csr(num_vertices, edge_u, edge_v, backend=None):
+    """CSR adjacency ``(indptr, indices)`` from canonical sorted edge columns.
+
+    Every vertex's neighbor slice comes back fully ascending; both backends
+    produce byte-identical ``array('l')`` pairs.  This is the
+    re-materialisation step the streaming data plane pays after every
+    journal compaction, so it dispatches like any other kernel.
+    """
+    return _module(backend).build_csr(num_vertices, edge_u, edge_v)
+
+
+def encode_edge_keys(num_vertices, edge_u, edge_v, backend=None):
+    """Canonical sorted edge columns as sorted ``u * stride + v`` int keys.
+
+    ``stride = max(num_vertices, 1)`` is the shared key convention of the
+    streaming kernels — the columns this produces feed ``validate_batch``
+    directly.
+    """
+    return _module(backend).encode_edge_keys(num_vertices, edge_u, edge_v)
+
+
+def first_monochrome(colors, us, vs, start=0, backend=None):
+    """First index ≥ ``start`` where ``colors[us[i]] == colors[vs[i]]``, else -1.
+
+    The recolor-candidate scan of the incremental coloring (callers repair
+    the hit and resume at ``i + 1``) and the properness check's inner loop.
+    """
+    return _module(backend).first_monochrome(colors, us, vs, start)
+
+
+def compact_journal(num_vertices, base_u, base_v, ops, journal_u, journal_v, backend=None):
+    """Merge a columnar op journal over base edge columns; ``(edge_u, edge_v)``.
+
+    The journal columns record inserts (op 1) and deletes (op 0) of
+    canonical edges in arrival order; each edge's *final* op decides whether
+    it is added to, tombstoned from, or collapsed back onto the base.  The
+    output columns are canonical sorted, ready for ``Graph._from_columns``.
+    """
+    return _module(backend).compact_journal(
+        num_vertices, base_u, base_v, ops, journal_u, journal_v
+    )
+
+
+def validate_batch(num_vertices, ops, us, vs, base_keys, added_keys, removed_keys, backend=None):
+    """Atomically pre-validate one update batch against the live edge set.
+
+    ``ops``/``us``/``vs`` are the batch's raw columns (op 1 = insert);
+    the key columns are the live state in the ``encode_edge_keys`` encoding.
+    Raises :class:`~repro.errors.GraphError` on the first offending update
+    with the streaming service's exact message; returns ``None`` when legal.
+    """
+    return _module(backend).validate_batch(
+        num_vertices, ops, us, vs, base_keys, added_keys, removed_keys
+    )
 
 
 def flip_repair_group(shard, group_updates, cap, choose_tail, backend=None):

@@ -204,6 +204,165 @@ def assemble_color_columns(num_vertices, parts):
     return to_array(column), offsets
 
 
+def max_value(column):
+    """Maximum of a flat column (0 when empty)."""
+    view = np_view(column)
+    return int(view.max()) if view.size else 0
+
+
+def count_distinct(column):
+    """Number of distinct values in a flat column (one ``np.unique``)."""
+    return int(np.unique(np_view(column)).size)
+
+
+def build_csr(num_vertices, edge_u, edge_v):
+    """CSR adjacency ``(indptr, indices)`` — vectorized symmetric scatter.
+
+    Doubling the canonical edge list to ``(u→v, v→u)`` and stable-sorting
+    by (source, neighbor) puts every vertex's neighbors in one contiguous
+    ascending run — exactly the pure layout, whose [smaller asc | larger
+    asc] slices are fully ascending because edges are stored sorted.
+    """
+    n = num_vertices
+    u = np_view(edge_u)
+    v = np_view(edge_v)
+    src = np.concatenate((u, v))
+    dst = np.concatenate((v, u))
+    counts = np.bincount(src, minlength=n)
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    # (src, dst) pairs are unique (simple graph), so one sort of the fused
+    # key src * n + dst — collision-free since dst < n — orders them fully.
+    order = np.argsort(src * n + dst) if n else np.empty(0, dtype=np.int64)
+    return to_array(indptr), to_array(dst[order])
+
+
+def encode_edge_keys(num_vertices, edge_u, edge_v):
+    """Sorted ``u * stride + v`` edge keys (see the pure reference)."""
+    stride = max(num_vertices, 1)
+    return to_array(np_view(edge_u) * stride + np_view(edge_v))
+
+
+def first_monochrome(colors, us, vs, start):
+    """First monochromatic edge at index ≥ ``start``: one gather + compare."""
+    c = np_view(colors)
+    u = np_view(us)[start:]
+    v = np_view(vs)[start:]
+    if not u.size:
+        return -1
+    same = c[u] == c[v]
+    i = int(same.argmax())
+    return start + i if same[i] else -1
+
+
+def _last_ops_per_key(keys, ops):
+    """Unique journal keys (ascending) with each key's final op."""
+    order = np.argsort(keys, kind="stable")
+    sorted_keys = keys[order]
+    last = np.empty(sorted_keys.size, dtype=bool)
+    last[:-1] = sorted_keys[:-1] != sorted_keys[1:]
+    last[-1] = True
+    return sorted_keys[last], ops[order][last]
+
+
+def compact_journal(num_vertices, base_u, base_v, ops, journal_u, journal_v):
+    """Vectorized journal merge (see the pure reference for the semantics).
+
+    Keys encode edges as ``u * stride + v``; the per-key final op falls out
+    of one stable argsort (last occurrence per key run), tombstones and
+    additions are boolean masks, and the merged output is the same
+    searchsorted permutation scatter as :func:`merge_oriented_columns`.
+    """
+    if not len(ops):
+        return array("l", base_u), array("l", base_v)
+    eu, ev = np_view(base_u), np_view(base_v)
+    stride = max(num_vertices, 1)
+    journal_keys = np_view(journal_u) * stride + np_view(journal_v)
+    keys, final_op = _last_ops_per_key(journal_keys, np_view(ops))
+    base_keys = eu * stride + ev
+    in_base = np.isin(keys, base_keys, assume_unique=True)
+    tombstones = keys[(final_op == 0) & in_base]
+    additions = keys[(final_op == 1) & ~in_base]
+    keep = ~np.isin(base_keys, tombstones, assume_unique=True)
+    kept_keys = base_keys[keep]
+    kept_u = eu[keep]
+    kept_v = ev[keep]
+    added_u = additions // stride
+    added_v = additions % stride
+    nk, na = kept_keys.size, additions.size
+    pos_kept = np.arange(nk, dtype=_DTYPE) + np.searchsorted(additions, kept_keys)
+    pos_added = np.arange(na, dtype=_DTYPE) + np.searchsorted(kept_keys, additions)
+    out_u = np.empty(nk + na, dtype=_DTYPE)
+    out_v = np.empty(nk + na, dtype=_DTYPE)
+    out_u[pos_kept] = kept_u
+    out_u[pos_added] = added_u
+    out_v[pos_kept] = kept_v
+    out_v[pos_added] = added_v
+    return to_array(out_u), to_array(out_v)
+
+
+def _sorted_member(sorted_keys, queries):
+    """Boolean membership of ``queries`` in an ascending key column."""
+    if not sorted_keys.size:
+        return np.zeros(queries.shape, dtype=bool)
+    pos = np.minimum(np.searchsorted(sorted_keys, queries), sorted_keys.size - 1)
+    return sorted_keys[pos] == queries
+
+
+def validate_batch(num_vertices, ops, us, vs, base_keys, added_keys, removed_keys):
+    """Vectorized batch pre-validation, byte-identical to the pure reference.
+
+    The range check is one boolean mask.  Liveness groups the batch by edge
+    key with a stable argsort: the first occurrence of a key is judged
+    against the published key columns, every later occurrence against its
+    predecessor's op — the vectorized form of the reference's ``pending``
+    dict.  The reported offender is the *smallest* violating index across
+    both checks.  A range-violating update produces a garbage key, but it
+    cannot corrupt the offender choice: every index before the first range
+    violation carries a valid key (garbage keys can only distort groups at
+    strictly larger indices, which the min never selects).
+    """
+    if not len(ops):
+        return
+    n = num_vertices
+    u = np_view(us)
+    v = np_view(vs)
+    op = np_view(ops)
+    bad_range = (u < 0) | (u >= n) | (v < 0) | (v >= n)
+    range_index = int(bad_range.argmax()) if bad_range.any() else None
+    stride = max(n, 1)
+    keys = np.minimum(u, v) * stride + np.maximum(u, v)
+    order = np.argsort(keys, kind="stable")
+    sorted_keys = keys[order]
+    sorted_ops = op[order]
+    first = np.empty(sorted_keys.size, dtype=bool)
+    first[0] = True
+    first[1:] = sorted_keys[1:] != sorted_keys[:-1]
+    base_live = _sorted_member(np_view(added_keys), sorted_keys) | (
+        _sorted_member(np_view(base_keys), sorted_keys)
+        & ~_sorted_member(np_view(removed_keys), sorted_keys)
+    )
+    prev_live = np.empty(sorted_keys.size, dtype=bool)
+    prev_live[0] = False
+    prev_live[1:] = sorted_ops[:-1] == 1
+    live = np.where(first, base_live, prev_live)
+    violation = ((sorted_ops == 1) & live) | ((sorted_ops == 0) & ~live)
+    live_index = int(order[violation].min()) if violation.any() else None
+    if range_index is None and live_index is None:
+        return
+    if live_index is None or (range_index is not None and range_index < live_index):
+        i = range_index
+        raise GraphError(
+            f"batch update #{i}: edge ({int(u[i])}, {int(v[i])}) "
+            f"references a vertex outside 0..{n - 1}"
+        )
+    i = live_index
+    e = _canonical(int(u[i]), int(v[i]))
+    if int(op[i]) == 1:
+        raise GraphError(f"batch update #{i}: insert of live edge {e}")
+    raise GraphError(f"batch update #{i}: delete of dead edge {e}")
+
+
 def _canonical(u, v):
     return (u, v) if u < v else (v, u)
 

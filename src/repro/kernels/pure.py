@@ -11,6 +11,7 @@ in ``tests/kernels/``).
 from __future__ import annotations
 
 from array import array
+from bisect import bisect_left, bisect_right
 
 from repro.errors import GraphError, InvalidOrientationError
 
@@ -154,6 +155,164 @@ def assemble_color_columns(num_vertices, parts):
         base += int(palette_size)
         offsets.append(base)
     return column, offsets
+
+
+def max_value(column):
+    """Maximum of a flat column (0 when empty)."""
+    return max(column) if len(column) else 0
+
+
+def count_distinct(column):
+    """Number of distinct values in a flat column."""
+    return len(set(column))
+
+
+def build_csr(num_vertices, edge_u, edge_v):
+    """CSR adjacency ``(indptr, indices)`` from canonical sorted edge columns.
+
+    Each vertex's slice is [smaller neighbors asc | larger neighbors asc],
+    which is fully ascending because edges are stored sorted: the larger
+    ("forward") half of every slice is a contiguous run of ``edge_v`` located
+    by bisection and appended as a C-level block copy, while the smaller
+    ("backward") half is gathered by one bucket-append pass.
+    """
+    n = num_vertices
+    m = len(edge_u)
+    backward: list[list[int]] = [[] for _ in range(n)]
+    for u, v in zip(edge_u, edge_v):
+        backward[v].append(u)
+    indices: list[int] = []
+    extend = indices.extend
+    indptr = [0] * (n + 1)
+    position = 0
+    filled = 0
+    for v in range(n):
+        smaller = backward[v]
+        if smaller:
+            extend(smaller)
+            filled += len(smaller)
+        if position < m and edge_u[position] == v:
+            end = bisect_right(edge_u, v, position)
+            extend(edge_v[position:end])
+            filled += end - position
+            position = end
+        indptr[v + 1] = filled
+    return array("l", indptr), array("l", indices)
+
+
+def encode_edge_keys(num_vertices, edge_u, edge_v):
+    """Encode canonical sorted edge columns as sorted ``u * stride + v`` keys.
+
+    ``stride = max(num_vertices, 1)`` is the shared convention of every
+    key-encoded kernel in this package (``n² < 2⁶³`` for any graph this repo
+    can hold); lexicographic edge order is preserved, so the output column is
+    ascending whenever the input columns are canonical sorted.
+    """
+    stride = max(num_vertices, 1)
+    return array("l", (u * stride + v for u, v in zip(edge_u, edge_v)))
+
+
+def first_monochrome(colors, us, vs, start):
+    """First index ``i ≥ start`` with ``colors[us[i]] == colors[vs[i]]``, else -1.
+
+    The recolor-candidate scan of the incremental coloring: the caller
+    repairs the endpoint found, then resumes the scan at ``i + 1`` against
+    the *updated* colors — so across one batch every edge is examined exactly
+    once, just like the per-update reference loop.
+    """
+    for i in range(start, len(us)):
+        if colors[us[i]] == colors[vs[i]]:
+            return i
+    return -1
+
+
+def compact_journal(num_vertices, base_u, base_v, ops, journal_u, journal_v):
+    """Merge a columnar op journal into sorted canonical edge columns.
+
+    ``base_u``/``base_v`` are the frozen base graph's canonical sorted edge
+    columns; the journal columns record the ops since the last compaction in
+    arrival order (op 1 = insert, 0 = delete, endpoints canonical ``u < v``).
+    The final state of each touched edge is its **last** journal op: a final
+    insert of a non-base edge adds it, a final delete of a base edge
+    tombstones it, and everything else (delete of a journal-only edge,
+    re-insert of a base edge) collapses back onto the base.  Returns fresh
+    ``(edge_u, edge_v)`` columns, canonical sorted — exactly the edge set the
+    overlay semantics of ``DynamicGraph`` describe.
+    """
+    last: dict[tuple, int] = {}
+    for op, u, v in zip(ops, journal_u, journal_v):
+        last[(u, v)] = op
+    changed = sorted(last)
+    out_u = array("l")
+    out_v = array("l")
+    i = 0
+    num_changed = len(changed)
+    for e in zip(base_u, base_v):
+        while i < num_changed and changed[i] < e:
+            added = changed[i]
+            if last[added] == 1:
+                out_u.append(added[0])
+                out_v.append(added[1])
+            i += 1
+        if i < num_changed and changed[i] == e:
+            if last[e] == 1:  # deleted then re-inserted: still live
+                out_u.append(e[0])
+                out_v.append(e[1])
+            i += 1  # final op 0 on a base edge: tombstoned, skip
+        else:
+            out_u.append(e[0])
+            out_v.append(e[1])
+    while i < num_changed:
+        added = changed[i]
+        if last[added] == 1:
+            out_u.append(added[0])
+            out_v.append(added[1])
+        i += 1
+    return out_u, out_v
+
+
+def _key_member(sorted_keys, key):
+    i = bisect_left(sorted_keys, key)
+    return i < len(sorted_keys) and sorted_keys[i] == key
+
+
+def validate_batch(num_vertices, ops, us, vs, base_keys, added_keys, removed_keys):
+    """Atomic pre-validation of one update batch against the live edge set.
+
+    The key columns describe the current :class:`DynamicGraph` state in the
+    :func:`encode_edge_keys` encoding: ``base_keys`` the base graph's edges,
+    ``added_keys``/``removed_keys`` the overlay's additions and tombstones
+    (each sorted ascending).  An edge is live iff it is added, or in the base
+    and not tombstoned.  Later updates of the same edge are judged against
+    the *pending* in-batch state, exactly like the service's reference loop.
+    Raises :class:`~repro.errors.GraphError` on the first offending update,
+    with the service's exact message; returns ``None`` when the batch is
+    legal.
+    """
+    n = num_vertices
+    stride = max(n, 1)
+    pending: dict[tuple, bool] = {}
+    for index in range(len(ops)):
+        u = us[index]
+        v = vs[index]
+        if not (0 <= u < n and 0 <= v < n):
+            raise GraphError(
+                f"batch update #{index}: edge ({u}, {v}) "
+                f"references a vertex outside 0..{n - 1}"
+            )
+        e = (u, v) if u < v else (v, u)
+        live = pending.get(e)
+        if live is None:
+            key = e[0] * stride + e[1]
+            live = _key_member(added_keys, key) or (
+                _key_member(base_keys, key) and not _key_member(removed_keys, key)
+            )
+        is_insert = ops[index] == 1
+        if is_insert and live:
+            raise GraphError(f"batch update #{index}: insert of live edge {e}")
+        if not is_insert and not live:
+            raise GraphError(f"batch update #{index}: delete of dead edge {e}")
+        pending[e] = is_insert
 
 
 def _canonical(u, v):

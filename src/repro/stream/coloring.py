@@ -20,6 +20,9 @@ palette at O(n + m) amortised cost.
 
 from __future__ import annotations
 
+from array import array
+
+from repro import kernels
 from repro.baselines.greedy import degeneracy_order_coloring
 from repro.errors import GraphError
 from repro.graph.coloring import Coloring
@@ -32,7 +35,7 @@ class IncrementalColoring:
 
     def __init__(self, dynamic: DynamicGraph) -> None:
         self._dynamic = dynamic
-        self._colors: list[int] = [0] * dynamic.num_vertices
+        self._colors: array = array("l", [0]) * dynamic.num_vertices
         self.recolors = 0
         self.refreshes = 0
         snapshot = dynamic.snapshot()
@@ -54,11 +57,11 @@ class IncrementalColoring:
 
     def num_colors(self) -> int:
         """Number of distinct colors currently in use."""
-        return len(set(self._colors))
+        return kernels.count_distinct(self._colors)
 
     def max_color(self) -> int:
         """Largest color index in use (palette-size proxy)."""
-        return max(self._colors, default=0)
+        return kernels.max_value(self._colors)
 
     def to_coloring(self, graph: Graph | None = None) -> Coloring:
         """Freeze the maintained colors into a :class:`Coloring` value object.
@@ -70,9 +73,11 @@ class IncrementalColoring:
         return Coloring(graph, {v: self._colors[v] for v in graph.vertices})
 
     def is_proper(self) -> bool:
-        """Whether no live edge is monochromatic (O(m) scan)."""
-        colors = self._colors
-        return all(colors[u] != colors[v] for u, v in self._dynamic.edges())
+        """Whether no live edge is monochromatic (one kernel scan over a
+        snapshot's edge columns — the snapshot cache makes repeated checks
+        between mutations O(1) in graph work)."""
+        edge_u, edge_v = self._dynamic.snapshot().edge_endpoints
+        return kernels.first_monochrome(self._colors, edge_u, edge_v) < 0
 
     # ------------------------------------------------------------------ #
     # Updates
@@ -94,6 +99,26 @@ class IncrementalColoring:
         self.recolors += 1
         return True
 
+    def handle_insert_batch(self, us, vs) -> int:
+        """Repair after a column of insertions; returns vertices recolored.
+
+        Equivalent to calling :meth:`handle_insert` per edge in order: the
+        kernel scan finds the next monochromatic edge, the repair runs in
+        python (it mutates colors, which later comparisons must see), and
+        the scan resumes just past it — so each edge is still examined
+        exactly once against the colors as of its turn.
+        """
+        before = self.recolors
+        start = 0
+        colors = self._colors
+        while True:
+            i = kernels.first_monochrome(colors, us, vs, start)
+            if i < 0:
+                break
+            self.handle_insert(us[i], vs[i])
+            start = i + 1
+        return self.recolors - before
+
     def handle_delete(self, u: int, v: int) -> None:
         """Deletions cannot invalidate a proper coloring; kept for symmetry."""
 
@@ -103,7 +128,7 @@ class IncrementalColoring:
             snapshot = self._dynamic.snapshot()
         if snapshot.num_vertices != self._dynamic.num_vertices:
             raise GraphError("refresh snapshot must cover the full vertex set")
-        self._colors = [0] * self._dynamic.num_vertices
+        self._colors = array("l", [0]) * self._dynamic.num_vertices
         if snapshot.num_edges:
             self._install(degeneracy_order_coloring(snapshot))
         self.refreshes += 1

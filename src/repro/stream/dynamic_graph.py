@@ -3,30 +3,48 @@
 The CSR :class:`~repro.graph.graph.Graph` is deliberately immutable — the
 simulators rely on algorithms producing explicit outputs rather than editing
 their input.  Streaming workloads still need mutation, so
-:class:`DynamicGraph` layers a small journal on top of a frozen base graph:
+:class:`DynamicGraph` layers a journal on top of a frozen base graph.  Since
+the columnar rework the journal has two synchronized representations:
 
-* **added edges** live in an insertion-ordered journal (``dict`` used as an
-  ordered set) plus a per-vertex delta adjacency;
-* **deleted base edges** are tombstoned in a set (deleting a journal edge
-  simply drops it from the journal);
-* every read (``has_edge``, ``degree``, ``neighbors``) merges the base CSR
-  view with the overlay in O(overlay) extra work.
+* a **columnar op log** — three flat ``array('l')`` columns (op, u, v; op 1 =
+  insert, 0 = delete, endpoints canonical) recording every update since the
+  last compaction.  This is what the kernel layer consumes: snapshot builds
+  and compaction run :func:`repro.kernels.compact_journal` over the columns
+  (vectorized on the numpy backend), and batch validation reads the derived
+  key columns.  The log is periodically *compressed* back to its canonical
+  form (one op per surviving overlay entry) so cancelling churn cannot grow
+  it without bound;
+* **O(1) read-path indexes** — the added-edge dict, tombstone set, delta
+  adjacency and delta degrees that back ``has_edge``/``degree``/``neighbors``
+  in O(overlay) extra work, exactly as before.
+
+Reads that need a full CSR go through :meth:`snapshot`, which is now backed
+by a **generation-tagged cache**: every mutation bumps an internal version,
+and a snapshot is rebuilt from the journal only when the version moved —
+repeated snapshot consumers between compactions (quality checks, properness
+scans, exports) share one build instead of forcing a replay each.
+``journal_replay_ops`` counts the ops actually replayed, which is what the
+snapshot-cache microbench in ``benchmarks/bench_stream_hotpaths.py`` pins.
 
 Once the journal grows past ``compaction_fraction · m`` (at least
 ``min_compaction_journal`` entries), the overlay is **compacted**: the
-surviving edge set is merged back into a fresh CSR graph in one linear pass
-and the journal resets.  Compaction is therefore amortised O(1) words of CSR
-rebuild per update, and — crucially — every existing read-path kernel
-(``peel_layers``, ``induced_subgraph``, degeneracy, orientation merge, the MPC
-loaders) keeps working unchanged on the compacted :meth:`snapshot`.
+surviving edge set becomes the new frozen base (reusing a fresh cached
+snapshot when one exists) and the journal resets.  Compaction is therefore
+amortised O(1) words of CSR rebuild per update, and every existing read-path
+kernel (``peel_layers``, ``induced_subgraph``, degeneracy, orientation merge,
+the MPC loaders) keeps working unchanged on the compacted :meth:`snapshot`.
 """
 
 from __future__ import annotations
 
+from array import array
+from bisect import bisect_left
 from collections.abc import Iterator
 
+from repro import kernels
 from repro.errors import GraphError
 from repro.graph.graph import Edge, Graph, normalize_edge
+from repro.obs.tracer import NULL_TRACER
 
 
 class DynamicGraph:
@@ -42,6 +60,10 @@ class DynamicGraph:
     min_compaction_journal:
         Never compact before the journal has at least this many entries
         (avoids thrashing on tiny graphs).
+    snapshot_caching:
+        Keep the generation-tagged snapshot cache (default).  Disabling it
+        forces every :meth:`snapshot` call to replay the journal — the
+        baseline the snapshot-cache microbench measures against.
     """
 
     __slots__ = (
@@ -52,10 +74,24 @@ class DynamicGraph:
         "_removed",
         "_delta_degree",
         "_num_edges",
+        "_journal_ops",
+        "_journal_u",
+        "_journal_v",
+        "_version",
+        "_snapshot_cache",
+        "_snapshot_version",
+        "_base_keys",
+        "_overlay_keys",
+        "_overlay_keys_version",
+        "_tracer",
+        "snapshot_caching",
         "compaction_fraction",
         "min_compaction_journal",
         "num_compactions",
         "total_updates",
+        "journal_replay_ops",
+        "snapshot_hits",
+        "snapshot_builds",
     )
 
     def __init__(
@@ -63,6 +99,7 @@ class DynamicGraph:
         base: Graph,
         compaction_fraction: float = 0.25,
         min_compaction_journal: int = 64,
+        snapshot_caching: bool = True,
     ) -> None:
         if compaction_fraction <= 0:
             raise GraphError("compaction_fraction must be positive")
@@ -75,15 +112,35 @@ class DynamicGraph:
         self._removed: set[Edge] = set()
         self._delta_degree: dict[int, int] = {}
         self._num_edges = base.num_edges
+        self._journal_ops = array("l")
+        self._journal_u = array("l")
+        self._journal_v = array("l")
+        self._version = 0
+        self._snapshot_cache: Graph | None = None
+        self._snapshot_version = -1
+        self._base_keys: array | None = None
+        self._overlay_keys: tuple[array, array] | None = None
+        self._overlay_keys_version = -1
+        self._tracer = NULL_TRACER
+        self.snapshot_caching = snapshot_caching
         self.compaction_fraction = compaction_fraction
         self.min_compaction_journal = min_compaction_journal
         self.num_compactions = 0
         self.total_updates = 0
+        self.journal_replay_ops = 0
+        self.snapshot_hits = 0
+        self.snapshot_builds = 0
 
     @classmethod
     def empty(cls, num_vertices: int, **kwargs) -> "DynamicGraph":
         """A dynamic graph with ``num_vertices`` vertices and no edges."""
         return cls(Graph.empty(num_vertices), **kwargs)
+
+    def instrument(self, tracer) -> None:
+        """Attach a tracer: compaction and overlay-read (snapshot build) spans
+        carry the journal length and overlay delta size in their args.
+        Observation only — results are byte-identical with it on or off."""
+        self._tracer = NULL_TRACER if tracer is None else tracer
 
     # ------------------------------------------------------------------ #
     # Read path
@@ -111,8 +168,32 @@ class DynamicGraph:
 
     @property
     def journal_size(self) -> int:
-        """Number of overlay entries (added edges + tombstones)."""
+        """Number of overlay entries (added edges + tombstones).
+
+        This is the *net* delta the overlay holds — the quantity compaction
+        thresholds and batch reports use — not the op-log length (see
+        :attr:`journal_length`).
+        """
         return len(self._added) + len(self._removed)
+
+    @property
+    def journal_length(self) -> int:
+        """Length of the columnar op log (ops recorded since compaction)."""
+        return len(self._journal_ops)
+
+    def _base_has(self, e: Edge) -> bool:
+        """Base-edge membership via bisect on the cached key column.
+
+        Deliberately avoids ``e in self._base``: that would force the base
+        graph's ``edge_ids`` hash map, an O(m) dict build the tick hot path
+        would re-pay after every compaction.  The sorted key column is
+        already maintained for batch validation, so membership is one
+        C-level bisect.
+        """
+        keys = self.base_edge_keys()
+        key = e[0] * max(self._n, 1) + e[1]
+        i = bisect_left(keys, key)
+        return i < len(keys) and keys[i] == key
 
     def has_edge(self, u: int, v: int) -> bool:
         """Whether the edge ``{u, v}`` is currently live."""
@@ -121,7 +202,7 @@ class DynamicGraph:
             return True
         if e in self._removed:
             return False
-        return e in self._base
+        return self._base_has(e)
 
     def degree(self, v: int) -> int:
         """Current degree of vertex ``v`` (base degree plus overlay delta)."""
@@ -162,6 +243,31 @@ class DynamicGraph:
             i += 1
 
     # ------------------------------------------------------------------ #
+    # Key columns (batch-validation inputs)
+    # ------------------------------------------------------------------ #
+
+    def base_edge_keys(self) -> array:
+        """The base graph's edges as a sorted key column (cached per base).
+
+        Keys use the shared :func:`repro.kernels.encode_edge_keys` convention
+        (``u * max(n, 1) + v``); compaction invalidates the cache.
+        """
+        if self._base_keys is None:
+            edge_u, edge_v = self._base.edge_endpoints
+            self._base_keys = kernels.encode_edge_keys(self._n, edge_u, edge_v)
+        return self._base_keys
+
+    def overlay_edge_keys(self) -> tuple[array, array]:
+        """``(added_keys, removed_keys)`` sorted key columns (cached per version)."""
+        if self._overlay_keys is None or self._overlay_keys_version != self._version:
+            stride = max(self._n, 1)
+            added = array("l", (u * stride + v for u, v in sorted(self._added)))
+            removed = array("l", (u * stride + v for u, v in sorted(self._removed)))
+            self._overlay_keys = (added, removed)
+            self._overlay_keys_version = self._version
+        return self._overlay_keys
+
+    # ------------------------------------------------------------------ #
     # Write path
     # ------------------------------------------------------------------ #
 
@@ -177,13 +283,53 @@ class DynamicGraph:
             else:
                 self._delta_degree.pop(x, None)
 
+    def _record(self, op: int, e: Edge) -> None:
+        """Append one op to the columnar log and advance the generation."""
+        self._journal_ops.append(op)
+        self._journal_u.append(e[0])
+        self._journal_v.append(e[1])
+        self._version += 1
+        self.total_updates += 1
+        overlay = len(self._added) + len(self._removed)
+        if overlay == 0:
+            # The overlay cancelled out: the state *is* the base again, so
+            # the log carries no information.
+            del self._journal_ops[:], self._journal_u[:], self._journal_v[:]
+        elif len(self._journal_ops) > 2 * overlay + self.min_compaction_journal:
+            self._compress_journal()
+
+    def _compress_journal(self) -> None:
+        """Rewrite the op log in canonical form (one op per overlay entry).
+
+        The log's only consumer is last-op-wins journal merging, so the
+        overlay indexes — which hold exactly each touched edge's final state
+        — are a complete, minimal description of it.  Compression keeps the
+        log (and with it every snapshot build) O(journal_size) even when a
+        trace inserts and deletes the same edges below the compaction
+        threshold forever.
+        """
+        ops = array("l")
+        edge_u = array("l")
+        edge_v = array("l")
+        for u, v in self._added:  # insertion order (a dict), deterministic
+            ops.append(1)
+            edge_u.append(u)
+            edge_v.append(v)
+        for u, v in sorted(self._removed):
+            ops.append(0)
+            edge_u.append(u)
+            edge_v.append(v)
+        self._journal_ops = ops
+        self._journal_u = edge_u
+        self._journal_v = edge_v
+
     def add_edge(self, u: int, v: int) -> None:
         """Insert the edge ``{u, v}``; raises :class:`GraphError` if already live."""
         self._check_vertex_range(u, v)
         e = normalize_edge(u, v)
         if e in self._removed:
             self._removed.discard(e)
-        elif e in self._added or e in self._base:
+        elif e in self._added or self._base_has(e):
             raise GraphError(f"edge {e} is already present")
         else:
             self._added[e] = None
@@ -191,7 +337,7 @@ class DynamicGraph:
             self._added_adj.setdefault(e[1], set()).add(e[0])
         self._bump_degree(e[0], e[1], 1)
         self._num_edges += 1
-        self.total_updates += 1
+        self._record(1, e)
         self._maybe_compact()
 
     def remove_edge(self, u: int, v: int) -> None:
@@ -202,14 +348,31 @@ class DynamicGraph:
             del self._added[e]
             self._added_adj[e[0]].discard(e[1])
             self._added_adj[e[1]].discard(e[0])
-        elif e in self._base and e not in self._removed:
+        elif e not in self._removed and self._base_has(e):
             self._removed.add(e)
         else:
             raise GraphError(f"edge {e} is not present")
         self._bump_degree(e[0], e[1], -1)
         self._num_edges -= 1
-        self.total_updates += 1
+        self._record(0, e)
         self._maybe_compact()
+
+    def apply_ops(self, ops, us, vs) -> None:
+        """Absorb a columnar op batch (op 1 = insert, 0 = delete), in order.
+
+        Exactly equivalent to calling :meth:`add_edge`/:meth:`remove_edge`
+        per op — including the per-op compaction-threshold check, which the
+        deterministic round accounting pins — just without building update
+        objects.  The service feeds pre-validated batch columns through
+        here.
+        """
+        add = self.add_edge
+        remove = self.remove_edge
+        for op, u, v in zip(ops, us, vs):
+            if op:
+                add(u, v)
+            else:
+                remove(u, v)
 
     # ------------------------------------------------------------------ #
     # Compaction / snapshots
@@ -218,23 +381,77 @@ class DynamicGraph:
     def snapshot(self) -> Graph:
         """The current edge set as an immutable CSR :class:`Graph`.
 
-        When the overlay is empty this is the base graph itself (O(1));
-        otherwise it is a fresh graph built by one linear merge of the
-        tombstone-filtered base edge columns with the sorted journal.
+        When the overlay is empty this is the base graph itself (O(1)).
+        Otherwise the cached snapshot is returned while the graph hasn't
+        moved since it was built; a stale (or disabled) cache rebuilds via
+        the ``compact_journal`` kernel — one vectorized merge of the journal
+        columns over the base edge columns.
         """
         if not self._added and not self._removed:
             return self._base
-        return Graph._from_canonical_sorted(self._n, list(self.edges()))
+        if (
+            self.snapshot_caching
+            and self._snapshot_cache is not None
+            and self._snapshot_version == self._version
+        ):
+            self.snapshot_hits += 1
+            return self._snapshot_cache
+        graph = self._build_snapshot()
+        if self.snapshot_caching:
+            self._snapshot_cache = graph
+            self._snapshot_version = self._version
+        return graph
+
+    def _build_snapshot(self) -> Graph:
+        """Replay the journal columns over the base (the cache-miss path)."""
+        with self._tracer.span(
+            "overlay-read",
+            cat="stream",
+            journal=len(self._journal_ops),
+            delta=self.journal_size,
+        ):
+            base_u, base_v = self._base.edge_endpoints
+            edge_u, edge_v = kernels.compact_journal(
+                self._n, base_u, base_v,
+                self._journal_ops, self._journal_u, self._journal_v,
+            )
+        self.journal_replay_ops += len(self._journal_ops)
+        self.snapshot_builds += 1
+        metrics = self._tracer.metrics
+        if metrics.enabled:
+            metrics.inc("stream.journal_replay_ops", len(self._journal_ops))
+            metrics.inc("stream.snapshot_builds")
+        return Graph._from_columns(self._n, edge_u, edge_v)
 
     def compact(self) -> Graph:
-        """Fold the overlay into a fresh CSR base graph and reset the journal."""
+        """Fold the overlay into a fresh CSR base graph and reset the journal.
+
+        A fresh cached snapshot is promoted to base as-is (no second replay);
+        with no overlay the call is a no-op, so back-to-back compactions
+        never advance the base or the generation spuriously.
+        """
         if self._added or self._removed:
-            self._base = self.snapshot()
+            with self._tracer.span(
+                "compaction",
+                cat="stream",
+                journal=len(self._journal_ops),
+                delta=self.journal_size,
+            ):
+                self._base = self.snapshot()
             self._added.clear()
             self._added_adj.clear()
             self._removed.clear()
             self._delta_degree.clear()
+            del self._journal_ops[:], self._journal_u[:], self._journal_v[:]
+            self._snapshot_cache = None
+            self._snapshot_version = -1
+            self._base_keys = None
+            self._overlay_keys = None
+            self._overlay_keys_version = -1
             self.num_compactions += 1
+            metrics = self._tracer.metrics
+            if metrics.enabled:
+                metrics.inc("stream.graph_compactions")
         return self._base
 
     def _maybe_compact(self) -> None:

@@ -60,6 +60,7 @@ rule (:func:`_choose_tail`) on the exact same degrees.
 
 from __future__ import annotations
 
+from array import array
 from collections import deque
 from collections.abc import Iterable, Sequence
 from dataclasses import dataclass
@@ -295,6 +296,10 @@ class IncrementalOrientation:
         self._cluster = cluster
         self.proactive_flips = proactive_flips
         self._out: list[set[int]] = [set() for _ in range(dynamic.num_vertices)]
+        # Flat outdegree column mirroring len(self._out[v]) at every mutation
+        # site, so max_outdegree() — read per tenant per tick by the engine's
+        # aggregate report — is one kernel scan instead of n len() calls.
+        self._outdeg: array = array("l", [0]) * dynamic.num_vertices
         self.flips = 0
         self.opportunistic_flips = 0
         self.rebuilds = 0
@@ -319,8 +324,9 @@ class IncrementalOrientation:
         return len(self._out[v])
 
     def max_outdegree(self) -> int:
-        """Maximum outdegree over all vertices (kernel-dispatched O(n) scan)."""
-        return kernels.max_sizes(self._out)
+        """Maximum outdegree over all vertices (one kernel scan of the
+        maintained outdegree column)."""
+        return kernels.max_value(self._outdeg)
 
     def out_neighbors(self, v: int) -> tuple[int, ...]:
         """Sorted heads of the edges oriented out of ``v``."""
@@ -364,6 +370,7 @@ class IncrementalOrientation:
         tail = self._choose_tail(u, v, len(out[u]), len(out[v]))
         head = v if tail == u else u
         out[tail].add(head)
+        self._outdeg[tail] += 1
         if len(out[tail]) > self.outdegree_cap:
             self._repair(tail)
         self._tick()
@@ -378,6 +385,7 @@ class IncrementalOrientation:
             freed = v
         else:
             raise GraphError(f"edge {normalize_edge(u, v)} is not oriented")
+        self._outdeg[freed] -= 1
         self._proactive_flip(freed)
         self._tick()
 
@@ -402,6 +410,8 @@ class IncrementalOrientation:
             if freed in out[w] and len(out[w]) >= cap:
                 out[w].discard(freed)
                 out[freed].add(w)
+                self._outdeg[w] -= 1
+                self._outdeg[freed] += 1
                 self.flips += 1
                 self.opportunistic_flips += 1
                 return
@@ -504,9 +514,11 @@ class IncrementalOrientation:
                 finally:
                     if owns_pool:
                         pool.close()
+                outdeg = self._outdeg
                 for position, (delta, freed) in zip(safe, results):
                     for vertex, heads in delta.items():
                         out[vertex] = set(heads)
+                        outdeg[vertex] = len(heads)
                     freed_by_group[position] = freed
             else:
                 tasks = [(grouped[position], False, rebuilds_before) for position in safe]
@@ -608,6 +620,7 @@ class IncrementalOrientation:
                 tail = self._choose_tail(u, v, len(out[u]), len(out[v]))
                 head = v if tail == u else u
                 out[tail].add(head)
+                self._outdeg[tail] += 1
                 if len(out[tail]) > self.outdegree_cap:
                     if not allow_repair:
                         raise GraphError(
@@ -618,9 +631,11 @@ class IncrementalOrientation:
             else:
                 if v in out[u]:
                     out[u].discard(v)
+                    self._outdeg[u] -= 1
                     freed.append(u)
                 elif u in out[v]:
                     out[v].discard(u)
+                    self._outdeg[v] -= 1
                     freed.append(v)
                 elif self.rebuilds == rebuilds_before:
                     raise GraphError(
@@ -655,11 +670,14 @@ class IncrementalOrientation:
             self._rebuild(reason="saturated", lambda_bound=max(fresh, self.lambda_bound + 1))
             return
         length = 0
+        outdeg = self._outdeg
         x = target
         while x != overloaded:
             p = parent[x]
             out[p].discard(x)
             out[x].add(p)
+            outdeg[p] -= 1
+            outdeg[x] += 1
             x = p
             length += 1
         self.flips += length
@@ -725,6 +743,7 @@ class IncrementalOrientation:
         for tail, head in run.orientation.iter_directed_edges():
             out[tail].add(head)
         self._out = out
+        self._outdeg = array("l", (len(heads) for heads in out))
         # The static pipeline guarantees O(λ log log n), which can exceed the
         # flip cap on small graphs; widen the cap so the invariant holds.
         self.outdegree_cap = max(self.outdegree_cap, run.max_outdegree)

@@ -44,10 +44,11 @@ from __future__ import annotations
 
 import time
 
+from repro import kernels
 from repro.engine import THREAD, ParallelExecutor, WorkerPool
 from repro.errors import GraphError
 from repro.obs.tracer import NULL_TRACER
-from repro.graph.graph import Graph, normalize_edge
+from repro.graph.graph import Graph
 from repro.mpc.cluster import MPCCluster
 from repro.mpc.config import MPCConfig
 from repro.stream.coloring import IncrementalColoring
@@ -164,6 +165,15 @@ class StreamingService:
         self._executor = self._pool.executor
         self._shard_key = self._pool.allocate_scope("repair-shards-")
         self.dynamic = DynamicGraph(initial)
+        if tracer is not None:
+            self.dynamic.instrument(tracer)
+        # The compacted base travels as delta-aware per-column shards: a
+        # compaction republishes only the columns it changed, carrying the
+        # rest at their current generation.
+        self._graph_scope = self._pool.allocate_scope("stream-graph-")
+        self.graph_handles = self._pool.publish_graph_columns(
+            self._graph_scope, self.dynamic.base
+        )
         self._account_graph_storage()
         lambda_bound = None
         if lambda_seed == "coreness":
@@ -196,29 +206,29 @@ class StreamingService:
         insertions therefore raises the observed peaks (and the enforcement
         checks) exactly like a static load of the same graph would.
         """
-        self.cluster.release_tag_everywhere("stream-graph")
         words = graph_memory_words(self.dynamic.num_vertices, self.dynamic.num_edges)
-        self.cluster.store_spread(words, tag="stream-graph")
+        self.cluster.restore_spread(words, tag="stream-graph")
 
     def _validate_batch(self, batch: UpdateBatch) -> None:
-        """Reject the whole batch (before any mutation) if any update is illegal."""
-        n = self.dynamic.num_vertices
-        pending: dict[tuple[int, int], bool] = {}
-        for index, update in enumerate(batch.updates):
-            if not (0 <= update.u < n and 0 <= update.v < n):
-                raise GraphError(
-                    f"batch update #{index}: edge ({update.u}, {update.v}) "
-                    f"references a vertex outside 0..{n - 1}"
-                )
-            e = normalize_edge(update.u, update.v)
-            live = pending.get(e)
-            if live is None:
-                live = self.dynamic.has_edge(*e)
-            if update.is_insert and live:
-                raise GraphError(f"batch update #{index}: insert of live edge {e}")
-            if not update.is_insert and not live:
-                raise GraphError(f"batch update #{index}: delete of dead edge {e}")
-            pending[e] = update.is_insert
+        """Reject the whole batch (before any mutation) if any update is illegal.
+
+        Runs as one ``validate_batch`` kernel call over the batch's columns
+        and the dynamic graph's cached key columns (base edges, overlay
+        additions, tombstones) — endpoint range, duplicate-insert and
+        dead-delete checks vectorized on the numpy backend, with the exact
+        first-offender order and messages of the reference loop.
+        """
+        ops, us, vs = batch.columns()
+        added_keys, removed_keys = self.dynamic.overlay_edge_keys()
+        kernels.validate_batch(
+            self.dynamic.num_vertices,
+            ops,
+            us,
+            vs,
+            self.dynamic.base_edge_keys(),
+            added_keys,
+            removed_keys,
+        )
 
     def apply(self, batch: UpdateBatch) -> BatchReport:
         """Apply one batch atomically; returns the per-batch metric report.
@@ -270,9 +280,10 @@ class StreamingService:
 
         # One communication round delivers the whole batch: each update is a
         # 2-word message routed between the machines owning its endpoints.
+        ops, us, vs = batch.columns()
         if len(batch):
             cluster.communication_round(
-                [(update.u, update.v, 2) for update in batch.updates],
+                [(u, v, 2) for u, v in zip(us, vs)],
                 label="stream:batch",
             )
 
@@ -280,11 +291,7 @@ class StreamingService:
         # mid-batch fallback rebuild sees the batch-final snapshot), then the
         # orientation resolves the batch as parallel conflict groups, then
         # the coloring repairs its invalidated endpoints.
-        for update in batch.updates:
-            if update.is_insert:
-                dynamic.add_edge(update.u, update.v)
-            else:
-                dynamic.remove_edge(update.u, update.v)
+        dynamic.apply_ops(ops, us, vs)
 
         with self.tracer.span("repair", cat="stream", cluster=cluster):
             grouped = orientation.apply_batch(
@@ -293,11 +300,10 @@ class StreamingService:
 
         if coloring is not None:
             with self.tracer.span("recolor", cat="stream", cluster=cluster):
-                for update in batch.updates:
-                    if update.is_insert:
-                        coloring.handle_insert(update.u, update.v)
-                    else:
-                        coloring.handle_delete(update.u, update.v)
+                # Deletions never invalidate properness, so the scan covers
+                # just the insert columns (kernel-dispatched; see
+                # handle_insert_batch for the byte-identity argument).
+                coloring.handle_insert_batch(*batch.insert_columns())
 
         # Amortised quality maintenance at the batch boundary; a rebuild here
         # also refreshes the coloring (the rebuild recomputed everything).
@@ -318,8 +324,13 @@ class StreamingService:
             # A compaction rewrote the graph wholesale: retire the published
             # out-table shards now so no handle from before the compaction
             # can ever resolve again (the next process-backend batch
-            # republishes a fresh generation).
+            # republishes a fresh generation).  The graph's own edge columns
+            # republish delta-aware: only the columns the compaction changed
+            # advance a generation, the rest carry.
             self._pool.invalidate(self._shard_key)
+            self.graph_handles = self._pool.publish_graph_columns(
+                self._graph_scope, dynamic.base
+            )
         self._account_graph_storage()
 
         report = BatchReport(
@@ -378,6 +389,8 @@ class StreamingService:
         is retired.
         """
         self._pool.invalidate(self._shard_key)
+        for name in self.graph_handles:
+            self._pool.invalidate(f"{self._graph_scope}.{name}")
         self._pool.close()
         self._executor.close()
 

@@ -10,6 +10,7 @@ recolors, rebuilds, compactions, simulated rounds), and
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass, field
 
 from repro.errors import GraphError
@@ -45,13 +46,62 @@ class UpdateBatch:
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "updates", tuple(self.updates))
+        object.__setattr__(self, "_columns", None)
+        object.__setattr__(self, "_insert_columns", None)
+        object.__setattr__(self, "_num_inserts", None)
 
     def __len__(self) -> int:
         return len(self.updates)
 
+    def columns(self) -> tuple[array, array, array]:
+        """The batch as flat ``(ops, us, vs)`` columns (op 1 = insert).
+
+        Endpoints keep the *raw* update order — canonicalisation is the
+        kernels' concern — and the columns are built once and cached (the
+        batch is frozen), so validation, absorption and the recolor scan
+        all read the same buffers without re-walking the update objects.
+        """
+        cached = self._columns
+        if cached is None:
+            ops = array("l")
+            us = array("l")
+            vs = array("l")
+            for update in self.updates:
+                ops.append(1 if update.is_insert else 0)
+                us.append(update.u)
+                vs.append(update.v)
+            cached = (ops, us, vs)
+            object.__setattr__(self, "_columns", cached)
+        return cached
+
+    def insert_columns(self) -> tuple[array, array]:
+        """``(us, vs)`` columns of just the insertions, in raw batch order.
+
+        Raw order matters: the coloring's victim rule reads ``update.u``
+        versus ``update.v`` as written, so these columns feed the
+        recolor-candidate scan byte-identically to the per-update loop.
+        """
+        cached = self._insert_columns
+        if cached is None:
+            us = array("l")
+            vs = array("l")
+            for update in self.updates:
+                if update.is_insert:
+                    us.append(update.u)
+                    vs.append(update.v)
+            cached = (us, vs)
+            object.__setattr__(self, "_insert_columns", cached)
+        return cached
+
     @property
     def num_inserts(self) -> int:
-        return sum(1 for update in self.updates if update.is_insert)
+        # One C-speed pass over the cached op column (1 = insert), computed
+        # once: quota admission and round estimation read this per tick.
+        cached = self._num_inserts
+        if cached is None:
+            cached = int(sum(self.columns()[0]))
+            object.__setattr__(self, "_num_inserts", cached)
+        return cached
 
     @property
     def num_deletes(self) -> int:

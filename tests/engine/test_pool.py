@@ -194,6 +194,64 @@ class TestStatsAndInstrumentation:
             assert tracer.metrics.snapshot()["counters"]["pool.respawns"] == 1
             assert tracer.metrics.snapshot()["counters"]["shm.publishes"] == 1
 
+    def test_partial_republish_counters_track_carried_columns(self):
+        """ISSUE 9 satellite: delta-aware column publication is observable.
+
+        Republishing a graph whose edge columns did not change carries both
+        columns (no generation bump); a graph that changed republishes
+        exactly the changed columns.  ``stats()`` exposes the split.
+        """
+        graph = union_of_random_forests(32, arboricity=2, seed=1)
+        with WorkerPool(workers=1) as pool:
+            handles = pool.publish_graph_columns("g", graph)
+            assert set(handles) == {"edge_u", "edge_v"}
+            stats = pool.stats()
+            assert stats["columns_republished"] == 2
+            assert stats["columns_carried"] == 0
+
+            # Same columns again: everything carries, generations hold.
+            again = pool.publish_graph_columns("g", graph)
+            stats = pool.stats()
+            assert stats["columns_republished"] == 2
+            assert stats["columns_carried"] == 2
+            assert {name: h.generation for name, h in again.items()} == {
+                name: h.generation for name, h in handles.items()
+            }
+
+            # A changed graph republishes both edge columns afresh.
+            grown = union_of_random_forests(32, arboricity=3, seed=2)
+            fresh = pool.publish_graph_columns("g", grown)
+            stats = pool.stats()
+            assert stats["columns_republished"] == 4
+            assert stats["columns_carried"] == 2
+            assert all(
+                fresh[name].generation > handles[name].generation
+                for name in ("edge_u", "edge_v")
+            )
+
+    def test_partial_republish_metrics_reach_the_tracer(self):
+        from repro.obs import Tracer
+
+        graph = union_of_random_forests(24, arboricity=2, seed=3)
+        tracer = Tracer()
+        with WorkerPool(workers=1) as pool:
+            pool.instrument(tracer)
+            pool.publish_graph_columns("g", graph)
+            pool.publish_graph_columns("g", graph)
+            counters = tracer.metrics.snapshot()["counters"]
+            assert counters["shm.columns_republished"] == 2
+            assert counters["shm.columns_carried"] == 2
+
+    def test_carried_column_reads_back_identically(self):
+        graph = union_of_random_forests(24, arboricity=2, seed=4)
+        with WorkerPool(workers=1) as pool:
+            pool.publish_graph_columns("g", graph)
+            carried = pool.publish_graph_columns("g", graph)
+            for name, column in zip(
+                ("edge_u", "edge_v"), graph.edge_endpoints
+            ):
+                assert shm.graph_column(carried[name], name) == column
+
     def test_instrument_none_restores_the_null_tracer(self):
         from repro.obs import Tracer
 

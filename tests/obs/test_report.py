@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+from pathlib import Path
 
 import pytest
 
@@ -128,3 +129,53 @@ class TestBenchReport:
 
     def test_empty_directory_yields_no_tables(self, tmp_path):
         assert bench_trend_tables(tmp_path) == []
+
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+class TestBenchReportFixtures:
+    """Trend rendering pinned against two committed full-shape snapshots.
+
+    The fixtures mirror real ``write_snapshot`` output (schema/host/meta
+    blocks included) so the loader is exercised on the shape ``repro
+    bench-report`` actually reads, not a minimal synthetic dict.  The newer
+    snapshot deliberately carries a JSON ``Infinity`` metric over a zero
+    baseline — the ratio-row combination that used to crash
+    ``Table._format`` (``int(inf)`` raises ``OverflowError``).
+    """
+
+    def test_two_snapshot_trend_renders_ratios(self):
+        tables = bench_trend_tables(FIXTURES)
+        assert len(tables) == 1
+        table = tables[0]
+        assert table.columns == ["metric", "previous", "latest", "ratio"]
+        rendered = table.to_ascii()
+        assert "stream_hotpaths — 2 snapshot(s), latest 20260802T000000Z" in rendered
+        speedup_row = next(
+            line for line in rendered.splitlines()
+            if line.startswith("composite_speedup")
+        )
+        # 6.438... / 4.0
+        assert "1.610" in speedup_row
+        replay_row = next(
+            line for line in rendered.splitlines() if line.startswith("replay_ratio")
+        )
+        assert "1.000" in replay_row  # unchanged metric trends flat
+
+    def test_non_finite_metric_renders_without_crashing(self):
+        rendered = bench_trend_tables(FIXTURES)[0].to_ascii()
+        row = next(
+            line for line in rendered.splitlines()
+            if line.startswith("spurious_rebuilds")
+        )
+        # previous 0.0, latest Infinity: both the formatted latest cell and
+        # the zero-baseline ratio read "inf" instead of raising.
+        assert row.count("inf") == 2
+
+    def test_markdown_rendering_matches_columns(self):
+        markdown = bench_trend_tables(FIXTURES)[0].to_markdown()
+        header = next(
+            line for line in markdown.splitlines() if line.startswith("| metric")
+        )
+        assert header == "| metric | previous | latest | ratio |"

@@ -135,6 +135,101 @@ class TestCompaction:
         assert snapshot.num_edges == dg.num_edges
 
 
+class TestCompactionEdgeCases:
+    def test_tombstone_only_journal_compacts_to_survivors(self):
+        base = union_of_random_forests(48, arboricity=2, seed=11)
+        dg = DynamicGraph(base)
+        doomed = list(base.edges)[::3]
+        for e in doomed:
+            dg.remove_edge(*e)
+        survivors = [e for e in base.edges if e not in set(doomed)]
+        assert dg.snapshot() == Graph(48, survivors)
+        compacted = dg.compact()
+        assert compacted == Graph(48, survivors)
+        assert dg.journal_size == 0 and dg.journal_length == 0
+
+    def test_tombstone_everything_compacts_to_empty(self):
+        base = union_of_random_forests(32, arboricity=1, seed=2)
+        dg = DynamicGraph(base)
+        for e in list(base.edges):
+            dg.remove_edge(*e)
+        assert dg.num_edges == 0
+        compacted = dg.compact()
+        assert compacted.num_edges == 0 and compacted.num_vertices == 32
+        assert dg.snapshot() is compacted
+
+    def test_compact_on_empty_graph_is_noop(self):
+        dg = DynamicGraph.empty(16)
+        base = dg.base
+        assert dg.compact() is base
+        assert dg.num_compactions == 0
+        assert dg.snapshot() is base
+
+    def test_cancelled_overlay_compacts_as_noop(self):
+        # Insert + delete of the same edge nets out: the overlay (and with
+        # it the op log) is empty again, so compaction must not touch the
+        # base or advance any counter.
+        dg = DynamicGraph.empty(8)
+        dg.add_edge(1, 2)
+        dg.remove_edge(1, 2)
+        base = dg.base
+        assert dg.journal_length == 0
+        assert dg.compact() is base
+        assert dg.num_compactions == 0
+
+    def test_back_to_back_compactions_do_not_advance_generation(self):
+        base = union_of_random_forests(40, arboricity=2, seed=9)
+        dg = DynamicGraph(base)
+        dg.add_edge(0, 39)
+        first = dg.compact()
+        version = dg._version
+        builds = dg.snapshot_builds
+        compactions = dg.num_compactions
+        # Zero intervening ops: the second compact is a pure no-op.
+        second = dg.compact()
+        assert second is first
+        assert dg._version == version
+        assert dg.snapshot_builds == builds
+        assert dg.num_compactions == compactions
+        assert dg.snapshot() is first
+
+    def test_compact_promotes_cached_snapshot_without_second_replay(self):
+        dg = DynamicGraph(union_of_random_forests(40, arboricity=2, seed=4))
+        dg.add_edge(0, 39)
+        cached = dg.snapshot()
+        replays = dg.journal_replay_ops
+        assert dg.compact() is cached  # promoted as-is, no rebuild
+        assert dg.journal_replay_ops == replays
+
+
+class TestTracedCompaction:
+    def test_spans_carry_journal_length_and_delta_size(self):
+        """ISSUE 9 satellite: ``overlay-read`` / ``compaction`` spans report
+        the op-log length (``journal``) and net overlay size (``delta``)."""
+        from repro.obs import Tracer
+
+        tracer = Tracer()
+        dg = DynamicGraph.empty(32, min_compaction_journal=2**60)
+        dg.instrument(tracer)
+        dg.add_edge(0, 1)
+        dg.add_edge(1, 2)
+        dg.add_edge(2, 3)
+        dg.remove_edge(1, 2)  # net delta 2, log length 4
+        dg.snapshot()
+        dg.compact()
+        by_name = {record.name: record for record in tracer.records}
+        read = by_name["overlay-read"]
+        assert read.args["journal"] == 4
+        assert read.args["delta"] == 2
+        compaction = by_name["compaction"]
+        assert compaction.args["journal"] == 4
+        assert compaction.args["delta"] == 2
+        counters = tracer.metrics.snapshot()["counters"]
+        assert counters["stream.graph_compactions"] == 1
+        assert counters["stream.snapshot_builds"] == 1
+        assert counters["stream.journal_replay_ops"] == 4
+
+
 class TestSnapshotProperty:
     @pytest.mark.parametrize("seed", [0, 1, 2])
     def test_snapshot_equals_surviving_edge_set_after_1k_interleaved_ops(self, seed):

@@ -425,7 +425,9 @@ class TestEngineDeterminism:
         )
 
     @pytest.mark.parametrize("workers", [1, 2, 4])
-    def test_worker_counts_are_byte_identical(self, workers):
+    def test_worker_counts_are_byte_identical(self, workers, kernel_backend):
+        # ``kernel_backend`` (ISSUE 9) re-runs the matrix per kernel backend;
+        # the fingerprint must agree across workers *and* kernels.
         with _run_engine(_fleet(), seed=9, workers=1) as reference:
             expected = self._engine_fingerprint(reference)
         with _run_engine(_fleet(), seed=9, workers=workers) as engine:
