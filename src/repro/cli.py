@@ -29,7 +29,11 @@ Commands
     per-tenant summary.  ``--policy`` picks the cross-tenant scheduler
     (serve-all / top-k-backlog / deficit-round-robin), ``--round-budget``
     caps each tick's scheduled work, and ``--quota`` puts a per-tenant
-    memory cap on every tenant's sub-ledger.
+    memory cap on every tenant's sub-ledger.  ``--checkpoint-dir`` writes a
+    versioned, checksummed snapshot of the drained engine
+    (``checkpoint.json``); ``--restore`` rebuilds the engine from that
+    snapshot instead of generating a fleet — byte-identically, verified
+    against the recorded fingerprint — then drains and verifies as usual.
 ``experiment``
     Run a registered experiment sweep (E1/E2/E3/S1/S2/S3/S4) through its
     harness runner and print the result table (ASCII, or Markdown with
@@ -61,6 +65,7 @@ under either backend.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from collections.abc import Sequence
 
@@ -286,6 +291,17 @@ def build_parser() -> argparse.ArgumentParser:
     multi_parser.add_argument(
         "--quiet", action="store_true", help="suppress the human-readable summary on stderr"
     )
+    multi_parser.add_argument(
+        "--checkpoint-dir",
+        help="write a checkpoint.json snapshot of the drained engine into this "
+        "directory (created if missing); with --restore, read it from there",
+    )
+    multi_parser.add_argument(
+        "--restore",
+        action="store_true",
+        help="restore the engine from --checkpoint-dir instead of generating a "
+        "fleet, then drain and verify (the snapshot fingerprint is re-verified)",
+    )
     _add_workers_argument(multi_parser)
     _add_kernels_argument(multi_parser)
     _add_trace_argument(multi_parser)
@@ -422,38 +438,55 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 0
 
     if args.command == "stream-multi":
-        if args.num_vertices is None:
-            if not args.smoke:
-                parser.error("stream-multi: num_vertices is required unless --smoke is given")
-            args.num_vertices = 96
-        num_tenants = args.tenants if args.tenants is not None else (3 if args.smoke else 4)
-        num_batches = args.batches if args.batches is not None else (3 if args.smoke else 6)
-        batch_size = args.batch_size if args.batch_size is not None else (40 if args.smoke else 120)
-        traces = multi_tenant_traces(
-            num_tenants=num_tenants,
-            num_vertices=args.num_vertices,
-            num_batches=num_batches,
-            batch_size=batch_size,
-            seed=args.seed,
+        if args.restore and not args.checkpoint_dir:
+            parser.error("stream-multi: --restore requires --checkpoint-dir")
+        checkpoint_path = (
+            os.path.join(args.checkpoint_dir, "checkpoint.json")
+            if args.checkpoint_dir
+            else None
         )
-        policy_options = {}
-        if args.policy == "top-k-backlog":
-            policy_options["k"] = args.topk
-        if args.policy == "deficit-round-robin":
-            policy_options["quantum"] = args.quantum
-        planner = make_planner(args.policy, **policy_options)
         tracer = _make_tracer(args)
-        with StreamEngine(
-            delta=args.delta,
-            seed=args.seed,
-            workers=args.workers,
-            planner=planner,
-            round_budget=args.round_budget,
-            tracer=tracer,
-        ) as engine:
+        if args.restore:
+            engine = StreamEngine.restore(
+                checkpoint_path, workers=args.workers, tracer=tracer
+            )
+            traces = []
+        else:
+            if args.num_vertices is None:
+                if not args.smoke:
+                    parser.error(
+                        "stream-multi: num_vertices is required unless --smoke is given"
+                    )
+                args.num_vertices = 96
+            num_tenants = args.tenants if args.tenants is not None else (3 if args.smoke else 4)
+            num_batches = args.batches if args.batches is not None else (3 if args.smoke else 6)
+            batch_size = args.batch_size if args.batch_size is not None else (40 if args.smoke else 120)
+            traces = multi_tenant_traces(
+                num_tenants=num_tenants,
+                num_vertices=args.num_vertices,
+                num_batches=num_batches,
+                batch_size=batch_size,
+                seed=args.seed,
+            )
+            policy_options = {}
+            if args.policy == "top-k-backlog":
+                policy_options["k"] = args.topk
+            if args.policy == "deficit-round-robin":
+                policy_options["quantum"] = args.quantum
+            planner = make_planner(args.policy, **policy_options)
+            engine = StreamEngine(
+                delta=args.delta,
+                seed=args.seed,
+                workers=args.workers,
+                planner=planner,
+                round_budget=args.round_budget,
+                tracer=tracer,
+            )
+        with engine:
             for trace in traces:
                 engine.add_tenant(trace.name, trace.initial, memory_quota=args.quota)
                 engine.submit_all(trace.name, trace.batches)
+            num_tenants = len(engine.tenant_names())
             summary = engine.run_until_drained()
             engine.verify()
             header = (
@@ -470,9 +503,18 @@ def main(argv: Sequence[str] | None = None) -> int:
                     f"{report.num_edges} {report.max_outdegree} {report.num_colors}"
                 )
             _emit("\n".join(lines), args.output)
+            saved = None
+            if checkpoint_path is not None:
+                os.makedirs(args.checkpoint_dir, exist_ok=True)
+                saved = engine.checkpoint(checkpoint_path)
             parallel_rounds = summary.total_rounds
             sequential_rounds = sum(tick.sequential_rounds for tick in engine.ticks)
-            budget = "unbounded" if args.round_budget is None else args.round_budget
+            budget = "unbounded" if engine.round_budget is None else engine.round_budget
+            fleet_line = (
+                f"tenants: {num_tenants} (restored from {checkpoint_path})"
+                if args.restore
+                else f"tenants: {num_tenants} (n={args.num_vertices} each)"
+            )
             tenant_lines = [
                 f"  {name}: updates={engine.tenant_summary(name).total_updates} "
                 f"flips={engine.tenant_summary(name).total_flips} "
@@ -482,9 +524,9 @@ def main(argv: Sequence[str] | None = None) -> int:
             ]
             _summary(
                 [
-                    f"tenants: {num_tenants} (n={args.num_vertices} each), "
+                    f"{fleet_line}, "
                     f"ticks: {len(engine.ticks)}, updates: {summary.total_updates}",
-                    f"policy: {args.policy}, round budget: {budget}, "
+                    f"policy: {engine.planner.name}, round budget: {budget}, "
                     f"served: {summary.total_served}, deferred: {summary.total_deferred}, "
                     f"max backlog: {summary.max_backlog_updates} updates",
                     *tenant_lines,
@@ -493,6 +535,11 @@ def main(argv: Sequence[str] | None = None) -> int:
                     f"({sequential_rounds / max(parallel_rounds, 1):.2f}x saved)",
                     f"shared-ledger rounds incl. tenant builds: "
                     f"{engine.cluster.stats.num_rounds}",
+                    *(
+                        [f"checkpoint: {checkpoint_path} fingerprint {saved['fingerprint']}"]
+                        if saved is not None
+                        else []
+                    ),
                 ],
                 args.quiet,
             )

@@ -119,6 +119,39 @@ class SimulationError(ReproError):
     """Raised when the simulator is driven through an invalid sequence of calls."""
 
 
+class LifecycleError(ReproError):
+    """A tenant lifecycle transition that the state machine does not allow.
+
+    The resident engine models every tenant as ``provisioning → active →
+    quarantined → lifted → retired`` with an explicit transition table;
+    anything off that graph (lifting a retired tenant, retiring twice, ...)
+    raises this instead of silently mutating state.
+    """
+
+    def __init__(self, tenant: str, from_state: str, to_state: str) -> None:
+        self.tenant = tenant
+        self.from_state = from_state
+        self.to_state = to_state
+        super().__init__(
+            f"tenant {tenant!r} cannot transition {from_state} -> {to_state}"
+        )
+
+    def __reduce__(self):
+        return (type(self), (self.tenant, self.from_state, self.to_state))
+
+
+class CheckpointError(ReproError):
+    """A checkpoint file could not be read, validated, or restored.
+
+    Raised for missing/truncated/corrupted snapshot files, format or version
+    mismatches, checksum failures, and restored state whose fingerprint does
+    not match the one recorded at checkpoint time.  Restore is all-or-nothing:
+    when this is raised no partially-built engine escapes (anything created is
+    closed before re-raising), and the engine that *wrote* the checkpoint is
+    never touched by a failed restore.
+    """
+
+
 class WorkerCrashError(ReproError):
     """A process-backend worker died mid-superstep (killed, OOM, hard crash).
 

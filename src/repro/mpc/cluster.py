@@ -218,6 +218,65 @@ class MPCCluster:
         return state
 
     # ------------------------------------------------------------------ #
+    # Checkpoint seam
+    # ------------------------------------------------------------------ #
+
+    def ledger_state(self) -> dict:
+        """The cluster as a JSON-serializable snapshot (checkpoint seam).
+
+        Per-machine round counters are deliberately *not* captured:
+        :meth:`communication_round` resets every participating machine's
+        counters at the start of the round, so a restored cluster whose
+        machines start with zeroed counters and an empty active set charges
+        future rounds identically.
+        """
+        return {
+            "config": {
+                "num_vertices": self.config.num_vertices,
+                "num_edges": self.config.num_edges,
+                "delta": self.config.delta,
+                "memory_constant": self.config.memory_constant,
+                "global_memory_factor": self.config.global_memory_factor,
+            },
+            "enforce_limits": bool(self.enforce_limits),
+            "enforce_global_memory": bool(self.enforce_global_memory),
+            "memory_quota": self.memory_quota,
+            "stats": self.stats.state_dict(),
+            "machines": [
+                [
+                    machine.machine_id,
+                    machine.stored_words,
+                    machine.peak_stored_words,
+                    dict(machine.stored_by_tag),
+                ]
+                for machine in sorted(
+                    self._machines.values(), key=lambda m: m.machine_id
+                )
+            ],
+        }
+
+    @classmethod
+    def from_ledger_state(cls, state: dict) -> "MPCCluster":
+        """Rebuild a cluster from :meth:`ledger_state` output, exactly."""
+        config = MPCConfig(**state["config"])
+        cluster = cls(
+            config,
+            enforce_limits=state["enforce_limits"],
+            enforce_global_memory=state["enforce_global_memory"],
+            memory_quota=state["memory_quota"],
+        )
+        cluster.stats = RoundStats.from_state(state["stats"])
+        for machine_id, stored, peak, tags in state["machines"]:
+            machine = Machine(
+                machine_id=machine_id, capacity_words=cluster._capacity
+            )
+            machine.stored_words = stored
+            machine.peak_stored_words = peak
+            machine.stored_by_tag = {str(tag): words for tag, words in tags.items()}
+            cluster._machines[machine_id] = machine
+        return cluster
+
+    # ------------------------------------------------------------------ #
     # Machine access / storage accounting
     # ------------------------------------------------------------------ #
 

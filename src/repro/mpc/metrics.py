@@ -181,6 +181,33 @@ class RoundStats:
         )
         return merged
 
+    def state_dict(self) -> dict:
+        """The ledger as JSON-serializable columns (the checkpoint seam).
+
+        Round indexes are implied by position and ``rounds_by_label`` is
+        derivable, so the snapshot stores only the per-round payload plus
+        the two memory high-water marks.
+        """
+        return {
+            "rounds": [
+                [r.label, r.words_sent, r.max_machine_sent, r.max_machine_received]
+                for r in self.rounds
+            ],
+            "peak_machine_memory_words": self.peak_machine_memory_words,
+            "peak_global_memory_words": self.peak_global_memory_words,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "RoundStats":
+        """Rebuild a ledger from :meth:`state_dict` output, exactly."""
+        stats = cls()
+        for label, words, max_sent, max_received in state["rounds"]:
+            stats.record_round(str(label), words, max_sent, max_received)
+        stats.observe_memory(
+            state["peak_machine_memory_words"], state["peak_global_memory_words"]
+        )
+        return stats
+
     def summary(self) -> dict[str, float]:
         """A flat dictionary for the reporting layer."""
         return {

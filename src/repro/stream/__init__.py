@@ -23,6 +23,13 @@ the bounded-outdegree orientation (and a proper coloring) must be
 * :mod:`repro.stream.engine` — :class:`StreamEngine`, the multi-tenant
   multiplexer: N independent services on one shared executor + one shared
   ledger, with ticks charged as parallel supersteps (max-over-tenants).
+  Runs resident (a background ticker drains concurrent submissions) and
+  moves tenants through a typed lifecycle
+  (provisioning → active → quarantined → lifted → retired).
+* :mod:`repro.stream.checkpoint` — versioned, checksummed on-disk snapshots
+  of a complete engine (journal columns, orientation heads, colors, ledgers,
+  queues, planner credits); restore is byte-identical and verified against
+  the recorded fingerprint.
 * :mod:`repro.stream.scheduler` — cross-tenant tick scheduling:
   :class:`TickPlanner` policies (serve-all / top-k-backlog /
   deficit-round-robin) admitting tenants under a per-tick round budget.
@@ -33,7 +40,7 @@ the bounded-outdegree orientation (and a proper coloring) must be
 
 from repro.stream.coloring import IncrementalColoring
 from repro.stream.dynamic_graph import DynamicGraph
-from repro.stream.engine import StreamEngine, TickReport
+from repro.stream.engine import StreamEngine, TenantState, TickReport
 from repro.stream.orientation import IncrementalOrientation
 from repro.stream.scheduler import (
     POLICIES,
@@ -82,6 +89,7 @@ __all__ = [
     "StreamWorkload",
     "StreamingService",
     "TenantLoad",
+    "TenantState",
     "TickPlanner",
     "TickReport",
     "TopKBacklogPlanner",

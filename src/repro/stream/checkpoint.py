@@ -1,0 +1,404 @@
+"""Journal-based checkpoint/restore for the resident :class:`StreamEngine`.
+
+The byte-identical determinism contract (same seed ⇒ identical heads, colors
+and rounds for any backend/worker-count/kernel) makes *exact* checkpointing
+both implementable and testable to equality: serialize every
+behavior-affecting column — each tenant's ``DynamicGraph`` base + journal
+columns, orientation heads/λ̂/cap, coloring column, sub-ledger
+``RoundStats``, queue, lifecycle state, plus the shared ledger, planner
+credits, and tick history — and a restored engine is indistinguishable from
+one that never stopped.  Host-side resources (executors, pools, shard scope
+keys, shared-memory segments) are deliberately **not** state: they are
+re-provisioned on restore and cannot influence simulated outcomes.
+
+File format (version |VERSION|)::
+
+    {
+      "format":   "repro-stream-checkpoint",
+      "version":  1,
+      "checksum": sha256 hex of the canonical payload JSON,
+      "payload":  { ... engine state ... }
+    }
+
+written atomically (temp file + ``os.replace``) so a crash mid-checkpoint
+never leaves a truncated snapshot under the target name.  Reading validates
+format, version and checksum and raises
+:class:`~repro.errors.CheckpointError` on any mismatch; restoring re-derives
+the engine fingerprint and compares it against the one recorded at
+checkpoint time, so a corrupted-but-checksummed (hand-edited) payload cannot
+silently produce a divergent engine.  Restore is all-or-nothing: on any
+failure the partially built engine is closed before the error propagates.
+
+The per-component (de)serializers live next to the state they capture:
+``DynamicGraph.state_columns``/``from_state``,
+``IncrementalOrientation.state_dict``/``from_state``,
+``IncrementalColoring.state_dict``/``from_state``,
+``MPCCluster.ledger_state``/``from_ledger_state``,
+``RoundStats.state_dict``/``from_state``,
+``StreamingService.state_dict``/``from_state``, and
+``TickPlanner.state_dict``/``load_state``.  This module composes them into
+one engine-level snapshot and owns the container format.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from collections import deque
+
+from repro.engine import ParallelExecutor, WorkerPool
+from repro.errors import CheckpointError, GraphError, QuotaExceededError, ReproError
+from repro.mpc.cluster import MPCCluster
+from repro.stream.engine import StreamEngine, TenantState, TickReport, _Tenant
+from repro.stream.scheduler import make_planner
+from repro.stream.service import StreamingService, _report_state, _restore_report
+from repro.stream.updates import StreamSummary, UpdateBatch
+
+CHECKPOINT_FORMAT = "repro-stream-checkpoint"
+CHECKPOINT_VERSION = 1
+
+__all__ = [
+    "CHECKPOINT_FORMAT",
+    "CHECKPOINT_VERSION",
+    "engine_state",
+    "fingerprint",
+    "fingerprint_digest",
+    "read_checkpoint",
+    "restore_engine",
+    "save_engine",
+    "write_checkpoint",
+]
+
+
+# ---------------------------------------------------------------------- #
+# Fingerprints
+# ---------------------------------------------------------------------- #
+
+def fingerprint(engine: StreamEngine) -> dict:
+    """The engine's complete simulated outcome as a JSON-serializable dict.
+
+    Covers everything the byte-identity contract pins: per-tenant
+    orientation heads (canonical CSR), coloring column, λ̂/cap,
+    flip/rebuild counters, sub-ledger round count, edge count and journal
+    length, plus the shared ledger's rounds, the per-tick round charges,
+    lifecycle states and the planner's credits.  Two engines with equal
+    fingerprints are behaviorally indistinguishable going forward.
+    """
+    tenants: dict[str, dict | None] = {}
+    for name in engine.tenant_names():
+        tenant = engine._tenants[name]
+        if tenant.service is None:
+            tenants[name] = None
+            continue
+        service = tenant.service
+        orientation = service.orientation.state_dict()
+        tenants[name] = {
+            "state": tenant.state.value,
+            "heads_indptr": orientation["indptr"],
+            "heads": orientation["heads"],
+            "lambda_bound": orientation["lambda_bound"],
+            "outdegree_cap": orientation["outdegree_cap"],
+            "flips": orientation["flips"],
+            "rebuilds": orientation["rebuilds"],
+            "colors": (
+                None if service.coloring is None
+                else list(service.coloring._colors)
+            ),
+            "rounds": service.cluster.stats.num_rounds,
+            "num_edges": service.dynamic.num_edges,
+            "journal_length": service.dynamic.journal_length,
+        }
+    return {
+        "engine_rounds": (
+            0 if engine.cluster is None else engine.cluster.stats.num_rounds
+        ),
+        "tick_rounds": [tick.rounds for tick in engine.ticks],
+        "planner": engine.planner.state_dict(),
+        "tenants": tenants,
+    }
+
+
+def _canonical(payload) -> bytes:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":")).encode("utf-8")
+
+
+def fingerprint_digest(print_or_engine) -> str:
+    """SHA-256 hex digest of a fingerprint (or of an engine's, directly)."""
+    if isinstance(print_or_engine, StreamEngine):
+        print_or_engine = fingerprint(print_or_engine)
+    return hashlib.sha256(_canonical(print_or_engine)).hexdigest()
+
+
+# ---------------------------------------------------------------------- #
+# Container I/O
+# ---------------------------------------------------------------------- #
+
+def write_checkpoint(path, payload: dict) -> None:
+    """Write a payload under the versioned, checksummed container, atomically."""
+    container = {
+        "format": CHECKPOINT_FORMAT,
+        "version": CHECKPOINT_VERSION,
+        "checksum": hashlib.sha256(_canonical(payload)).hexdigest(),
+        "payload": payload,
+    }
+    path = os.fspath(path)
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(container, handle)
+    os.replace(tmp, path)
+
+
+def read_checkpoint(path) -> dict:
+    """Read and validate a container; returns the payload.
+
+    Raises :class:`~repro.errors.CheckpointError` for a missing file, broken
+    JSON (truncation), an unknown format marker, a version this code cannot
+    restore, or a checksum mismatch (bit rot / partial overwrite).
+    """
+    path = os.fspath(path)
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            container = json.load(handle)
+    except OSError as exc:
+        raise CheckpointError(f"cannot read checkpoint {path!r}: {exc}") from exc
+    except ValueError as exc:
+        raise CheckpointError(
+            f"checkpoint {path!r} is not valid JSON (truncated or corrupted): {exc}"
+        ) from exc
+    if not isinstance(container, dict) or container.get("format") != CHECKPOINT_FORMAT:
+        raise CheckpointError(
+            f"checkpoint {path!r} is not a {CHECKPOINT_FORMAT} file"
+        )
+    version = container.get("version")
+    if version != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"checkpoint {path!r} has version {version!r}; "
+            f"this build restores version {CHECKPOINT_VERSION}"
+        )
+    payload = container.get("payload")
+    checksum = container.get("checksum")
+    if payload is None or checksum is None:
+        raise CheckpointError(f"checkpoint {path!r} is missing payload or checksum")
+    actual = hashlib.sha256(_canonical(payload)).hexdigest()
+    if actual != checksum:
+        raise CheckpointError(
+            f"checkpoint {path!r} failed its checksum "
+            f"(recorded {checksum[:12]}..., computed {actual[:12]}...)"
+        )
+    return payload
+
+
+# ---------------------------------------------------------------------- #
+# Engine state assembly
+# ---------------------------------------------------------------------- #
+
+def _tick_state(tick: TickReport) -> dict:
+    return {
+        "tick_index": tick.tick_index,
+        "reports": {
+            name: _report_state(report) for name, report in tick.reports.items()
+        },
+        "rounds": tick.rounds,
+        "planned": list(tick.planned),
+        "deferred": list(tick.deferred),
+        "quota_breached": list(tick.quota_breached),
+        "backlog_updates": tick.backlog_updates,
+        "round_budget": tick.round_budget,
+        "planned_rounds": tick.planned_rounds,
+        "wall_clock_s": tick.wall_clock_s,
+    }
+
+
+def _restore_tick(state: dict) -> TickReport:
+    return TickReport(
+        tick_index=state["tick_index"],
+        reports={
+            str(name): _restore_report(row)
+            for name, row in state["reports"].items()
+        },
+        rounds=state["rounds"],
+        planned=tuple(state["planned"]),
+        deferred=tuple(state["deferred"]),
+        quota_breached=tuple(state["quota_breached"]),
+        backlog_updates=state["backlog_updates"],
+        round_budget=state["round_budget"],
+        planned_rounds=state["planned_rounds"],
+        wall_clock_s=state["wall_clock_s"],
+    )
+
+
+def _quarantine_state(exc: QuotaExceededError | None) -> dict | None:
+    if exc is None:
+        return None
+    return {
+        "used_words": exc.used_words,
+        "quota_words": exc.quota_words,
+        "scope": exc.scope,
+    }
+
+
+def _restore_quarantine(state: dict | None) -> QuotaExceededError | None:
+    if state is None:
+        return None
+    return QuotaExceededError(
+        state["used_words"], state["quota_words"], scope=state["scope"]
+    )
+
+
+def _tenant_state(tenant: _Tenant) -> dict:
+    return {
+        "name": tenant.name,
+        "index": tenant.index,
+        "weight": tenant.weight,
+        "state": tenant.state.value,
+        "round_mark": tenant.round_mark,
+        "queue": [
+            [[update.op, update.u, update.v] for update in batch.updates]
+            for batch in tenant.queue
+        ],
+        "quarantine": _quarantine_state(tenant.quarantine),
+        "service": None if tenant.service is None else tenant.service.state_dict(),
+        "final_summary": (
+            None
+            if tenant.final_summary is None
+            else [_report_state(report) for report in tenant.final_summary.reports]
+        ),
+    }
+
+
+def engine_state(engine: StreamEngine) -> dict:
+    """The complete engine as a JSON-serializable payload (plus fingerprint)."""
+    return {
+        "delta": engine._delta,
+        "seed": engine._seed,
+        "round_budget": engine.round_budget,
+        "planner": engine.planner.state_dict(),
+        "engine_ledger": (
+            None if engine.cluster is None else engine.cluster.ledger_state()
+        ),
+        "tenants": [
+            _tenant_state(tenant) for tenant in engine._tenants.values()
+        ],
+        "ticks": [_tick_state(tick) for tick in engine.ticks],
+        "summary": [_report_state(report) for report in engine.summary.reports],
+        "fingerprint": fingerprint_digest(fingerprint(engine)),
+    }
+
+
+def save_engine(engine: StreamEngine, path) -> dict:
+    """Snapshot an engine to ``path``; returns ``{"fingerprint": digest}``.
+
+    Callers normally go through :meth:`StreamEngine.checkpoint`, which takes
+    the engine lock first so the snapshot lands on a tick boundary.
+    """
+    payload = engine_state(engine)
+    write_checkpoint(path, payload)
+    return {"fingerprint": payload["fingerprint"]}
+
+
+# ---------------------------------------------------------------------- #
+# Restore
+# ---------------------------------------------------------------------- #
+
+def _restore_summary(rows: list) -> StreamSummary:
+    summary = StreamSummary()
+    for row in rows:
+        summary.add(_restore_report(row))
+    return summary
+
+
+def restore_engine(
+    path,
+    workers: int = 1,
+    executor: ParallelExecutor | None = None,
+    tracer=None,
+) -> StreamEngine:
+    """Rebuild a :class:`StreamEngine` from a snapshot file, byte-identically.
+
+    All-or-nothing: any validation or resurrection failure closes whatever
+    was built and raises :class:`~repro.errors.CheckpointError`.  The
+    restored engine's fingerprint is recomputed and compared against the one
+    recorded at checkpoint time before this returns.
+    """
+    payload = read_checkpoint(path)
+    try:
+        planner_spec = payload["planner"]
+        planner = make_planner(
+            str(planner_spec["policy"]), **planner_spec["options"]
+        )
+        planner.load_state(planner_spec["state"])
+        engine = StreamEngine(
+            delta=payload["delta"],
+            seed=payload["seed"],
+            workers=workers,
+            executor=executor,
+            planner=planner,
+            round_budget=payload["round_budget"],
+            tracer=tracer,
+        )
+    except (KeyError, TypeError, ValueError, GraphError) as exc:
+        raise CheckpointError(f"snapshot payload is malformed: {exc}") from exc
+    try:
+        if payload["engine_ledger"] is not None:
+            engine.cluster = MPCCluster.from_ledger_state(payload["engine_ledger"])
+            if engine.tracer.enabled:
+                engine.cluster.instrument(engine.tracer)
+        for state in payload["tenants"]:
+            tenant_state = TenantState(state["state"])
+            if state["service"] is None:
+                if tenant_state is not TenantState.RETIRED:
+                    raise CheckpointError(
+                        f"tenant {state['name']!r} has no service state but is "
+                        f"{tenant_state.value}, not retired"
+                    )
+                service = None
+            else:
+                tenant_pool = WorkerPool(
+                    workers=1, registry=engine._ensure_pool().registry
+                )
+                if engine.tracer.enabled:
+                    tenant_pool.instrument(engine.tracer)
+                service = StreamingService.from_state(
+                    state["service"],
+                    pool=tenant_pool,
+                    tracer=engine.tracer if engine.tracer.enabled else None,
+                )
+            tenant = _Tenant(
+                name=str(state["name"]),
+                index=int(state["index"]),
+                service=service,
+                weight=int(state["weight"]),
+                queue=deque(
+                    UpdateBatch.from_ops(batch) for batch in state["queue"]
+                ),
+                round_mark=int(state["round_mark"]),
+                quarantine=_restore_quarantine(state["quarantine"]),
+                state=tenant_state,
+                final_summary=(
+                    None
+                    if state["final_summary"] is None
+                    else _restore_summary(state["final_summary"])
+                ),
+            )
+            engine._tenants[tenant.name] = tenant
+        engine.ticks = [_restore_tick(state) for state in payload["ticks"]]
+        engine.summary = _restore_summary(payload["summary"])
+        digest = fingerprint_digest(fingerprint(engine))
+        if digest != payload["fingerprint"]:
+            raise CheckpointError(
+                f"restored engine fingerprint {digest[:12]}... does not match "
+                f"the snapshot's {str(payload['fingerprint'])[:12]}... — "
+                f"the payload was altered after checksum computation"
+            )
+        engine.tracer.metrics.inc("engine.restores")
+    except CheckpointError:
+        engine.close()
+        raise
+    except (KeyError, TypeError, ValueError, IndexError, ReproError) as exc:
+        engine.close()
+        raise CheckpointError(f"snapshot payload is malformed: {exc}") from exc
+    except BaseException:
+        engine.close()
+        raise
+    return engine

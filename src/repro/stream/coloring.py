@@ -133,5 +133,27 @@ class IncrementalColoring:
             self._install(degeneracy_order_coloring(snapshot))
         self.refreshes += 1
 
+    # ------------------------------------------------------------------ #
+    # Checkpoint seam
+    # ------------------------------------------------------------------ #
+
+    def state_dict(self) -> dict:
+        """The color column plus counters, JSON-serializable."""
+        return {
+            "colors": list(self._colors),
+            "recolors": self.recolors,
+            "refreshes": self.refreshes,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict, dynamic: DynamicGraph) -> "IncrementalColoring":
+        """Rebuild from :meth:`state_dict` output without recoloring."""
+        coloring = object.__new__(cls)
+        coloring._dynamic = dynamic
+        coloring._colors = array("l", state["colors"])
+        coloring.recolors = state["recolors"]
+        coloring.refreshes = state["refreshes"]
+        return coloring
+
     def __repr__(self) -> str:
         return f"IncrementalColoring(colors={self.num_colors()}, recolors={self.recolors})"

@@ -462,6 +462,91 @@ class DynamicGraph:
         if self.journal_size > threshold:
             self.compact()
 
+    # ------------------------------------------------------------------ #
+    # Checkpoint seam
+    # ------------------------------------------------------------------ #
+
+    def state_columns(self) -> dict:
+        """The complete mutable state as JSON-serializable columns.
+
+        Base edge columns + the journal columns are sufficient to rebuild
+        the overlay indexes exactly (see :meth:`from_state`); the counters
+        ride along so restored telemetry continues where it left off.
+        """
+        base_u, base_v = self._base.edge_endpoints
+        return {
+            "num_vertices": self._n,
+            "base_u": list(base_u),
+            "base_v": list(base_v),
+            "journal_ops": list(self._journal_ops),
+            "journal_u": list(self._journal_u),
+            "journal_v": list(self._journal_v),
+            "compaction_fraction": self.compaction_fraction,
+            "min_compaction_journal": self.min_compaction_journal,
+            "snapshot_caching": bool(self.snapshot_caching),
+            "num_compactions": self.num_compactions,
+            "total_updates": self.total_updates,
+            "journal_replay_ops": self.journal_replay_ops,
+            "snapshot_hits": self.snapshot_hits,
+            "snapshot_builds": self.snapshot_builds,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "DynamicGraph":
+        """Rebuild a graph from :meth:`state_columns` output, byte-identically.
+
+        The overlay indexes are reconstructed by replaying the journal
+        columns with the :meth:`add_edge`/:meth:`remove_edge` index mutations
+        *only* — no re-journaling, no compaction checks — so the restored
+        ``_added`` dict reproduces the original's insertion order (journal
+        order, which :meth:`_compress_journal` preserves) and the journal
+        columns land verbatim.
+        """
+        base = Graph._from_columns(
+            state["num_vertices"],
+            array("l", state["base_u"]),
+            array("l", state["base_v"]),
+        )
+        graph = cls(
+            base,
+            compaction_fraction=state["compaction_fraction"],
+            min_compaction_journal=state["min_compaction_journal"],
+            snapshot_caching=state["snapshot_caching"],
+        )
+        ops = array("l", state["journal_ops"])
+        edge_u = array("l", state["journal_u"])
+        edge_v = array("l", state["journal_v"])
+        for op, u, v in zip(ops, edge_u, edge_v):
+            e = (u, v)
+            if op:
+                if e in graph._removed:
+                    graph._removed.discard(e)
+                else:
+                    graph._added[e] = None
+                    graph._added_adj.setdefault(u, set()).add(v)
+                    graph._added_adj.setdefault(v, set()).add(u)
+                graph._bump_degree(u, v, 1)
+                graph._num_edges += 1
+            else:
+                if e in graph._added:
+                    del graph._added[e]
+                    graph._added_adj[u].discard(v)
+                    graph._added_adj[v].discard(u)
+                else:
+                    graph._removed.add(e)
+                graph._bump_degree(u, v, -1)
+                graph._num_edges -= 1
+        graph._journal_ops = ops
+        graph._journal_u = edge_u
+        graph._journal_v = edge_v
+        graph._version = len(ops)
+        graph.num_compactions = state["num_compactions"]
+        graph.total_updates = state["total_updates"]
+        graph.journal_replay_ops = state["journal_replay_ops"]
+        graph.snapshot_hits = state["snapshot_hits"]
+        graph.snapshot_builds = state["snapshot_builds"]
+        return graph
+
     def __repr__(self) -> str:
         return (
             f"DynamicGraph(n={self._n}, m={self._num_edges}, "

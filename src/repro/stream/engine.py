@@ -64,18 +64,51 @@ on one shared :class:`~repro.engine.ParallelExecutor` and one shared
   tenants, outdegree/cap take the max, and ``rounds`` is the tick's
   max-over-tenants charge from the shared ledger.
 
+* **Residency.**  The engine can run as a long-lived service instead of a
+  drive-by loop: :meth:`StreamEngine.start` spawns a background ticker thread
+  that drains schedulable backlogs on a configurable interval (woken early by
+  every :meth:`submit`), while callers submit batches, add tenants, lift
+  quarantines, and retire tenants concurrently — one engine-wide re-entrant
+  lock makes every public entry point atomic against an in-flight tick.
+  Tenants move through an explicit lifecycle state machine with typed
+  transitions (:class:`TenantState`; illegal moves raise
+  :class:`~repro.errors.LifecycleError`)::
+
+                   add_tenant()
+      provisioning ────────────▶ active ─────────────────▶ retired
+                                  │   ▲                       ▲
+                     quota breach │   │ next served batch     │ retire_tenant()
+                                  ▼   │                       │
+                           quarantined ──▶ lifted ────────────┘
+                                lift_quarantine()
+
+  (``lifted`` can also re-enter ``quarantined`` on a fresh breach before its
+  first post-lift service; ``retired`` is terminal and reachable from every
+  live state.)
+
+* **Checkpoint/restore.**  :meth:`StreamEngine.checkpoint` serializes the
+  complete engine state — every tenant's journal/base columns, orientation
+  heads, coloring column, λ̂, sub-ledger, queue, lifecycle state, plus the
+  shared ledger, planner credits and tick history — to a versioned,
+  checksummed snapshot file (:mod:`repro.stream.checkpoint`), and
+  :meth:`StreamEngine.restore` rebuilds a crashed or restarted engine from it
+  **byte-identically**: same heads, colors, rounds and schedule as an engine
+  that never stopped, verified on every restore by fingerprint equality.
+
 The CLI front-end is ``python -m repro stream-multi``; experiment S3 sweeps
 tenant counts through :func:`repro.experiments.streaming.run_multi_tenant_experiment`.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import deque
 from dataclasses import dataclass, field
+from enum import Enum
 
 from repro.engine import IN_PROCESS, THREAD, ParallelExecutor, WorkerPool, derive_seed
-from repro.errors import GraphError, QuotaExceededError
+from repro.errors import GraphError, LifecycleError, QuotaExceededError, ReproError
 from repro.obs.tracer import NULL_TRACER
 from repro.graph.graph import Graph
 from repro.mpc.cluster import MPCCluster
@@ -110,13 +143,41 @@ def _apply_tenant_batch(
         return service.apply(batch)
 
 
+class TenantState(Enum):
+    """Lifecycle states of a hosted tenant (see the module diagram)."""
+
+    PROVISIONING = "provisioning"
+    ACTIVE = "active"
+    QUARANTINED = "quarantined"
+    LIFTED = "lifted"
+    RETIRED = "retired"
+
+
+#: The allowed transitions; anything else raises :class:`LifecycleError`.
+_LIFECYCLE = {
+    TenantState.PROVISIONING: {TenantState.ACTIVE, TenantState.RETIRED},
+    TenantState.ACTIVE: {TenantState.QUARANTINED, TenantState.RETIRED},
+    TenantState.QUARANTINED: {TenantState.LIFTED, TenantState.RETIRED},
+    TenantState.LIFTED: {
+        TenantState.ACTIVE,
+        TenantState.QUARANTINED,
+        TenantState.RETIRED,
+    },
+    TenantState.RETIRED: set(),
+}
+
+#: States the planner may schedule (a lifted tenant re-activates on its first
+#: post-lift service; see :meth:`StreamEngine.tick`).
+_SCHEDULABLE = (TenantState.ACTIVE, TenantState.LIFTED)
+
+
 @dataclass
 class _Tenant:
     """Book-keeping for one hosted tenant."""
 
     name: str
     index: int
-    service: StreamingService
+    service: StreamingService | None
     weight: int = 1
     """Proportional budget share under weighted-fair policies (DRR)."""
     queue: deque = field(default_factory=deque)
@@ -125,6 +186,11 @@ class _Tenant:
     quarantine: QuotaExceededError | None = None
     """Set once the tenant breached its quota; quarantined tenants keep their
     queue intact but are never scheduled again."""
+    state: TenantState = TenantState.PROVISIONING
+    """Lifecycle position; every change goes through the transition table."""
+    final_summary: StreamSummary | None = None
+    """Snapshot of the per-batch summary taken at retirement (the service
+    itself is closed and dropped when a tenant retires)."""
 
     def backlog_updates(self) -> int:
         return sum(len(batch) for batch in self.queue)
@@ -246,6 +312,18 @@ class StreamEngine:
         self._tenants: dict[str, _Tenant] = {}
         self.summary = StreamSummary()
         self.ticks: list[TickReport] = []
+        # Residency: one re-entrant lock serializes every public entry point
+        # against the background ticker, so checkpoint/lifecycle/submit calls
+        # always land on a tick boundary.
+        self._lock = threading.RLock()
+        self._closed = False
+        self._ticker: threading.Thread | None = None
+        self._wake = threading.Event()
+        self._stop_event = threading.Event()
+        self.tick_errors: deque = deque(maxlen=64)
+        """Errors the background ticker absorbed (most recent 64).  A failed
+        batch stays queued (the tick contract), so the same error may repeat
+        until the operator intervenes — quarantine, retire, or drop it."""
 
     @property
     def pool(self) -> WorkerPool | None:
@@ -306,7 +384,41 @@ class StreamEngine:
         ``lambda_seed`` is forwarded to :class:`StreamingService` — pass
         ``"coreness"`` to seed the tenant's λ̂ from the guess-ladder peel
         instead of the static degeneracy estimate.
+
+        Safe while the engine is resident: registration takes the engine
+        lock, so it lands between ticks; the new tenant enters the lifecycle
+        as ``provisioning`` and is ``active`` (schedulable) when this
+        returns.
         """
+        with self._lock:
+            return self._add_tenant_locked(
+                name,
+                initial,
+                seed=seed,
+                flip_slack=flip_slack,
+                quality_interval=quality_interval,
+                maintain_coloring=maintain_coloring,
+                proactive_flips=proactive_flips,
+                lambda_seed=lambda_seed,
+                memory_quota=memory_quota,
+                weight=weight,
+            )
+
+    def _add_tenant_locked(
+        self,
+        name: str,
+        initial: Graph,
+        seed: int | None = None,
+        flip_slack: int = 4,
+        quality_interval: int = 1024,
+        maintain_coloring: bool = True,
+        proactive_flips: bool = True,
+        lambda_seed: str | None = None,
+        memory_quota: int | None = None,
+        weight: int = 1,
+    ) -> StreamingService:
+        if self._closed:
+            raise GraphError("engine is closed")
         if name in self._tenants:
             raise GraphError(f"tenant {name!r} is already registered")
         if not isinstance(weight, int) or weight < 1:
@@ -363,41 +475,106 @@ class StreamEngine:
         # merge_parallel never mutates its branches, so the ledger's own
         # stats can be passed as-is (since() is only needed for tick deltas).
         self.cluster.merge_parallel([ledger.stats])
-        self._tenants[name] = _Tenant(
+        tenant = _Tenant(
             name=name,
             index=len(self._tenants),
             service=service,
             weight=weight,
             round_mark=ledger.stats.num_rounds,
         )
+        self._tenants[name] = tenant
+        self.tracer.metrics.inc("engine.lifecycle.provisioning")
+        self._transition(tenant, TenantState.ACTIVE)
         # Co-residency holds from registration, not from the first tick: the
         # one-branch fold above maxes memory, so re-observe the fleet-wide
         # sum of tenant peaks (what every tick fold maintains thereafter).
-        tenants = self._tenants.values()
+        live = [t for t in self._tenants.values() if t.service is not None]
         self.cluster.stats.observe_memory(
-            sum(t.service.cluster.stats.peak_machine_memory_words for t in tenants),
-            sum(t.service.cluster.stats.peak_global_memory_words for t in tenants),
+            sum(t.service.cluster.stats.peak_machine_memory_words for t in live),
+            sum(t.service.cluster.stats.peak_global_memory_words for t in live),
         )
         return service
 
+    def _transition(self, tenant: _Tenant, to: TenantState) -> None:
+        """Move a tenant along the lifecycle graph; illegal moves raise.
+
+        Every transition emits a per-state counter and a zero-width tracer
+        span carrying the edge (``from -> to``), so a fleet's lifecycle
+        history is reconstructible from the obs layer alone.
+        """
+        if to not in _LIFECYCLE[tenant.state]:
+            raise LifecycleError(tenant.name, tenant.state.value, to.value)
+        with self.tracer.span(
+            "lifecycle",
+            cat="engine",
+            tenant=tenant.name,
+            transition=f"{tenant.state.value} -> {to.value}",
+        ):
+            tenant.state = to
+        self.tracer.metrics.inc(f"engine.lifecycle.{to.value}")
+
+    def tenant_state(self, name: str) -> TenantState:
+        """The tenant's current lifecycle state."""
+        with self._lock:
+            return self._tenant(name).state
+
+    def retire_tenant(self, name: str) -> StreamSummary:
+        """Remove a tenant from service; terminal and irreversible.
+
+        Allowed from every live state (an operator retires quarantined
+        tenants too); retiring twice raises
+        :class:`~repro.errors.LifecycleError`.  The tenant's queued batches
+        are dropped, its service is closed (shard scopes retired, pool
+        released — the engine's shared registry is only borrowed and
+        survives), and its rounds stay in the shared ledger: the work
+        happened.  Returns the tenant's final per-batch summary.  The name
+        stays registered (and un-reusable) so seed derivation for future
+        tenants is unaffected.
+        """
+        with self._lock:
+            tenant = self._tenant(name)
+            self._transition(tenant, TenantState.RETIRED)
+            dropped = len(tenant.queue)
+            tenant.queue.clear()
+            service = tenant.service
+            tenant.final_summary = service.summary
+            tenant.service = None
+            service.close()
+            metrics = self.tracer.metrics
+            if metrics.enabled:
+                metrics.inc("engine.tenants_retired")
+                if dropped:
+                    metrics.inc("engine.retired_dropped_batches", dropped)
+            return tenant.final_summary
+
     def tenant_names(self) -> tuple[str, ...]:
-        """Registered tenants, in registration order."""
+        """Registered tenants, in registration order (retired included)."""
         return tuple(self._tenants)
 
     def tenant_service(self, name: str) -> StreamingService:
-        """The tenant's service (raises :class:`GraphError` for unknown names)."""
-        return self._tenant(name).service
+        """The tenant's service (raises :class:`GraphError` for unknown or
+        retired names — a retired tenant's service no longer exists)."""
+        tenant = self._tenant(name)
+        if tenant.service is None:
+            raise GraphError(f"tenant {name!r} is retired; its service is gone")
+        return tenant.service
 
     def tenant_summary(self, name: str) -> StreamSummary:
-        """The tenant's own per-batch summary (identical to a standalone run)."""
-        return self._tenant(name).service.summary
+        """The tenant's own per-batch summary (identical to a standalone run).
+
+        For a retired tenant this is the summary frozen at retirement.
+        """
+        tenant = self._tenant(name)
+        if tenant.service is None:
+            return tenant.final_summary
+        return tenant.service.summary
 
     def quarantined(self) -> dict[str, QuotaExceededError]:
         """Quarantined tenants and the quota breach that sidelined each."""
         return {
             tenant.name: tenant.quarantine
             for tenant in self._tenants.values()
-            if tenant.quarantine is not None
+            if tenant.state is TenantState.QUARANTINED
         }
 
     def lift_quarantine(
@@ -419,23 +596,32 @@ class StreamEngine:
         quarantined with nothing changed.  Returns the breach that had
         sidelined the tenant (for operator logs).
         """
-        tenant = self._tenant(name)
-        if tenant.quarantine is None:
-            raise GraphError(f"tenant {name!r} is not quarantined")
-        if new_quota is not None and new_quota < 1:
-            raise GraphError("new_quota must be at least 1 word (or None to keep)")
-        cluster = tenant.service.cluster
-        effective = new_quota if new_quota is not None else cluster.memory_quota
-        peak = cluster.stats.peak_global_memory_words
-        if effective is not None and peak > effective:
-            raise QuotaExceededError(
-                peak, effective, scope=f"lifting quarantine on tenant {name!r}"
-            )
-        cluster.memory_quota = effective
-        breach = tenant.quarantine
-        tenant.quarantine = None
-        self.tracer.metrics.inc("engine.quota_lifts")
-        return breach
+        with self._lock:
+            tenant = self._tenant(name)
+            if tenant.state is TenantState.RETIRED:
+                # Typed: retirement is terminal, there is nothing to lift.
+                raise LifecycleError(
+                    name, TenantState.RETIRED.value, TenantState.LIFTED.value
+                )
+            if tenant.quarantine is None:
+                raise GraphError(f"tenant {name!r} is not quarantined")
+            if new_quota is not None and new_quota < 1:
+                raise GraphError("new_quota must be at least 1 word (or None to keep)")
+            cluster = tenant.service.cluster
+            effective = new_quota if new_quota is not None else cluster.memory_quota
+            peak = cluster.stats.peak_global_memory_words
+            if effective is not None and peak > effective:
+                raise QuotaExceededError(
+                    peak, effective, scope=f"lifting quarantine on tenant {name!r}"
+                )
+            self._transition(tenant, TenantState.LIFTED)
+            cluster.memory_quota = effective
+            breach = tenant.quarantine
+            tenant.quarantine = None
+            self.tracer.metrics.inc("engine.quota_lifts")
+            if self._ticker is not None:
+                self._wake.set()
+            return breach
 
     def _tenant(self, name: str) -> _Tenant:
         tenant = self._tenants.get(name)
@@ -450,12 +636,29 @@ class StreamEngine:
     # ------------------------------------------------------------------ #
 
     def submit(self, name: str, batch: UpdateBatch) -> None:
-        """Queue one batch for a tenant (resolved by a later :meth:`tick`)."""
-        self._tenant(name).queue.append(batch)
+        """Queue one batch for a tenant (resolved by a later :meth:`tick`).
+
+        Thread-safe, and wakes the background ticker when one is running.
+        Submitting to a retired tenant raises :class:`GraphError`; submitting
+        to a quarantined one is allowed (the queue survives quarantine).
+        """
+        with self._lock:
+            tenant = self._tenant(name)
+            if tenant.state is TenantState.RETIRED:
+                raise GraphError(f"tenant {name!r} is retired; cannot submit")
+            tenant.queue.append(batch)
+        if self._ticker is not None:
+            self._wake.set()
 
     def submit_all(self, name: str, batches) -> None:
-        """Queue a sequence of batches for a tenant, in order."""
-        self._tenant(name).queue.extend(batches)
+        """Queue a sequence of batches for a tenant, in order (thread-safe)."""
+        with self._lock:
+            tenant = self._tenant(name)
+            if tenant.state is TenantState.RETIRED:
+                raise GraphError(f"tenant {name!r} is retired; cannot submit")
+            tenant.queue.extend(batches)
+        if self._ticker is not None:
+            self._wake.set()
 
     def pending(self, name: str | None = None) -> int:
         """Queued batches for one tenant, or across all tenants."""
@@ -468,7 +671,7 @@ class StreamEngine:
         return sum(
             len(tenant.queue)
             for tenant in self._tenants.values()
-            if tenant.quarantine is None
+            if tenant.state in _SCHEDULABLE
         )
 
     def _tenant_loads(self, candidates: "list[_Tenant]") -> list[TenantLoad]:
@@ -516,12 +719,21 @@ class StreamEngine:
         projected post-batch size (or fold-time peak) exceeds its quota is
         quarantined, the tick completes for its siblings, and the
         :class:`~repro.errors.QuotaExceededError` propagates afterwards.
+
+        Holds the engine lock for the whole tick: lifecycle calls, submits
+        and checkpoints issued concurrently land on tick boundaries.
         """
+        with self._lock:
+            if self._closed:
+                raise GraphError("engine is closed")
+            return self._tick_locked()
+
+    def _tick_locked(self) -> TickReport | None:
         started = time.perf_counter()
         candidates = [
             tenant
             for tenant in self._tenants.values()
-            if tenant.queue and tenant.quarantine is None
+            if tenant.queue and tenant.state in _SCHEDULABLE
         ]
         if not candidates:
             return None
@@ -574,6 +786,7 @@ class StreamEngine:
                             projected, quota, scope=f"tenant {tenant.name!r}"
                         )
                         tenant.quarantine = exc
+                        self._transition(tenant, TenantState.QUARANTINED)
                         breached.append(tenant.name)
                         if quota_error is None:
                             quota_error = exc
@@ -614,6 +827,9 @@ class StreamEngine:
             ]
             for tenant in applied:
                 tenant.queue.popleft()
+                if tenant.state is TenantState.LIFTED:
+                    # First successful post-lift service: fully re-admitted.
+                    self._transition(tenant, TenantState.ACTIVE)
 
             # Fold-time backstop: a rebuild's working set can outgrow the quota
             # even though the projected graph size fit.  The batch is already
@@ -624,18 +840,22 @@ class StreamEngine:
                     tenant.service.cluster.check_quota()
                 except QuotaExceededError as exc:
                     tenant.quarantine = exc
+                    self._transition(tenant, TenantState.QUARANTINED)
                     breached.append(tenant.name)
                     if quota_error is None:
                         quota_error = exc
 
-            # Fold every tenant — not just the served ones.  An idle tenant's
-            # delta has zero rounds (its mark is current), so it cannot stretch
-            # the superstep, but its lifetime memory peaks still sum into the
-            # fold: co-resident tenants occupy the fleet whether or not they
-            # had a batch this tick (the charging model in repro.mpc.cluster).
-            # A tick that served nobody folds an empty superstep: zero rounds.
+            # Fold every live tenant — not just the served ones.  An idle
+            # tenant's delta has zero rounds (its mark is current), so it
+            # cannot stretch the superstep, but its lifetime memory peaks
+            # still sum into the fold: co-resident tenants occupy the fleet
+            # whether or not they had a batch this tick (the charging model
+            # in repro.mpc.cluster).  Retired tenants left the fleet; a tick
+            # that served nobody folds an empty superstep: zero rounds.
             deltas = []
             for tenant in self._tenants.values():
+                if tenant.service is None:
+                    continue
                 stats = tenant.service.cluster.stats
                 deltas.append(stats.since(tenant.round_mark))
                 tenant.round_mark = stats.num_rounds
@@ -647,7 +867,7 @@ class StreamEngine:
             backlog = sum(
                 tenant.backlog_updates()
                 for tenant in self._tenants.values()
-                if tenant.quarantine is None
+                if tenant.state in _SCHEDULABLE
             )
             tick_span.annotate(served=list(report_by_name), quota_breached=list(breached))
             metrics = tracer.metrics
@@ -710,7 +930,11 @@ class StreamEngine:
         charge, which is what makes the engine row differ from a plain sum.
         """
         reports = tick.reports.values()
-        services = [tenant.service for tenant in self._tenants.values()]
+        services = [
+            tenant.service
+            for tenant in self._tenants.values()
+            if tenant.service is not None
+        ]
         return BatchReport(
             batch_index=tick.tick_index,
             tenants_served=tick.num_tenants_served,
@@ -729,12 +953,156 @@ class StreamEngine:
             rounds=tick.rounds,
             num_edges=sum(s.dynamic.num_edges for s in services),
             journal_size=sum(s.dynamic.journal_size for s in services),
-            max_outdegree=max(s.orientation.max_outdegree() for s in services),
-            outdegree_cap=max(s.orientation.outdegree_cap for s in services),
+            max_outdegree=max(
+                (s.orientation.max_outdegree() for s in services), default=0
+            ),
+            outdegree_cap=max(
+                (s.orientation.outdegree_cap for s in services), default=0
+            ),
             num_colors=sum(
                 s.coloring.num_colors() for s in services if s.coloring is not None
             ),
             wall_clock_s=tick.wall_clock_s,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Residency: the background ticker
+    # ------------------------------------------------------------------ #
+
+    def start(self, tick_interval: float = 0.05) -> None:
+        """Go resident: spawn the background ticker thread.
+
+        The ticker wakes every ``tick_interval`` seconds — or immediately on
+        :meth:`submit` / :meth:`lift_quarantine` — and drains every
+        schedulable backlog, one locked tick at a time.  Errors a tick raises
+        (a tenant's bad batch, a quota breach) are recorded in
+        :attr:`tick_errors` instead of killing the thread; the failed batch
+        stays queued per the tick contract, so the same error can repeat
+        every interval until an operator quarantines, retires, or unblocks
+        the tenant.  :meth:`stop` (or :meth:`close`) joins the thread.
+        """
+        if tick_interval <= 0:
+            raise GraphError("tick_interval must be positive")
+        with self._lock:
+            if self._closed:
+                raise GraphError("engine is closed")
+            if self._ticker is not None and self._ticker.is_alive():
+                raise GraphError("engine ticker is already running")
+            self._stop_event = threading.Event()
+            self._wake = threading.Event()
+            self._ticker = threading.Thread(
+                target=self._ticker_loop,
+                args=(tick_interval,),
+                name="stream-engine-ticker",
+                daemon=True,
+            )
+            self._ticker.start()
+        self.tracer.metrics.inc("engine.ticker_starts")
+
+    @property
+    def running(self) -> bool:
+        """Whether the background ticker thread is alive."""
+        ticker = self._ticker
+        return ticker is not None and ticker.is_alive()
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Stop and join the background ticker (no-op when not running)."""
+        ticker = self._ticker
+        if ticker is None:
+            return
+        self._stop_event.set()
+        self._wake.set()
+        ticker.join(timeout)
+        if ticker.is_alive():  # pragma: no cover - only on a wedged tick
+            raise GraphError("engine ticker failed to stop within the timeout")
+        self._ticker = None
+
+    def wait_until_drained(self, timeout: float = 30.0) -> StreamSummary:
+        """Block until no schedulable batches remain (resident engines).
+
+        Polls under the lock, nudging the ticker awake; raises
+        :class:`GraphError` if backlog remains at the deadline — including
+        the livelock case where a failing head batch keeps its queue
+        non-empty (inspect :attr:`tick_errors` then).
+        """
+        if not self.running:
+            raise GraphError("engine ticker is not running; call start() first")
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            with self._lock:
+                if not self._schedulable_pending():
+                    return self.summary
+            self._wake.set()
+            time.sleep(0.005)
+        raise GraphError(
+            f"{self._schedulable_pending()} batches still queued after "
+            f"{timeout:.1f}s (recent tick errors: {len(self.tick_errors)})"
+        )
+
+    def _ticker_loop(self, tick_interval: float) -> None:
+        while not self._stop_event.is_set():
+            self._wake.wait(timeout=tick_interval)
+            if self._stop_event.is_set():
+                return
+            self._wake.clear()
+            while not self._stop_event.is_set():
+                with self._lock:
+                    if self._closed or not self._schedulable_pending():
+                        break
+                    try:
+                        self._tick_locked()
+                    except ReproError as exc:
+                        # The failed batch stays queued; back off to the next
+                        # wake/interval instead of hot-spinning on it.
+                        self.tick_errors.append(exc)
+                        self.tracer.metrics.inc("engine.ticker_errors")
+                        break
+
+    # ------------------------------------------------------------------ #
+    # Checkpoint / restore
+    # ------------------------------------------------------------------ #
+
+    def checkpoint(self, path) -> dict:
+        """Write a versioned, checksummed snapshot of the complete engine state.
+
+        Takes the engine lock, so a checkpoint issued while the resident
+        ticker is mid-tick waits for the tick boundary — snapshots are always
+        tick-consistent.  Returns the fingerprint recorded in the snapshot
+        (the same one :meth:`restore` re-verifies).  See
+        :mod:`repro.stream.checkpoint` for the file format.
+        """
+        from repro.stream import checkpoint as _checkpoint
+
+        with self._lock:
+            if self._closed:
+                raise GraphError("engine is closed")
+            result = _checkpoint.save_engine(self, path)
+        self.tracer.metrics.inc("engine.checkpoints")
+        return result
+
+    @classmethod
+    def restore(
+        cls,
+        path,
+        workers: int = 1,
+        executor: ParallelExecutor | None = None,
+        tracer=None,
+    ) -> "StreamEngine":
+        """Rebuild an engine from a :meth:`checkpoint` snapshot, byte-identically.
+
+        The restored engine continues exactly where the checkpointed one
+        stopped: same heads, colors, rounds, planner credits, queues,
+        lifecycle states and tick history — verified against the snapshot's
+        recorded fingerprint before this returns (mismatch raises
+        :class:`~repro.errors.CheckpointError` and nothing leaks).
+        ``workers`` / ``executor`` / ``tracer`` re-provision the host-side
+        execution resources, which are not state: any combination yields the
+        same simulated outcomes.
+        """
+        from repro.stream import checkpoint as _checkpoint
+
+        return _checkpoint.restore_engine(
+            path, workers=workers, executor=executor, tracer=tracer
         )
 
     # ------------------------------------------------------------------ #
@@ -750,6 +1118,8 @@ class StreamEngine:
         generations — is diagnosable from the exception alone.
         """
         for tenant in self._tenants.values():
+            if tenant.service is None:
+                continue
             try:
                 tenant.service.verify()
             except GraphError as exc:
@@ -759,9 +1129,23 @@ class StreamEngine:
                 ) from exc
 
     def close(self) -> None:
-        """Release every tenant, the engine pool's segments, the executor."""
+        """Release every tenant, the engine pool's segments, the executor.
+
+        Idempotent, and safe with a live ticker: the ticker thread is stopped
+        and joined before anything it could touch is released, so double
+        close (or close-with-live-ticker) leaks neither the pool nor the
+        thread.
+        """
+        if self._closed:
+            return
+        self.stop()
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
         for tenant in self._tenants.values():
-            tenant.service.close()
+            if tenant.service is not None:
+                tenant.service.close()
         if self._pool is not None:
             self._pool.close()
         if self._owns_executor:

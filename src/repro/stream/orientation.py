@@ -652,7 +652,12 @@ class IncrementalOrientation:
         target = -1
         while frontier:
             x = frontier.popleft()
-            for w in out[x]:
+            # Sorted walk: the raw sets iterate in insertion-history order,
+            # which a checkpoint/restore cycle cannot reproduce.  Canonical
+            # neighbor order makes the repair path a pure function of the
+            # (heads, outdeg) state, which the byte-identical restore
+            # contract depends on.
+            for w in sorted(out[x]):
                 if w in parent:
                     continue
                 parent[w] = x
@@ -747,6 +752,74 @@ class IncrementalOrientation:
         # The static pipeline guarantees O(λ log log n), which can exceed the
         # flip cap on small graphs; widen the cap so the invariant holds.
         self.outdegree_cap = max(self.outdegree_cap, run.max_outdegree)
+
+    # ------------------------------------------------------------------ #
+    # Checkpoint seam
+    # ------------------------------------------------------------------ #
+
+    def state_dict(self) -> dict:
+        """Heads as CSR columns + λ̂/cap/counters, JSON-serializable.
+
+        Per-vertex head lists are stored sorted; combined with the sorted
+        repair walk in :meth:`_repair` this makes the restored orientation
+        behave byte-identically to the original (set iteration order is the
+        only thing a rebuilt ``_out`` cannot reproduce).
+        """
+        indptr = [0]
+        heads: list[int] = []
+        for out in self._out:
+            heads.extend(sorted(out))
+            indptr.append(len(heads))
+        return {
+            "indptr": indptr,
+            "heads": heads,
+            "lambda_bound": self.lambda_bound,
+            "outdegree_cap": self.outdegree_cap,
+            "flip_slack": self.flip_slack,
+            "quality_interval": self.quality_interval,
+            "delta": self._delta,
+            "seed": self._seed,
+            "proactive_flips": bool(self.proactive_flips),
+            "flips": self.flips,
+            "opportunistic_flips": self.opportunistic_flips,
+            "rebuilds": self.rebuilds,
+            "rebuild_reasons": dict(self.rebuild_reasons),
+            "updates_since_check": self._updates_since_check,
+        }
+
+    @classmethod
+    def from_state(
+        cls, state: dict, dynamic: DynamicGraph, cluster=None
+    ) -> "IncrementalOrientation":
+        """Rebuild from :meth:`state_dict` output without re-running
+        ``orient()`` (which would charge phantom rounds to the ledger)."""
+        orientation = object.__new__(cls)
+        orientation._dynamic = dynamic
+        orientation.flip_slack = state["flip_slack"]
+        orientation.quality_interval = state["quality_interval"]
+        orientation._delta = state["delta"]
+        orientation._seed = state["seed"]
+        orientation._cluster = cluster
+        orientation.proactive_flips = state["proactive_flips"]
+        indptr = state["indptr"]
+        heads = state["heads"]
+        orientation._out = [
+            set(heads[indptr[v] : indptr[v + 1]])
+            for v in range(dynamic.num_vertices)
+        ]
+        orientation._outdeg = array(
+            "l", (indptr[v + 1] - indptr[v] for v in range(dynamic.num_vertices))
+        )
+        orientation.flips = state["flips"]
+        orientation.opportunistic_flips = state["opportunistic_flips"]
+        orientation.rebuilds = state["rebuilds"]
+        orientation.rebuild_reasons = {
+            str(reason): count for reason, count in state["rebuild_reasons"].items()
+        }
+        orientation._updates_since_check = state["updates_since_check"]
+        orientation.lambda_bound = state["lambda_bound"]
+        orientation.outdegree_cap = state["outdegree_cap"]
+        return orientation
 
     def __repr__(self) -> str:
         return (

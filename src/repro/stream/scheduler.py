@@ -157,6 +157,16 @@ class TickPlanner:
         """Names of the tenants to serve this tick, in policy order."""
         return admit_within_budget(self.order(loads), round_budget)
 
+    def state_dict(self) -> dict:
+        """JSON-serializable snapshot: policy name, constructor options, and
+        mutable scheduling state (the "planner credits" a checkpoint must
+        carry for the restored schedule to continue byte-identically).
+        """
+        return {"policy": self.name, "options": {}, "state": {}}
+
+    def load_state(self, state: dict) -> None:
+        """Restore the mutable part of a :meth:`state_dict` snapshot."""
+
     def __repr__(self) -> str:
         return f"{type(self).__name__}(policy={self.name!r})"
 
@@ -183,6 +193,9 @@ class TopKBacklogPlanner(TickPlanner):
     def order(self, loads: "list[TenantLoad]") -> "list[TenantLoad]":
         ranked = sorted(loads, key=lambda load: (-load.backlog_updates, load.index))
         return ranked[: self.k]
+
+    def state_dict(self) -> dict:
+        return {"policy": self.name, "options": {"k": self.k}, "state": {}}
 
 
 class DeficitRoundRobinPlanner(TickPlanner):
@@ -256,6 +269,17 @@ class DeficitRoundRobinPlanner(TickPlanner):
 
     def order(self, loads: "list[TenantLoad]") -> "list[TenantLoad]":
         raise NotImplementedError("deficit-round-robin plans statefully; use plan()")
+
+    def state_dict(self) -> dict:
+        return {
+            "policy": self.name,
+            "options": {"quantum": self.quantum},
+            "state": {"deficits": dict(self._deficits), "cursor": self._cursor},
+        }
+
+    def load_state(self, state: dict) -> None:
+        self._deficits = {str(name): int(v) for name, v in state["deficits"].items()}
+        self._cursor = int(state["cursor"])
 
 
 def make_planner(policy: str, **options) -> TickPlanner:

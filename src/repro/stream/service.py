@@ -43,6 +43,7 @@ Per-batch costs and structure quality are returned as
 from __future__ import annotations
 
 import time
+from dataclasses import fields
 
 from repro import kernels
 from repro.engine import THREAD, ParallelExecutor, WorkerPool
@@ -67,6 +68,16 @@ def graph_memory_words(num_vertices: int, num_edges: int) -> int:
     quota checks drift from the ledger they cap.
     """
     return num_vertices + 2 * num_edges
+
+
+def _report_state(report: BatchReport) -> dict:
+    """One :class:`BatchReport` as a field-name-keyed dict (checkpoint rows)."""
+    return {f.name: getattr(report, f.name) for f in fields(BatchReport)}
+
+
+def _restore_report(state: dict) -> BatchReport:
+    """Inverse of :func:`_report_state`; unknown/missing keys raise upstream."""
+    return BatchReport(**state)
 
 
 class StreamingService:
@@ -192,6 +203,7 @@ class StreamingService:
         )
         self.coloring = IncrementalColoring(self.dynamic) if maintain_coloring else None
         self.summary = StreamSummary()
+        self._closed = False
 
     # ------------------------------------------------------------------ #
     # Batch application
@@ -388,6 +400,9 @@ class StreamingService:
         an engine keeps its shared pieces — only this service's shard scope
         is retired.
         """
+        if self._closed:
+            return
+        self._closed = True
         self._pool.invalidate(self._shard_key)
         for name in self.graph_handles:
             self._pool.invalidate(f"{self._graph_scope}.{name}")
@@ -399,6 +414,69 @@ class StreamingService:
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+    # ------------------------------------------------------------------ #
+    # Checkpoint seam
+    # ------------------------------------------------------------------ #
+
+    def state_dict(self) -> dict:
+        """The complete maintained state as a JSON-serializable snapshot.
+
+        Everything behavior-affecting is captured: the sub-ledger (with its
+        config, quota, and per-machine storage), the dynamic graph's base +
+        journal columns, the orientation heads/λ̂/cap/counters, the coloring
+        column, and the per-batch report history.  Pool scope keys are *not*
+        state — they only name shared-memory segments and are reallocated
+        fresh on restore.
+        """
+        return {
+            "ledger": self.cluster.ledger_state(),
+            "dynamic": self.dynamic.state_columns(),
+            "orientation": self.orientation.state_dict(),
+            "coloring": None if self.coloring is None else self.coloring.state_dict(),
+            "reports": [_report_state(report) for report in self.summary.reports],
+        }
+
+    @classmethod
+    def from_state(
+        cls, state: dict, pool: WorkerPool, tracer=None
+    ) -> "StreamingService":
+        """Resurrect a service from :meth:`state_dict` output, byte-identically.
+
+        Deliberately bypasses ``__init__``: constructing normally would
+        re-run the static orientation pipeline and re-register graph storage,
+        charging phantom rounds to a ledger that already holds the exact
+        history.  The field wiring mirrors ``__init__`` minus every
+        ledger-charging step.
+        """
+        service = object.__new__(cls)
+        service.cluster = MPCCluster.from_ledger_state(state["ledger"])
+        service.tracer = NULL_TRACER if tracer is None else tracer
+        service._pool = pool
+        if tracer is not None:
+            service.cluster.instrument(tracer)
+        service._executor = pool.executor
+        service._shard_key = pool.allocate_scope("repair-shards-")
+        service.dynamic = DynamicGraph.from_state(state["dynamic"])
+        if tracer is not None:
+            service.dynamic.instrument(tracer)
+        service._graph_scope = pool.allocate_scope("stream-graph-")
+        service.graph_handles = pool.publish_graph_columns(
+            service._graph_scope, service.dynamic.base
+        )
+        service.orientation = IncrementalOrientation.from_state(
+            state["orientation"], service.dynamic, cluster=service.cluster
+        )
+        service.coloring = (
+            None
+            if state["coloring"] is None
+            else IncrementalColoring.from_state(state["coloring"], service.dynamic)
+        )
+        service.summary = StreamSummary()
+        for row in state["reports"]:
+            service.summary.add(_restore_report(row))
+        service._closed = False
+        return service
 
     # ------------------------------------------------------------------ #
     # Consistency checks (tests / validators)

@@ -166,6 +166,35 @@ class TestStreamMulti:
                 "--batch-size", "30", "--quota", "10", "--quiet",
             ])
 
+    def test_stream_multi_checkpoint_then_restore_pins_the_fingerprint(
+        self, tmp_path, capsys
+    ):
+        """The crash-recovery smoke: snapshot a drained fleet, restore it in
+        a fresh engine, and require the identical fingerprint digest."""
+        ckdir = str(tmp_path / "ck")
+        assert main([
+            "stream-multi", "--smoke", "--checkpoint-dir", ckdir,
+            "--output", str(tmp_path / "t1.txt"),
+        ]) == 0
+        first = capsys.readouterr().err
+        assert (tmp_path / "ck" / "checkpoint.json").exists()
+        assert main([
+            "stream-multi", "--smoke", "--restore", "--checkpoint-dir", ckdir,
+            "--output", str(tmp_path / "t2.txt"),
+        ]) == 0
+        second = capsys.readouterr().err
+        def digest(err):
+            for line in err.splitlines():
+                if "fingerprint" in line:
+                    return line.rsplit(" ", 1)[-1]
+            raise AssertionError(f"no fingerprint line in {err!r}")
+        assert digest(first) == digest(second)
+        assert "restored from" in second
+
+    def test_stream_multi_restore_requires_a_checkpoint_dir(self):
+        with pytest.raises(SystemExit):
+            main(["stream-multi", "--smoke", "--restore"])
+
 
 class TestTraceFlag:
     def test_stream_multi_smoke_trace_writes_a_perfetto_payload(self, tmp_path, capsys):
